@@ -1,0 +1,181 @@
+// Command patchwork runs a profiling campaign on the simulated FABRIC
+// federation: it builds the testbed, drives synthetic research workloads
+// across its sites, runs the Patchwork coordinator (single- or
+// all-experiment mode), and writes the gathered captures and logs to an
+// output directory.
+//
+// Usage:
+//
+//	patchwork -mode all [-sites STAR,TACC] [-runs 4] [-out profile/]
+//	patchwork -mode single -sites NCSA -out myslice/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/capture"
+	patchwork "repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+	"repro/internal/trafficgen"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "all", `"all" (all-experiment) or "single" (single-experiment)`)
+		sitesFlag = flag.String("sites", "", "comma-separated site list (required for -mode single)")
+		runs      = flag.Int("runs", 3, "port-cycling runs per site")
+		samples   = flag.Int("samples", 2, "samples per run")
+		sampleSec = flag.Int("sample-sec", 5, "sample duration in (virtual) seconds")
+		method    = flag.String("method", "tcpdump", "capture method: tcpdump|dpdk|fpga")
+		trunc     = flag.Int("truncate", 200, "stored snap length in bytes")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		out       = flag.String("out", "patchwork-out", "output directory")
+		nSites    = flag.Int("federation-sites", 6, "number of sites in the simulated federation")
+		nice      = flag.Bool("nice", false, "enable runtime footprint scaling (the nice-factor extension)")
+	)
+	flag.Parse()
+
+	var m patchwork.Mode
+	switch *mode {
+	case "all":
+		m = patchwork.AllExperiment
+	case "single":
+		m = patchwork.SingleExperiment
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	var capMethod capture.Method
+	switch *method {
+	case "tcpdump":
+		capMethod = capture.MethodTcpdump
+	case "dpdk":
+		capMethod = capture.MethodDPDK
+	case "fpga":
+		capMethod = capture.MethodFPGADPDK
+	default:
+		fatal(fmt.Errorf("unknown capture method %q", *method))
+	}
+
+	// Build a federation slice of the default 28-site layout.
+	k := sim.NewKernel()
+	full := testbed.DefaultFederation(k, *seed)
+	specs := make([]testbed.SiteSpec, 0, *nSites)
+	for i, s := range full.Sites() {
+		if i >= *nSites {
+			break
+		}
+		specs = append(specs, s.Spec)
+	}
+	k = sim.NewKernel()
+	fed, err := testbed.NewFederation(k, specs)
+	if err != nil {
+		fatal(err)
+	}
+
+	store := telemetry.NewStore()
+	poller := telemetry.NewPoller(k, store, 30*sim.Second)
+	profiles := trafficgen.MakeSiteProfiles(*seed, len(fed.Sites()))
+	var drivers []*patchwork.TrafficDriver
+	for i, s := range fed.Sites() {
+		poller.Watch(s.Switch)
+		gen := trafficgen.NewGenerator(profiles[i], *seed+uint64(i))
+		d := patchwork.NewTrafficDriver(k, s, gen, nil)
+		d.WindowFrames = 150
+		drivers = append(drivers, d)
+		d.Start()
+	}
+	poller.Start()
+
+	var siteList []string
+	if *sitesFlag != "" {
+		siteList = strings.Split(*sitesFlag, ",")
+	}
+	cfg := patchwork.Config{
+		Mode:           m,
+		Sites:          siteList,
+		SampleDuration: sim.Duration(*sampleSec) * sim.Second,
+		SampleInterval: sim.Duration(2**sampleSec) * sim.Second,
+		SamplesPerRun:  *samples,
+		Runs:           *runs,
+		TruncateBytes:  *trunc,
+		Method:         capMethod,
+		Seed:           *seed,
+	}
+	if *nice {
+		cfg.Nice = &patchwork.NicePolicy{ScaleDownFreeNICs: 0, ScaleUpFreeNICs: 1}
+	}
+	coord, err := patchwork.NewCoordinator(fed, store, poller, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := coord.Run()
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range drivers {
+		d.Stop()
+	}
+	poller.Stop()
+
+	if err := writeProfile(*out, prof); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile complete: %d sites in %v of virtual time\n",
+		len(prof.Bundles), prof.Finished-prof.Started)
+	for _, b := range prof.Bundles {
+		fmt.Printf("  %-8s outcome=%-10s instances=%d/%d captures=%d ports=%v\n",
+			b.Site, b.Outcome, b.InstancesGranted, b.InstancesRequested,
+			len(b.CompressedPcaps), b.PortsSampled)
+	}
+	fmt.Printf("success rate: %.0f%%\n", prof.SuccessRate()*100)
+	for _, b := range prof.Bundles {
+		for _, ev := range b.ScaleEvents {
+			fmt.Printf("  %s nice: %v\n", b.Site, ev)
+		}
+	}
+	fmt.Printf("output written to %s\n", *out)
+}
+
+// writeProfile persists each bundle's pcaps and logs.
+func writeProfile(dir string, prof *patchwork.Profile) error {
+	for _, b := range prof.Bundles {
+		siteDir := filepath.Join(dir, b.Site)
+		if err := os.MkdirAll(siteDir, 0o755); err != nil {
+			return err
+		}
+		pcaps, err := b.DecompressPcaps()
+		if err != nil {
+			return err
+		}
+		for i, data := range pcaps {
+			name := filepath.Join(siteDir, fmt.Sprintf("capture-%02d.pcap", i))
+			if err := os.WriteFile(name, data, 0o644); err != nil {
+				return err
+			}
+		}
+		var logBuf strings.Builder
+		for _, e := range b.Logs {
+			logBuf.WriteString(e.String())
+			logBuf.WriteByte('\n')
+		}
+		for _, c := range b.Congestion {
+			fmt.Fprintf(&logBuf, "t=%v congestion %s->%s offered=%.0fB/s capacity=%.0fB/s\n",
+				c.At, c.MirroredPort, c.EgressPort, c.OfferedBps, c.CapacityBps)
+		}
+		if err := os.WriteFile(filepath.Join(siteDir, "run.log"), []byte(logBuf.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "patchwork:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command pwanalyze runs Patchwork's offline analysis pipeline over a
+// directory of pcap captures (as produced by cmd/patchwork): Digest
+// (protocol dissection into abstract header stacks), Index, Analyze, and
+// Process (CSV emission).
+//
+// Usage:
+//
+//	pwanalyze -in patchwork-out -out analysis-out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/pcap"
+)
+
+func main() {
+	var (
+		in  = flag.String("in", "", "input directory (site subdirectories of pcaps)")
+		out = flag.String("out", "analysis-out", "output directory for acaps, index, and CSVs")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "pwanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out string) error {
+	acapDir := filepath.Join(out, "acaps")
+	if err := os.MkdirAll(acapDir, 0o755); err != nil {
+		return err
+	}
+
+	// Digest: one acap per pcap, site taken from the parent directory.
+	// Raw stored frames are retained (bounded) for the flag analysis,
+	// which needs header field values the acap discards.
+	const maxRawFrames = 200000
+	var rawFrames [][]byte
+	var acaps []*analysis.Acap
+	var index analysis.Index
+	err := filepath.WalkDir(in, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".pcap") {
+			return err
+		}
+		site := filepath.Base(filepath.Dir(path))
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rd, err := pcap.NewReader(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		acap := &analysis.Acap{Site: site}
+		err = rd.ForEach(func(rec *pcap.Record) error {
+			acap.Records = append(acap.Records,
+				analysis.DigestFrame(rec.TimestampNanos, rec.Data, rec.OriginalLength))
+			if len(rawFrames) < maxRawFrames {
+				rawFrames = append(rawFrames, append([]byte(nil), rec.Data...))
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		acaps = append(acaps, acap)
+
+		// Persist the acap and index it.
+		name := fmt.Sprintf("%s-%03d.json", site, len(acaps))
+		acapPath := filepath.Join(acapDir, name)
+		af, err := os.Create(acapPath)
+		if err != nil {
+			return err
+		}
+		if err := acap.Encode(af); err != nil {
+			_ = af.Close()
+			return err
+		}
+		if err := af.Close(); err != nil {
+			return err
+		}
+		index.Add(analysis.Summarize(acap, acapPath))
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if len(acaps) == 0 {
+		return fmt.Errorf("no .pcap files under %s", in)
+	}
+
+	// Index.
+	ixf, err := os.Create(filepath.Join(out, "index.json"))
+	if err != nil {
+		return err
+	}
+	if err := index.Encode(ixf); err != nil {
+		_ = ixf.Close()
+		return err
+	}
+	if err := ixf.Close(); err != nil {
+		return err
+	}
+
+	// Analyze + Process: the paper's CSV outputs.
+	var all []analysis.Record
+	var flowCounts []int
+	for _, a := range acaps {
+		all = append(all, a.Records...)
+		flowCounts = append(flowCounts, analysis.FlowsInSample(a))
+	}
+	writers := []struct {
+		name string
+		fn   func(*os.File) error
+	}{
+		{"frame_sizes.csv", func(f *os.File) error { return analysis.WriteFrameSizeCSV(f, all) }},
+		{"header_occurrence.csv", func(f *os.File) error { return analysis.WriteHeaderOccurrenceCSV(f, all) }},
+		{"site_headers.csv", func(f *os.File) error {
+			return analysis.WriteSiteHeaderStatsCSV(f, analysis.HeaderStatsBySite(acaps))
+		}},
+		{"flow_counts.csv", func(f *os.File) error { return analysis.WriteFlowCountCSV(f, flowCounts) }},
+		{"flow_aggregate.csv", func(f *os.File) error {
+			return analysis.WriteFlowAggregateCSV(f, analysis.AggregateFlows(acaps), 100)
+		}},
+		{"encapsulations.csv", func(f *os.File) error {
+			return analysis.WriteEncapsulationCSV(f, all, 50)
+		}},
+		{"site_protocols.csv", func(f *os.File) error {
+			return analysis.WriteSiteProtocolCSV(f, analysis.ProtocolShareBySite(acaps))
+		}},
+		{"tcp_flags.csv", func(f *os.File) error {
+			return analysis.WriteTCPFlagsCSV(f, analysis.CountTCPFlags(rawFrames))
+		}},
+	}
+	for _, w := range writers {
+		f, err := os.Create(filepath.Join(out, w.name))
+		if err != nil {
+			return err
+		}
+		if err := w.fn(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("digested %d captures (%d frames) into %s\n", len(acaps), len(all), out)
+	return nil
+}

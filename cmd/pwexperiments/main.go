@@ -1,0 +1,83 @@
+// Command pwexperiments regenerates the paper's tables and figures from
+// the simulated substrates.
+//
+// Usage:
+//
+//	pwexperiments -list
+//	pwexperiments -id fig12 [-seed 7] [-csv]
+//	pwexperiments -all [-out results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		id    = flag.String("id", "", "run a single experiment by id")
+		all   = flag.Bool("all", false, "run every experiment")
+		seed  = flag.Uint64("seed", 1, "deterministic seed")
+		asCSV = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		out   = flag.String("out", "", "directory to write per-experiment CSV files (with -all)")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, eid := range experiments.IDs() {
+			fmt.Println(eid)
+		}
+	case *id != "":
+		res, err := experiments.Run(*id, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if *asCSV {
+			if err := res.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else if err := res.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *all:
+		results, err := experiments.RunAll(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, res := range results {
+			if err := res.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			if *out != "" {
+				if err := os.MkdirAll(*out, 0o755); err != nil {
+					fatal(err)
+				}
+				f, err := os.Create(filepath.Join(*out, res.ID+".csv"))
+				if err != nil {
+					fatal(err)
+				}
+				if err := res.WriteCSV(f); err != nil {
+					_ = f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwexperiments:", err)
+	os.Exit(1)
+}

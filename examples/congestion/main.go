@@ -1,0 +1,92 @@
+// Congestion detection: spotting incomplete samples.
+//
+// Port mirroring clones both the Tx and Rx channels of the mirrored port
+// into the single Tx channel of the egress port. When the mirrored
+// port's Tx+Rx rate exceeds the egress line rate, the switch silently
+// drops clones and the capture is incomplete. Patchwork cannot prevent
+// this — it is a property of the switch — but it detects the condition
+// from telemetry and flags the affected samples (paper Section 6.2.2).
+//
+// This example saturates one port in both directions, profiles it with a
+// fixed-port selector, and prints the congestion events alongside the
+// switch's own clone-drop counters.
+//
+// Run with: go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	patchwork "repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+	"repro/internal/units"
+)
+
+func main() {
+	k := sim.NewKernel()
+	fed, err := testbed.NewFederation(k, []testbed.SiteSpec{{
+		Name: "HOT", Uplinks: 1, Downlinks: 6, DedicatedNICs: 1,
+		Cores: 16, RAM: 64 * units.GB, Storage: units.TB,
+		LineRate: 10 * units.Gbps,
+	}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	site := fed.Sites()[0]
+	store := telemetry.NewStore()
+	poller := telemetry.NewPoller(k, store, sim.Second)
+	poller.Watch(site.Switch)
+	poller.Start()
+
+	// Saturate P1: jumbo frames at line rate in BOTH directions, so the
+	// mirror must squeeze 20 Gbps into a 10 Gbps egress channel.
+	const frameSize = 9000
+	interval := sim.Duration((10 * units.Gbps).TransmitNanos(frameSize))
+	blast := k.Every(interval, func(sim.Time) {
+		f := switchsim.Frame{Size: frameSize}
+		_ = site.Switch.Transit("P1", switchsim.DirRx, f)
+		_ = site.Switch.Transit("P1", switchsim.DirTx, f)
+	})
+
+	cfg := patchwork.Config{
+		Mode:            patchwork.AllExperiment,
+		SampleDuration:  2 * sim.Second,
+		SampleInterval:  4 * sim.Second,
+		SamplesPerRun:   2,
+		Runs:            2,
+		InstancesWanted: 1,
+		Selector:        &patchwork.FixedSelector{Ports: []string{"P1"}},
+		Seed:            5,
+	}
+	coord, err := patchwork.NewCoordinator(fed, store, poller, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := coord.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	blast.Stop()
+	poller.Stop()
+
+	b := prof.Bundles[0]
+	fmt.Printf("site %s: outcome=%v\n\n", b.Site, b.Outcome)
+	fmt.Printf("congestion events detected: %d\n", len(b.Congestion))
+	for _, ev := range b.Congestion {
+		fmt.Printf("  t=%-16v mirror %s->%s offered %s/s vs capacity %s/s (%.1fx oversubscribed)\n",
+			ev.At, ev.MirroredPort, ev.EgressPort,
+			units.ByteSize(ev.OfferedBps), units.ByteSize(ev.CapacityBps),
+			ev.OfferedBps/ev.CapacityBps)
+	}
+	fmt.Println("\nper-sample switch-side drops (clones lost before capture):")
+	for _, s := range b.Samples {
+		fmt.Printf("  run %d sample %d on %s: %d frames captured, %d clones dropped at the switch\n",
+			s.Run, s.Sample, s.MirroredPort, s.Frames, s.CloneDrops)
+	}
+	fmt.Println("\ntakeaway: the capture itself cannot see these losses — only")
+	fmt.Println("telemetry-based detection marks the sample as incomplete.")
+}

@@ -1,0 +1,227 @@
+// Package analysis implements Patchwork's offline analysis phase
+// (Section 6.2.4 of the paper): the Digest step turns raw pcap files into
+// abstract header stacks ("acaps"), the Index step makes large capture
+// corpora addressable, the Analyze step computes the statistics behind
+// the paper's Section 8.2 figures, and the Process step emits CSV files.
+//
+// Flows are classified using the virtualization tags (VLAN and MPLS) in
+// addition to network- and transport-layer fields, so two slices reusing
+// the same 10/8 addresses are kept distinct.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/pcap"
+	"repro/internal/wire"
+)
+
+// FlowKey identifies a flow. Keys are comparable and usable as map keys.
+type FlowKey struct {
+	// VLANID and MPLSTop are the virtualization tags (0 when absent).
+	VLANID  uint16
+	MPLSTop uint32
+	// Src and Dst are the first network-layer endpoints.
+	Src, Dst wire.Endpoint
+	// Proto is the transport layer type (TCP/UDP/ICMPv4/...), or
+	// LayerTypeZero when none decoded.
+	Proto wire.LayerType
+	// SrcPort and DstPort are transport ports (0 when not applicable).
+	SrcPort, DstPort uint16
+}
+
+// Canonical returns the key with src/dst ordered so both directions of a
+// conversation map to the same key.
+func (k FlowKey) Canonical() FlowKey {
+	if shouldSwap(k) {
+		k.Src, k.Dst = k.Dst, k.Src
+		k.SrcPort, k.DstPort = k.DstPort, k.SrcPort
+	}
+	return k
+}
+
+func shouldSwap(k FlowKey) bool {
+	a, b := k.Src.Raw(), k.Dst.Raw()
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] > b[i]
+		}
+	}
+	return k.SrcPort > k.DstPort
+}
+
+// Record is one digested frame: its abstract header stack plus the
+// timing, size, and flow metadata retained from the pcap.
+type Record struct {
+	// TimestampNanos is the capture timestamp.
+	TimestampNanos int64
+	// WireLen is the frame's original on-wire length.
+	WireLen int
+	// StoredLen is the truncated length stored in the capture.
+	StoredLen int
+	// Stack is the decoded header stack, outermost first.
+	Stack []wire.LayerType
+	// Flow is the classification key.
+	Flow FlowKey
+	// DecodeTruncated marks frames whose decode stopped at the snap
+	// length (expected for deep payloads under truncation).
+	DecodeTruncated bool
+}
+
+// Acap is the digest of one capture sample: an abstract capture.
+type Acap struct {
+	// Site is the (pseudonymized) site the sample came from.
+	Site string
+	// SampleStartNanos is the beginning of the sample window.
+	SampleStartNanos int64
+	// Records holds one entry per captured frame.
+	Records []Record
+}
+
+// Digest runs the protocol dissectors over a pcap stream and produces the
+// abstract capture. It is the analysis pipeline's slowest step, as in the
+// paper ("most of this time is taken up by protocol dissectors").
+func Digest(site string, r *pcap.Reader) (*Acap, error) {
+	a := &Acap{Site: site}
+	err := r.ForEach(func(rec *pcap.Record) error {
+		a.Records = append(a.Records, DigestFrame(rec.TimestampNanos, rec.Data, rec.OriginalLength))
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: digesting %s: %w", site, err)
+	}
+	if len(a.Records) > 0 {
+		a.SampleStartNanos = a.Records[0].TimestampNanos
+	}
+	return a, nil
+}
+
+// DigestFrame dissects one frame into a Record.
+func DigestFrame(tsNanos int64, data []byte, wireLen int) Record {
+	pkt := wire.NewPacket(data, wire.LayerTypeEthernet, wire.Default)
+	layers := pkt.Layers()
+	rec := Record{
+		TimestampNanos: tsNanos,
+		WireLen:        wireLen,
+		StoredLen:      len(data),
+		Stack:          pkt.LayerTypes(),
+	}
+	if fail := pkt.ErrorLayer(); fail != nil && wire.IsTruncated(fail.Error()) {
+		rec.DecodeTruncated = true
+	}
+	rec.Flow = extractFlowKey(layers)
+	return rec
+}
+
+// extractFlowKey pulls the virtualization tags and first network and
+// transport fields from a decoded layer stack.
+func extractFlowKey(layers []wire.Layer) FlowKey {
+	var k FlowKey
+	for _, l := range layers {
+		switch v := l.(type) {
+		case *wire.Dot1Q:
+			if k.VLANID == 0 {
+				k.VLANID = v.VLANID
+			}
+		case *wire.MPLS:
+			if k.MPLSTop == 0 {
+				k.MPLSTop = v.Label
+			}
+		case *wire.IPv4:
+			if k.Proto == wire.LayerTypeZero && k.Src == (wire.Endpoint{}) {
+				k.Src = wire.NewIPEndpoint(v.SrcIP)
+				k.Dst = wire.NewIPEndpoint(v.DstIP)
+			}
+		case *wire.IPv6:
+			if k.Proto == wire.LayerTypeZero && k.Src == (wire.Endpoint{}) {
+				k.Src = wire.NewIPEndpoint(v.SrcIP)
+				k.Dst = wire.NewIPEndpoint(v.DstIP)
+			}
+		case *wire.TCP:
+			if k.Proto == wire.LayerTypeZero {
+				k.Proto = wire.LayerTypeTCP
+				k.SrcPort, k.DstPort = v.SrcPort, v.DstPort
+			}
+		case *wire.UDP:
+			if k.Proto == wire.LayerTypeZero {
+				k.Proto = wire.LayerTypeUDP
+				k.SrcPort, k.DstPort = v.SrcPort, v.DstPort
+			}
+		case *wire.ICMPv4:
+			if k.Proto == wire.LayerTypeZero {
+				k.Proto = wire.LayerTypeICMPv4
+			}
+		case *wire.ICMPv6:
+			if k.Proto == wire.LayerTypeZero {
+				k.Proto = wire.LayerTypeICMPv6
+			}
+		case *wire.ARP:
+			if k.Proto == wire.LayerTypeZero {
+				k.Proto = wire.LayerTypeARP
+				k.Src = wire.NewIPEndpoint(v.SenderIP)
+				k.Dst = wire.NewIPEndpoint(v.TargetIP)
+			}
+		}
+	}
+	return k
+}
+
+// acapJSON is the serialized form (stack as ints keeps files compact).
+type acapJSON struct {
+	Site    string       `json:"site"`
+	Start   int64        `json:"start"`
+	Records []recordJSON `json:"records"`
+}
+
+type recordJSON struct {
+	TS        int64  `json:"ts"`
+	Wire      int    `json:"wire"`
+	Stored    int    `json:"stored"`
+	Stack     []int  `json:"stack"`
+	VLAN      uint16 `json:"vlan,omitempty"`
+	MPLS      uint32 `json:"mpls,omitempty"`
+	Src       string `json:"src,omitempty"`
+	Dst       string `json:"dst,omitempty"`
+	Proto     int    `json:"proto,omitempty"`
+	SPort     uint16 `json:"sport,omitempty"`
+	DPort     uint16 `json:"dport,omitempty"`
+	Truncated bool   `json:"trunc,omitempty"`
+}
+
+// Encode serializes the acap as JSON (one object). The format is stable
+// across runs for a given input.
+func (a *Acap) Encode(w io.Writer) error {
+	out := acapJSON{Site: a.Site, Start: a.SampleStartNanos}
+	out.Records = make([]recordJSON, len(a.Records))
+	for i, r := range a.Records {
+		rj := recordJSON{
+			TS: r.TimestampNanos, Wire: r.WireLen, Stored: r.StoredLen,
+			VLAN: r.Flow.VLANID, MPLS: r.Flow.MPLSTop,
+			Src: r.Flow.Src.String(), Dst: r.Flow.Dst.String(),
+			Proto: int(r.Flow.Proto), SPort: r.Flow.SrcPort, DPort: r.Flow.DstPort,
+			Truncated: r.DecodeTruncated,
+		}
+		rj.Stack = make([]int, len(r.Stack))
+		for j, t := range r.Stack {
+			rj.Stack[j] = int(t)
+		}
+		out.Records[i] = rj
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// StackString renders a record's header stack like
+// "Ethernet/Dot1Q/MPLS/IPv4/TCP".
+func (r *Record) StackString() string {
+	s := ""
+	for i, t := range r.Stack {
+		if i > 0 {
+			s += "/"
+		}
+		s += t.String()
+	}
+	return s
+}

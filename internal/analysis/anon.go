@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/binary"
+
+	"repro/internal/wire"
+)
+
+// Anonymizer rewrites IP addresses in captured frames with a keyed,
+// deterministic mapping, preserving flow structure (the same input
+// address always maps to the same output) while hiding real addresses.
+// This is the "close-to-source traffic processing" the paper cites
+// (Section 1, requirement 6); Patchwork can run it on the FPGA NIC or in
+// the DPDK pipeline before frames reach storage.
+//
+// The mapping keeps the address family and the top octet's private-range
+// class so that anonymized captures remain structurally plausible.
+type Anonymizer struct {
+	key uint64
+}
+
+// NewAnonymizer builds an anonymizer from a secret key.
+func NewAnonymizer(key uint64) *Anonymizer {
+	return &Anonymizer{key: key}
+}
+
+// mix is a 64-bit finalizer (splitmix64-style) keyed by a.key.
+func (a *Anonymizer) mix(v uint64) uint64 {
+	z := v ^ a.key
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// AnonymizeFrame rewrites the addresses of every IPv4/IPv6 and ARP layer
+// in the frame, in place, and fixes the affected checksums. Frames that
+// fail to decode are left untouched. It reports whether any rewrite
+// happened.
+func (a *Anonymizer) AnonymizeFrame(data []byte) bool {
+	pkt := wire.NewPacket(data, wire.LayerTypeEthernet, wire.NoCopy)
+	changed := false
+	for _, l := range pkt.Layers() {
+		switch v := l.(type) {
+		case *wire.IPv4:
+			hdr := v.LayerContents() // aliases data under NoCopy
+			a.rewriteV4(hdr[12:16])
+			a.rewriteV4(hdr[16:20])
+			// Recompute the header checksum.
+			hdr[10], hdr[11] = 0, 0
+			ck := ipv4HeaderChecksum(hdr)
+			binary.BigEndian.PutUint16(hdr[10:12], ck)
+			// Transport checksums over the pseudo-header are now stale;
+			// blank them (valid per RFC for UDP; analysis tooling treats
+			// zero as "not checked").
+			blankTransportChecksum(v.LayerPayload(), v.Protocol)
+			changed = true
+		case *wire.IPv6:
+			hdr := v.LayerContents()
+			a.rewriteV6(hdr[8:24])
+			a.rewriteV6(hdr[24:40])
+			blankTransportChecksum(v.LayerPayload(), v.NextHeader)
+			changed = true
+		case *wire.ARP:
+			msg := v.LayerContents()
+			a.rewriteV4(msg[14:18])
+			a.rewriteV4(msg[24:28])
+			changed = true
+		}
+	}
+	return changed
+}
+
+// rewriteV4 substitutes the low 24 bits of the address, keeping the top
+// octet (so 10.x stays 10.x).
+func (a *Anonymizer) rewriteV4(addr []byte) {
+	v := uint64(addr[1])<<16 | uint64(addr[2])<<8 | uint64(addr[3])
+	m := a.mix(v | uint64(addr[0])<<24)
+	addr[1] = byte(m >> 16)
+	addr[2] = byte(m >> 8)
+	addr[3] = byte(m)
+}
+
+// rewriteV6 substitutes the interface identifier and low subnet bits,
+// keeping the top 6 bytes of the prefix.
+func (a *Anonymizer) rewriteV6(addr []byte) {
+	lo := binary.BigEndian.Uint64(addr[8:16])
+	hiTail := binary.BigEndian.Uint16(addr[6:8])
+	m1 := a.mix(lo)
+	m2 := a.mix(uint64(hiTail) ^ 0x5bd1e995)
+	binary.BigEndian.PutUint64(addr[8:16], m1)
+	binary.BigEndian.PutUint16(addr[6:8], uint16(m2))
+}
+
+func ipv4HeaderChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum > 0xFFFF {
+		sum = sum>>16 + sum&0xFFFF
+	}
+	return ^uint16(sum)
+}
+
+// blankTransportChecksum zeroes the TCP/UDP checksum field when the
+// transport header is present in the (possibly truncated) payload.
+func blankTransportChecksum(payload []byte, proto wire.IPProtocol) {
+	switch proto {
+	case wire.IPProtocolTCP:
+		if len(payload) >= 18 {
+			payload[16], payload[17] = 0, 0
+		}
+	case wire.IPProtocolUDP:
+		if len(payload) >= 8 {
+			payload[6], payload[7] = 0, 0
+		}
+	}
+}

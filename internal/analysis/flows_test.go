@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/trafficgen"
+	"repro/internal/wire"
+)
+
+func TestCountTCPFlags(t *testing.T) {
+	g := trafficgen.NewGenerator(bulkOnlyProfile(), 3)
+	fs := g.NewFlow()
+	var frames [][]byte
+	// Data frames (PSH|ACK) and pure ACKs.
+	for i := 0; i < 6; i++ {
+		d, err := g.BuildFrame(&fs, trafficgen.DirForward, 1600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, d)
+	}
+	for i := 0; i < 3; i++ {
+		a, err := g.BuildFrame(&fs, trafficgen.DirReverse, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, a)
+	}
+	// Hand-build a SYN and an RST.
+	frames = append(frames, tcpFlagFrame(t, wire.TCPSyn))
+	frames = append(frames, tcpFlagFrame(t, wire.TCPSyn|wire.TCPAck))
+	frames = append(frames, tcpFlagFrame(t, wire.TCPRst))
+	// Non-TCP frame is ignored.
+	frames = append(frames, []byte{0, 1, 2})
+
+	c := CountTCPFlags(frames)
+	if c.Segments != 12 {
+		t.Errorf("segments = %d, want 12", c.Segments)
+	}
+	if c.PureAck != 3 {
+		t.Errorf("pure ACKs = %d, want 3", c.PureAck)
+	}
+	if c.Syn != 1 || c.SynAck != 1 || c.Rst != 1 {
+		t.Errorf("flags = %+v", c)
+	}
+}
+
+func tcpFlagFrame(t *testing.T, flags wire.TCPFlags) []byte {
+	t.Helper()
+	buf := wire.NewSerializeBuffer()
+	err := wire.SerializeLayers(buf, wire.SerializeOptions{FixLengths: true},
+		&wire.Ethernet{EthernetType: wire.EthernetTypeIPv4},
+		&wire.IPv4{TTL: 9, Protocol: wire.IPProtocolTCP,
+			SrcIP: mustAddr("10.1.1.1"), DstIP: mustAddr("10.1.1.2")},
+		&wire.TCP{SrcPort: 1, DstPort: 2, DataOffset: 5, Flags: flags})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out
+}
+
+func bulkOnlyProfile() trafficgen.Profile {
+	p := trafficgen.Profile{
+		Site: "T", IPv6Fraction: 0, PWFraction: 1, MPLSDepth2Fraction: 1,
+		JumboData: true, FlowsPerSampleLogMean: 4, FlowsPerSampleLogSigma: 1,
+	}
+	p.KindWeights[trafficgen.KindBulkTCP] = 1
+	return p
+}
+
+func TestFlowDurations(t *testing.T) {
+	a := &Acap{Site: "S"}
+	k1 := FlowKey{VLANID: 1, Proto: wire.LayerTypeTCP, SrcPort: 10, DstPort: 20}
+	k2 := FlowKey{VLANID: 2, Proto: wire.LayerTypeTCP, SrcPort: 30, DstPort: 40}
+	a.Records = []Record{
+		{TimestampNanos: 100, Flow: k1},
+		{TimestampNanos: 900, Flow: k1},
+		{TimestampNanos: 500, Flow: k1},
+		{TimestampNanos: 200, Flow: k2},
+	}
+	ds := FlowDurations([]*Acap{a})
+	if len(ds) != 2 {
+		t.Fatalf("flows = %d", len(ds))
+	}
+	if ds[0].DurationNanos() != 800 || ds[0].Frames != 3 {
+		t.Errorf("longest = %+v", ds[0])
+	}
+	if ds[1].DurationNanos() != 0 || ds[1].Frames != 1 {
+		t.Errorf("single-frame flow = %+v", ds[1])
+	}
+}
+
+func TestFlowDurationsMergeDirections(t *testing.T) {
+	a := &Acap{Site: "S"}
+	fwd := FlowKey{Proto: wire.LayerTypeTCP, SrcPort: 10, DstPort: 20}
+	rev := FlowKey{Proto: wire.LayerTypeTCP, SrcPort: 20, DstPort: 10}
+	a.Records = []Record{
+		{TimestampNanos: 0, Flow: fwd},
+		{TimestampNanos: 100, Flow: rev},
+	}
+	ds := FlowDurations([]*Acap{a})
+	if len(ds) != 1 {
+		t.Fatalf("directions not merged: %+v", ds)
+	}
+	if ds[0].Frames != 2 || ds[0].DurationNanos() != 100 {
+		t.Errorf("merged = %+v", ds[0])
+	}
+}
+
+func TestEncapsulationCensus(t *testing.T) {
+	recs := []Record{
+		{Stack: []wire.LayerType{wire.LayerTypeEthernet, wire.LayerTypeIPv4, wire.LayerTypeTCP}},
+		{Stack: []wire.LayerType{wire.LayerTypeEthernet, wire.LayerTypeIPv4, wire.LayerTypeTCP}},
+		{Stack: []wire.LayerType{wire.LayerTypeEthernet, wire.LayerTypeARP}},
+	}
+	ps := EncapsulationCensus(recs)
+	if len(ps) != 2 {
+		t.Fatalf("patterns = %+v", ps)
+	}
+	if ps[0].Pattern != "Ethernet/IPv4/TCP" || ps[0].Frames != 2 {
+		t.Errorf("top = %+v", ps[0])
+	}
+	if ps[1].Pattern != "Ethernet/ARP" {
+		t.Errorf("second = %+v", ps[1])
+	}
+}
+
+func TestProtocolShareBySite(t *testing.T) {
+	v4 := Record{Stack: []wire.LayerType{wire.LayerTypeEthernet, wire.LayerTypeIPv4, wire.LayerTypeTCP}}
+	v6 := Record{Stack: []wire.LayerType{wire.LayerTypeEthernet, wire.LayerTypeIPv6, wire.LayerTypeUDP}}
+	a1 := &Acap{Site: "A", Records: []Record{v4, v4, v4, v6}}
+	a2 := &Acap{Site: "B", Records: []Record{v6, v6}}
+	shares := ProtocolShareBySite([]*Acap{a1, a2})
+	if len(shares) != 2 {
+		t.Fatalf("shares = %+v", shares)
+	}
+	sa := shares[0]
+	if sa.Site != "A" || sa.IPv4Percent != 75 || sa.IPv6Percent != 25 || sa.TCPPercent != 75 {
+		t.Errorf("site A = %+v", sa)
+	}
+	sb := shares[1]
+	if sb.IPv6Percent != 100 || sb.UDPPercent != 100 || sb.IPv4Percent != 0 {
+		t.Errorf("site B = %+v", sb)
+	}
+}
+
+func TestTruncatedDecodeShare(t *testing.T) {
+	recs := []Record{{DecodeTruncated: true}, {}, {}, {DecodeTruncated: true}}
+	if got := TruncatedDecodeShare(recs); got != 0.5 {
+		t.Errorf("share = %v", got)
+	}
+	if TruncatedDecodeShare(nil) != 0 {
+		t.Error("empty should be 0")
+	}
+}

@@ -1,0 +1,169 @@
+package patchwork
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+)
+
+// Coordinator is the component that runs outside the testbed: it
+// configures Patchwork, starts it on the selected sites, gathers the
+// resulting bundles, and yields resources back (Fig. 7, steps 1-5).
+type Coordinator struct {
+	Federation *testbed.Federation
+	Store      *telemetry.Store
+	Poller     *telemetry.Poller
+
+	cfg Config
+	r   *rng.Source
+}
+
+// NewCoordinator wires a coordinator to a federation and its telemetry.
+func NewCoordinator(f *testbed.Federation, store *telemetry.Store, poller *telemetry.Poller, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		Federation: f, Store: store, Poller: poller,
+		cfg: cfg,
+		r:   rng.New(cfg.Seed ^ 0x70617463), // "patc"
+	}, nil
+}
+
+// Profile is the result of one coordinated run across sites.
+type Profile struct {
+	// Bundles holds one bundle per profiled site, in site order.
+	Bundles []Bundle
+	// Started and Finished bound the run in virtual time.
+	Started, Finished sim.Time
+}
+
+// OutcomeCounts tallies bundles per outcome (the Fig. 10 quantities).
+func (p *Profile) OutcomeCounts() map[Outcome]int {
+	out := make(map[Outcome]int)
+	for _, b := range p.Bundles {
+		out[b.Outcome]++
+	}
+	return out
+}
+
+// SuccessRate is the fraction of sites whose outcome was Success or
+// Degraded (profiling completed).
+func (p *Profile) SuccessRate() float64 {
+	if len(p.Bundles) == 0 {
+		return 0
+	}
+	ok := 0
+	for _, b := range p.Bundles {
+		if b.Outcome == OutcomeSuccess || b.Outcome == OutcomeDegraded {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(p.Bundles))
+}
+
+// targetSites resolves the configured site list.
+func (c *Coordinator) targetSites() ([]*testbed.Site, error) {
+	if len(c.cfg.Sites) == 0 {
+		if c.cfg.Mode == SingleExperiment {
+			return nil, fmt.Errorf("patchwork: single-experiment mode requires sites")
+		}
+		return c.Federation.Sites(), nil
+	}
+	var out []*testbed.Site
+	for _, name := range c.cfg.Sites {
+		s := c.Federation.Site(name)
+		if s == nil {
+			return nil, fmt.Errorf("patchwork: unknown site %q", name)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Start launches Patchwork on every target site and invokes done with
+// the gathered profile when the last site finishes. The simulation
+// kernel must be run (or stepped) by the caller for progress to happen.
+func (c *Coordinator) Start(done func(*Profile, error)) {
+	sites, err := c.targetSites()
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	k := c.Federation.Kernel
+	profile := &Profile{Started: k.Now()}
+	remaining := len(sites)
+	if remaining == 0 {
+		profile.Finished = k.Now()
+		done(profile, nil)
+		return
+	}
+	bundles := make([]Bundle, len(sites))
+	for i, site := range sites {
+		i, site := i, site
+		inst := &siteInstance{
+			cfg:    c.cfg,
+			site:   site,
+			store:  c.Store,
+			poller: c.Poller,
+			kernel: k,
+			r:      c.r.Split(),
+		}
+		inst.bundle.Site = site.Spec.Name
+		// Stagger starts slightly: the coordinator contacts sites one at
+		// a time (and the testbed's allocator handles small slices more
+		// happily than large ones).
+		k.After(sim.Duration(i)*sim.Second, func() {
+			inst.run(func(b Bundle) {
+				bundles[i] = b
+				remaining--
+				if remaining == 0 {
+					profile.Bundles = bundles
+					profile.Finished = k.Now()
+					done(profile, nil)
+				}
+			})
+		})
+	}
+}
+
+// Run is the synchronous convenience wrapper: it starts the profile and
+// drives the kernel until completion.
+func (c *Coordinator) Run() (*Profile, error) {
+	var out *Profile
+	var outErr error
+	finished := false
+	c.Start(func(p *Profile, err error) {
+		out, outErr = p, err
+		finished = true
+	})
+	k := c.Federation.Kernel
+	for !finished {
+		if !k.Step() {
+			return nil, fmt.Errorf("patchwork: simulation stalled before profile completion")
+		}
+	}
+	return out, outErr
+}
+
+// SortedPortsSampled returns the union of sampled ports across bundles,
+// sorted, for coverage reporting.
+func (p *Profile) SortedPortsSampled() []string {
+	seen := map[string]bool{}
+	for _, b := range p.Bundles {
+		for _, port := range b.PortsSampled {
+			seen[b.Site+"/"+port] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

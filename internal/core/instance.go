@@ -1,0 +1,469 @@
+package patchwork
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+
+	"repro/internal/capture"
+	"repro/internal/pcap"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+)
+
+// LogEvent is one entry in an instance's run log. Logs travel with the
+// capture bundle so problems can be diagnosed offline (requirement R3).
+type LogEvent struct {
+	At      sim.Time
+	Level   string // "info", "warn", "error"
+	Message string
+}
+
+// String renders "t=12.000000000s warn message".
+func (e LogEvent) String() string {
+	return fmt.Sprintf("t=%v %s %s", e.At, e.Level, e.Message)
+}
+
+// CongestionEvent records a suspected incomplete sample: the mirrored
+// port's Tx+Rx rate exceeded the egress channel's capacity (Section
+// 6.2.2).
+type CongestionEvent struct {
+	At           sim.Time
+	MirroredPort string
+	EgressPort   string
+	// OfferedBps is Mirrored(Tx)+Mirrored(Rx) in bytes/s.
+	OfferedBps float64
+	// CapacityBps is the egress channel's byte rate.
+	CapacityBps float64
+}
+
+// SampleRecord summarizes one capture sample for the bundle.
+type SampleRecord struct {
+	Run, Sample  int
+	MirroredPort string
+	EgressPort   string
+	Start        sim.Time
+	Frames       int64
+	StoredBytes  int64
+	DroppedAtNIC int64
+	CloneDrops   uint64 // drops at the switch's mirror egress
+}
+
+// Bundle is what the coordinator downloads from one site after the
+// sampling phase: compressed pcaps, logs, and per-sample statistics.
+type Bundle struct {
+	Site          string
+	Outcome       Outcome
+	FailureReason string
+	// InstancesRequested/Granted document back-off.
+	InstancesRequested int
+	InstancesGranted   int
+	// CompressedPcaps holds one gzip-compressed pcap per (instance,
+	// mirror-port) capture stream.
+	CompressedPcaps [][]byte
+	Samples         []SampleRecord
+	Congestion      []CongestionEvent
+	Logs            []LogEvent
+	// PortsSampled lists distinct mirrored ports across all cycles.
+	PortsSampled []string
+	// ScaleEvents records nice-factor footprint changes (empty unless
+	// Config.Nice is set).
+	ScaleEvents []ScaleEvent
+}
+
+// DecompressPcaps expands the bundle's capture streams for analysis.
+func (b *Bundle) DecompressPcaps() ([][]byte, error) {
+	out := make([][]byte, 0, len(b.CompressedPcaps))
+	for i, cp := range b.CompressedPcaps {
+		zr, err := gzip.NewReader(bytes.NewReader(cp))
+		if err != nil {
+			return nil, fmt.Errorf("patchwork: bundle pcap %d: %w", i, err)
+		}
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(zr); err != nil {
+			return nil, fmt.Errorf("patchwork: bundle pcap %d: %w", i, err)
+		}
+		if err := zr.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, buf.Bytes())
+	}
+	return out, nil
+}
+
+// siteInstance runs the per-site profiling workflow. One siteInstance
+// manages all listener instances at its site (each listener = 1 VM + 1
+// dual-port dedicated NIC = 2 mirror egress ports).
+type siteInstance struct {
+	cfg    Config
+	site   *testbed.Site
+	store  *telemetry.Store
+	poller *telemetry.Poller
+	kernel *sim.Kernel
+	r      *rng.Source
+
+	slivers []*testbed.Sliver // one per listener (VM + dedicated NIC)
+
+	// egress ports reserved for the listeners' NICs (not mirrorable).
+	egress []string
+	// candidates are the mirrorable ports.
+	candidates []string
+	history    map[string]int
+
+	bundle  Bundle
+	crashed bool
+
+	// capture state per egress port, rebuilt each cycle.
+	engines map[string]*capture.Engine
+	writers map[string]*pcap.Writer
+	bufs    map[string]*bytes.Buffer
+
+	totalStored int64
+
+	done func(Bundle)
+}
+
+// granted reports the current listener count.
+func (si *siteInstance) granted() int { return len(si.slivers) }
+
+// activeEgress returns the egress ports backed by currently-held NICs.
+func (si *siteInstance) activeEgress() []string {
+	n := si.granted() * testbed.PortsPerNIC
+	if n > len(si.egress) {
+		n = len(si.egress)
+	}
+	return si.egress[:n]
+}
+
+// releaseAll yields every held sliver.
+func (si *siteInstance) releaseAll() {
+	for _, sl := range si.slivers {
+		if err := si.site.Release(sl); err != nil {
+			si.logf("error", "teardown: %v", err)
+		}
+	}
+	si.slivers = nil
+}
+
+func (si *siteInstance) logf(level, format string, args ...any) {
+	si.bundle.Logs = append(si.bundle.Logs, LogEvent{
+		At: si.kernel.Now(), Level: level, Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// setup performs discovery, request formulation, and iterative back-off
+// (Section 6.2.1). It returns false when the site run failed.
+func (si *siteInstance) setup() bool {
+	want := si.cfg.InstancesWanted
+	free := si.site.FreeDedicatedNICs()
+	if free < want {
+		want = free
+	}
+	si.bundle.InstancesRequested = si.cfg.InstancesWanted
+	if want == 0 {
+		si.bundle.Outcome = OutcomeFailed
+		si.bundle.FailureReason = "no dedicated NICs available"
+		si.logf("error", "setup: site has no free dedicated NICs")
+		return false
+	}
+	// Iterative back-off: each listener (VM + NIC) is a separate small
+	// slice — the testbed's allocator handles small slices better than
+	// large ones, and per-listener slivers let the nice-factor controller
+	// scale the footprint at runtime.
+	for n := 0; n < want; n++ {
+		req := defaultRequest(fmt.Sprintf("patchwork-%s-%d", si.site.Spec.Name, n), 1)
+		// Patchwork runs its own allocation simulation first so the
+		// testbed's allocator is not burdened with doomed requests.
+		if err := si.site.CanAllocate(si.kernel.Now(), req); err != nil {
+			if testbed.IsResourceExhaustion(err) {
+				si.logf("warn", "setup: backing off at %d instances: %v", n, err)
+				break
+			}
+			si.bundle.Outcome = OutcomeFailed
+			si.bundle.FailureReason = fmt.Sprintf("backend: %v", err)
+			si.logf("error", "setup: backend failure: %v", err)
+			si.releaseAll()
+			return false
+		}
+		sliver, err := si.site.Allocate(si.kernel.Now(), req)
+		if err != nil {
+			si.logf("warn", "setup: allocation raced: %v", err)
+			break
+		}
+		si.slivers = append(si.slivers, sliver)
+	}
+	if len(si.slivers) == 0 {
+		si.bundle.Outcome = OutcomeFailed
+		si.bundle.FailureReason = "resources exhausted after back-off"
+		si.logf("error", "setup: could not allocate even one instance")
+		return false
+	}
+	si.bundle.InstancesGranted = si.granted()
+	si.logf("info", "setup: %d/%d instances allocated", si.granted(), si.cfg.InstancesWanted)
+
+	// Reserve the tail downlink ports as the listeners' NIC attachment
+	// points (mirror egresses); everything else is a candidate. The
+	// reservation covers the configured maximum so runtime scale-up has
+	// ports to grow into.
+	egressCount := si.cfg.InstancesWanted * testbed.PortsPerNIC
+	names := si.site.Switch.PortNames()
+	var downlinks []string
+	for _, n := range names {
+		if p := si.site.Switch.Port(n); p != nil && p.Role == switchsim.RoleDownlink {
+			downlinks = append(downlinks, n)
+		}
+	}
+	if egressCount > len(downlinks) {
+		egressCount = len(downlinks)
+	}
+	si.egress = downlinks[len(downlinks)-egressCount:]
+	reserved := map[string]bool{}
+	for _, e := range si.egress {
+		reserved[e] = true
+	}
+	for _, n := range names {
+		if !reserved[n] {
+			si.candidates = append(si.candidates, n)
+		}
+	}
+	si.history = make(map[string]int)
+	return true
+}
+
+// run executes the sampling phase and schedules completion. done is
+// invoked exactly once with the final bundle.
+func (si *siteInstance) run(done func(Bundle)) {
+	si.done = done
+	if !si.setup() {
+		si.finish()
+		return
+	}
+	if si.r.Bool(si.cfg.CrashProbability) {
+		// The injected "bug in Patchwork": pick a random point mid-run to
+		// crash; the watchdog reports abnormal termination.
+		si.crashed = true
+	}
+	si.cycle(0)
+}
+
+// cycle starts run r: select ports, set up mirrors and engines, take
+// samples, then advance to the next cycle.
+func (si *siteInstance) cycle(runIdx int) {
+	if runIdx >= si.cfg.Runs {
+		si.finish()
+		return
+	}
+	if si.crashed && runIdx >= si.cfg.Runs/2 {
+		si.logf("error", "watchdog: instance terminated abnormally (crash)")
+		si.bundle.Outcome = OutcomeIncomplete
+		if si.bundle.FailureReason == "" {
+			si.bundle.FailureReason = "crashed mid-run"
+		}
+		si.finish()
+		return
+	}
+	si.poller.PollNow()
+	si.applyNicePolicy()
+	egress := si.activeEgress()
+	if len(egress) == 0 {
+		si.logf("warn", "cycle %d: no listeners held, skipping", runIdx)
+		si.kernel.After(si.cfg.SampleInterval, func() { si.cycle(runIdx + 1) })
+		return
+	}
+	ctx := &SelectContext{
+		Site: si.site, Store: si.store,
+		Candidates: si.candidates, History: si.history,
+		Cycle: runIdx, Want: len(egress),
+		Rand: si.r, Window: 2 * si.cfg.SampleInterval,
+	}
+	ports := si.cfg.Selector.SelectPorts(ctx)
+	if len(ports) == 0 {
+		si.logf("warn", "cycle %d: selector returned no ports", runIdx)
+		si.kernel.After(si.cfg.SampleInterval, func() { si.cycle(runIdx + 1) })
+		return
+	}
+	si.logf("info", "cycle %d: mirroring %v", runIdx, ports)
+
+	type mirrorPair struct {
+		mirrored, egress string
+		session          *switchsim.MirrorSession
+	}
+	var pairs []mirrorPair
+	si.engines = make(map[string]*capture.Engine)
+	si.writers = make(map[string]*pcap.Writer)
+	si.bufs = make(map[string]*bytes.Buffer)
+	for i, p := range ports {
+		eg := egress[i%len(egress)]
+		sess, err := si.site.Switch.StartMirror(p, switchsim.DirBoth, eg)
+		if err != nil {
+			si.logf("warn", "cycle %d: mirror %s->%s: %v", runIdx, p, eg, err)
+			continue
+		}
+		si.history[p] = runIdx
+		si.notePortSampled(p)
+
+		buf := &bytes.Buffer{}
+		w, err := pcap.NewWriter(buf, pcap.FileHeader{
+			SnapLen: uint32(si.cfg.TruncateBytes), Nanosecond: true,
+		})
+		if err != nil {
+			si.logf("error", "cycle %d: pcap writer: %v", runIdx, err)
+			si.site.Switch.StopMirror(p)
+			continue
+		}
+		eng, err := capture.NewEngine(si.kernel, capture.Config{
+			Method:  si.cfg.Method,
+			SnapLen: si.cfg.TruncateBytes,
+			Cores:   si.cfg.CaptureCores,
+			Writer:  w,
+		})
+		if err != nil {
+			si.logf("error", "cycle %d: capture engine: %v", runIdx, err)
+			si.site.Switch.StopMirror(p)
+			continue
+		}
+		si.site.Switch.Port(eg).SetReceiver(eng)
+		si.engines[eg] = eng
+		si.writers[eg] = w
+		si.bufs[eg] = buf
+		pairs = append(pairs, mirrorPair{p, eg, sess})
+	}
+
+	// Take SamplesPerRun samples at SampleInterval spacing; each sample
+	// lasts SampleDuration. Between samples the mirrors stay configured
+	// but we snapshot stats per sample boundary.
+	sampleIdx := 0
+	var takeSample func()
+	takeSample = func() {
+		if sampleIdx >= si.cfg.SamplesPerRun {
+			// End of run: tear down mirrors, bundle this cycle's pcaps.
+			for _, mp := range pairs {
+				si.site.Switch.StopMirror(mp.mirrored)
+				si.site.Switch.Port(mp.egress).SetReceiver(nil)
+			}
+			si.harvestCycle()
+			si.kernel.After(si.cfg.SampleInterval, func() { si.cycle(runIdx + 1) })
+			return
+		}
+		start := si.kernel.Now()
+		si.kernel.After(si.cfg.SampleDuration, func() {
+			// Sample ends: snapshot stats and check for switch congestion.
+			si.poller.PollNow()
+			for _, mp := range pairs {
+				eng := si.engines[mp.egress]
+				if eng == nil {
+					continue
+				}
+				rec := SampleRecord{
+					Run: runIdx, Sample: sampleIdx,
+					MirroredPort: mp.mirrored, EgressPort: mp.egress,
+					Start:        start,
+					Frames:       eng.Stats.Captured,
+					StoredBytes:  eng.Stats.StoredBytes,
+					DroppedAtNIC: eng.Stats.Dropped,
+					CloneDrops:   mp.session.CloneDrops,
+				}
+				si.bundle.Samples = append(si.bundle.Samples, rec)
+				si.checkCongestion(mp.mirrored, mp.egress)
+			}
+			si.checkStorage()
+			sampleIdx++
+			gap := si.cfg.SampleInterval - si.cfg.SampleDuration
+			if sampleIdx >= si.cfg.SamplesPerRun {
+				takeSample()
+			} else {
+				si.kernel.After(gap, takeSample)
+			}
+		})
+	}
+	takeSample()
+}
+
+// checkCongestion implements the paper's incomplete-sample detection:
+// query the switch (via telemetry) for the mirrored port's Tx and Rx
+// rates and flag when their sum exceeds the egress channel's capacity.
+func (si *siteInstance) checkCongestion(mirrored, egress string) {
+	rate, ok := si.store.LatestRate(telemetry.PortKey{Switch: si.site.Spec.Name, Port: mirrored})
+	if !ok {
+		return
+	}
+	egPort := si.site.Switch.Port(egress)
+	capacity := float64(egPort.LineRate.BytesPerSecond())
+	offered := rate.TotalBps()
+	if offered > capacity {
+		ev := CongestionEvent{
+			At: si.kernel.Now(), MirroredPort: mirrored, EgressPort: egress,
+			OfferedBps: offered, CapacityBps: capacity,
+		}
+		si.bundle.Congestion = append(si.bundle.Congestion, ev)
+		si.logf("warn", "congestion: %s tx+rx %.0f B/s exceeds egress %s capacity %.0f B/s — sample likely incomplete",
+			mirrored, offered, egress, capacity)
+	}
+}
+
+// checkStorage is the watchdog's out-of-storage check: a VM that fills
+// its allocation crashes the instance (the paper's example of abnormal
+// termination).
+func (si *siteInstance) checkStorage() {
+	var stored int64
+	for _, eng := range si.engines {
+		stored += eng.Stats.StoredBytes
+	}
+	if si.totalStored+stored > si.cfg.StorageLimitBytes {
+		si.logf("error", "watchdog: VM storage exhausted (%d bytes captured)", si.totalStored+stored)
+		si.bundle.Outcome = OutcomeIncomplete
+		si.bundle.FailureReason = "out of storage"
+		si.crashed = true
+	}
+}
+
+// harvestCycle compresses each engine's pcap stream into the bundle.
+func (si *siteInstance) harvestCycle() {
+	for eg, eng := range si.engines {
+		eng.Flush()
+		buf := si.bufs[eg]
+		if buf == nil || buf.Len() == 0 {
+			continue
+		}
+		si.totalStored += eng.Stats.StoredBytes
+		var z bytes.Buffer
+		zw := gzip.NewWriter(&z)
+		if _, err := zw.Write(buf.Bytes()); err != nil {
+			si.logf("error", "gather: compressing pcap: %v", err)
+			continue
+		}
+		if err := zw.Close(); err != nil {
+			si.logf("error", "gather: closing gzip: %v", err)
+			continue
+		}
+		si.bundle.CompressedPcaps = append(si.bundle.CompressedPcaps, z.Bytes())
+	}
+	si.engines, si.writers, si.bufs = nil, nil, nil
+}
+
+func (si *siteInstance) notePortSampled(p string) {
+	for _, seen := range si.bundle.PortsSampled {
+		if seen == p {
+			return
+		}
+	}
+	si.bundle.PortsSampled = append(si.bundle.PortsSampled, p)
+}
+
+// finish yields resources back to the testbed and delivers the bundle.
+func (si *siteInstance) finish() {
+	si.releaseAll()
+	if si.bundle.Outcome == OutcomeSuccess && si.bundle.InstancesGranted < si.bundle.InstancesRequested &&
+		si.bundle.InstancesGranted > 0 {
+		si.bundle.Outcome = OutcomeDegraded
+	}
+	si.logf("info", "run complete: outcome=%v", si.bundle.Outcome)
+	done := si.done
+	si.done = nil
+	if done != nil {
+		done(si.bundle)
+	}
+}

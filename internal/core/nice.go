@@ -1,0 +1,101 @@
+package patchwork
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// NicePolicy implements the paper's future-work "nice factor" (Sections
+// 6.3 and 9): a controller that scales Patchwork's resource footprint at
+// runtime according to what the testbed has available, so the profiler
+// does not impede the experiments it exists to observe.
+//
+// The scale-down signal is the one the paper identifies as the open
+// problem: Patchwork cannot know directly when other researchers are
+// being starved, so the policy uses free dedicated NICs at the site as
+// the proxy — if few remain, Patchwork yields one of its own; when
+// plenty are free again, it grows back toward its configured maximum.
+type NicePolicy struct {
+	// ScaleDownFreeNICs: when the site's free dedicated NICs fall to or
+	// below this value and Patchwork holds more than MinInstances, it
+	// releases one listener at the next cycle boundary.
+	ScaleDownFreeNICs int
+	// ScaleUpFreeNICs: when free NICs rise to or above this value,
+	// Patchwork re-acquires one listener (never exceeding the configured
+	// InstancesWanted).
+	ScaleUpFreeNICs int
+	// MinInstances is the floor Patchwork keeps even under pressure
+	// (default 1 — dropping to zero would end the profile).
+	MinInstances int
+}
+
+// Validate checks the policy's thresholds.
+func (p *NicePolicy) Validate() error {
+	if p.ScaleDownFreeNICs < 0 || p.ScaleUpFreeNICs <= p.ScaleDownFreeNICs {
+		return fmt.Errorf("patchwork: nice policy thresholds %d/%d invalid (need down < up)",
+			p.ScaleDownFreeNICs, p.ScaleUpFreeNICs)
+	}
+	return nil
+}
+
+func (p *NicePolicy) minInstances() int {
+	if p.MinInstances < 1 {
+		return 1
+	}
+	return p.MinInstances
+}
+
+// ScaleEvent records one runtime footprint change.
+type ScaleEvent struct {
+	At       sim.Time
+	From, To int
+	Reason   string
+}
+
+// String renders "t=... 2->1 (site down to 0 free NICs)".
+func (e ScaleEvent) String() string {
+	return fmt.Sprintf("t=%v %d->%d (%s)", e.At, e.From, e.To, e.Reason)
+}
+
+// applyNicePolicy runs at each cycle boundary. A nil policy is a no-op
+// (the deployed system's fixed-footprint behaviour).
+func (si *siteInstance) applyNicePolicy() {
+	p := si.cfg.Nice
+	if p == nil {
+		return
+	}
+	free := si.site.FreeDedicatedNICs()
+	now := si.kernel.Now()
+	switch {
+	case free <= p.ScaleDownFreeNICs && si.granted() > p.minInstances():
+		// Yield a listener: release the most recently acquired sliver.
+		last := si.slivers[len(si.slivers)-1]
+		if err := si.site.Release(last); err != nil {
+			si.logf("error", "nice: releasing listener: %v", err)
+			return
+		}
+		from := len(si.slivers)
+		si.slivers = si.slivers[:len(si.slivers)-1]
+		ev := ScaleEvent{At: now, From: from, To: si.granted(),
+			Reason: fmt.Sprintf("site down to %d free NICs", free)}
+		si.bundle.ScaleEvents = append(si.bundle.ScaleEvents, ev)
+		si.logf("info", "nice: scaled down %s", ev)
+	case free >= p.ScaleUpFreeNICs && si.granted() < si.cfg.InstancesWanted:
+		req := defaultRequest(fmt.Sprintf("patchwork-%s-nice", si.site.Spec.Name), 1)
+		sliver, err := si.site.Allocate(now, req)
+		if err != nil {
+			if !testbed.IsResourceExhaustion(err) {
+				si.logf("warn", "nice: scale-up failed: %v", err)
+			}
+			return
+		}
+		from := len(si.slivers)
+		si.slivers = append(si.slivers, sliver)
+		ev := ScaleEvent{At: now, From: from, To: si.granted(),
+			Reason: fmt.Sprintf("site back to %d free NICs", free)}
+		si.bundle.ScaleEvents = append(si.bundle.ScaleEvents, ev)
+		si.logf("info", "nice: scaled up %s", ev)
+	}
+}

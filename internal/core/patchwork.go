@@ -1,0 +1,186 @@
+// Package patchwork implements the paper's primary contribution: a
+// user-deployed traffic capture and analysis platform for a federated
+// testbed. To the testbed, Patchwork looks like any other experiment: it
+// allocates VMs and dedicated NICs through the slice allocator, sets up
+// port mirrors at each site's switch, captures (truncated) traffic with
+// one of three capture methods, detects switch congestion from telemetry,
+// and bundles compressed pcaps and logs for the coordinator to gather.
+//
+// The package mirrors the paper's four-phase workflow (Section 6.2):
+// Setup (discovery, request formulation, iterative back-off), Sampling
+// (runs of samples with port cycling), Gathering (compressed bundles),
+// and Analysis (performed offline by the analysis package).
+package patchwork
+
+import (
+	"fmt"
+
+	"repro/internal/capture"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Mode selects whose traffic Patchwork observes.
+type Mode uint8
+
+// Modes ("an instance of the zero-one-infinity rule").
+const (
+	// SingleExperiment profiles only the invoking user's slice: Patchwork
+	// runs on the sites where that slice holds resources.
+	SingleExperiment Mode = iota
+	// AllExperiment profiles every experiment on the testbed. This
+	// requires a discretionary permission from the testbed operator.
+	AllExperiment
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == AllExperiment {
+		return "all-experiment"
+	}
+	return "single-experiment"
+}
+
+// Config parameterizes one profiling run. Zero values take the defaults
+// from the paper's deployment (Section 8.2): 20-second samples at
+// 5-minute intervals, 200-byte truncation.
+type Config struct {
+	// Mode selects single- or all-experiment profiling.
+	Mode Mode
+	// Sites restricts profiling to these sites. Empty means every site in
+	// all-experiment mode; in single-experiment mode it is the user's
+	// slice sites and must be non-empty.
+	Sites []string
+	// SampleDuration is the length of one capture sample (default 20 s).
+	SampleDuration sim.Duration
+	// SampleInterval is the spacing between sample starts (default 5 min).
+	SampleInterval sim.Duration
+	// SamplesPerRun is the number of samples taken between port cycles
+	// (default 3).
+	SamplesPerRun int
+	// Runs is the number of cycles (default 4).
+	Runs int
+	// TruncateBytes is the stored snap length (default 200).
+	TruncateBytes int
+	// Method is the capture implementation (default tcpdump, as in the
+	// deployed system; DPDK and FPGA+DPDK available for line rate).
+	Method capture.Method
+	// CaptureCores is the DPDK worker core count (default 2, matching
+	// the listener VM request).
+	CaptureCores int
+	// InstancesWanted is the number of listener instances (VM + dedicated
+	// NIC) requested per site before back-off (default 2).
+	InstancesWanted int
+	// Selector picks which ports to mirror each cycle; nil selects the
+	// default busiest-bias heuristic with N = 3.
+	Selector PortSelector
+	// Seed drives all stochastic decisions.
+	Seed uint64
+	// CrashProbability injects the "bug in Patchwork" failure class: each
+	// site run crashes mid-sampling with this probability (default 0).
+	CrashProbability float64
+	// StorageLimitBytes caps captured bytes per instance; exceeding it
+	// crashes the instance (watchdog catches it). Zero means the
+	// allocated VM storage (100 GB).
+	StorageLimitBytes int64
+	// Nice enables runtime footprint scaling (the paper's future-work
+	// "nice factor"); nil keeps the deployed system's fixed footprint.
+	Nice *NicePolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.SampleDuration == 0 {
+		c.SampleDuration = 20 * sim.Second
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 5 * sim.Minute
+	}
+	if c.SampleInterval < c.SampleDuration {
+		c.SampleInterval = c.SampleDuration
+	}
+	if c.SamplesPerRun == 0 {
+		c.SamplesPerRun = 3
+	}
+	if c.Runs == 0 {
+		c.Runs = 4
+	}
+	if c.TruncateBytes == 0 {
+		c.TruncateBytes = 200
+	}
+	if c.CaptureCores == 0 {
+		c.CaptureCores = 2
+	}
+	if c.InstancesWanted == 0 {
+		c.InstancesWanted = 2
+	}
+	if c.Selector == nil {
+		c.Selector = &BusiestBiasSelector{N: 3}
+	}
+	if c.StorageLimitBytes == 0 {
+		c.StorageLimitBytes = 100 << 30
+	}
+	return c
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.Mode == SingleExperiment && len(c.Sites) == 0 {
+		return fmt.Errorf("patchwork: single-experiment mode requires the slice's sites")
+	}
+	if c.SamplesPerRun < 0 || c.Runs < 0 || c.TruncateBytes < 0 {
+		return fmt.Errorf("patchwork: negative sampling parameters")
+	}
+	if c.CrashProbability < 0 || c.CrashProbability > 1 {
+		return fmt.Errorf("patchwork: crash probability %v out of range", c.CrashProbability)
+	}
+	if c.Nice != nil {
+		if err := c.Nice.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outcome classifies one site run, matching the categories of the
+// paper's Fig. 10.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomeSuccess: all requested instances ran to completion.
+	OutcomeSuccess Outcome = iota
+	// OutcomeDegraded: back-off reduced the instance count but profiling
+	// completed.
+	OutcomeDegraded
+	// OutcomeFailed: no instances could be allocated (resource shortage
+	// or back-end fault).
+	OutcomeFailed
+	// OutcomeIncomplete: Patchwork crashed mid-run (the watchdog
+	// reported abnormal termination).
+	OutcomeIncomplete
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeIncomplete:
+		return "incomplete"
+	default:
+		return fmt.Sprintf("Outcome(%d)", uint8(o))
+	}
+}
+
+// defaultRequest builds the slice request for n listener instances.
+func defaultRequest(name string, n int) testbed.SliceRequest {
+	req := testbed.SliceRequest{Name: name}
+	for i := 0; i < n; i++ {
+		req.VMs = append(req.VMs, testbed.DefaultListenerVM())
+	}
+	return req
+}

@@ -1,0 +1,145 @@
+package patchwork
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+)
+
+// MirrorScheduler implements the paper's design-limitation #1 remedy
+// (Section 6.3): "Sharing could be achieved by having an intermediate
+// layer that schedules the use of mirrored ports on behalf of more than
+// one FABRIC user." FABRIC allows a switch port to be mirrored by only
+// one session at a time, so without this layer a second user's request
+// simply fails. The scheduler time-multiplexes the port: requests queue
+// per mirrored port and are granted in FIFO order, each holding the
+// mirror for its requested duration.
+type MirrorScheduler struct {
+	kernel *sim.Kernel
+	sw     *switchsim.Switch
+
+	queues map[string][]*MirrorLease // pending, per mirrored port
+	active map[string]*MirrorLease
+
+	// Stats.
+	Granted int
+	Queued  int
+}
+
+// MirrorLease is one user's turn on a mirrored port.
+type MirrorLease struct {
+	User     string
+	Mirrored string
+	Dirs     switchsim.Direction
+	Egress   string
+	Duration sim.Duration
+	// OnGrant fires when the mirror session starts; the session is valid
+	// until OnRelease fires.
+	OnGrant func(sess *switchsim.MirrorSession)
+	// OnRelease fires when the lease's time is up and the mirror has
+	// been torn down.
+	OnRelease func()
+
+	granted   sim.Time
+	cancelled bool
+}
+
+// NewMirrorScheduler builds a scheduler for one switch. All mirror
+// set-up on that switch should flow through it; direct StartMirror
+// calls by other users will conflict exactly as they do on FABRIC.
+func NewMirrorScheduler(k *sim.Kernel, sw *switchsim.Switch) *MirrorScheduler {
+	return &MirrorScheduler{
+		kernel: k,
+		sw:     sw,
+		queues: make(map[string][]*MirrorLease),
+		active: make(map[string]*MirrorLease),
+	}
+}
+
+// Request enqueues a lease. It is granted immediately when the port is
+// free, otherwise when the current holder's time expires. Returns an
+// error only for structurally invalid requests.
+func (ms *MirrorScheduler) Request(l *MirrorLease) error {
+	if l.Mirrored == "" || l.Egress == "" || l.Duration <= 0 {
+		return fmt.Errorf("patchwork: invalid mirror lease %+v", l)
+	}
+	if ms.sw.Port(l.Mirrored) == nil || ms.sw.Port(l.Egress) == nil {
+		return fmt.Errorf("patchwork: lease references unknown port (%s->%s)", l.Mirrored, l.Egress)
+	}
+	if _, busy := ms.active[l.Mirrored]; busy || len(ms.queues[l.Mirrored]) > 0 {
+		ms.Queued++
+		ms.queues[l.Mirrored] = append(ms.queues[l.Mirrored], l)
+		return nil
+	}
+	return ms.grant(l)
+}
+
+// Cancel removes a pending lease from its queue. Active leases run to
+// completion (mirrors are cheap to hold; mid-lease revocation is not
+// something the underlying testbed API offers). It reports whether the
+// lease was still pending.
+func (ms *MirrorScheduler) Cancel(l *MirrorLease) bool {
+	q := ms.queues[l.Mirrored]
+	for i, p := range q {
+		if p == l {
+			ms.queues[l.Mirrored] = append(q[:i], q[i+1:]...)
+			l.cancelled = true
+			return true
+		}
+	}
+	return false
+}
+
+// PendingFor reports the queue length for a mirrored port.
+func (ms *MirrorScheduler) PendingFor(port string) int { return len(ms.queues[port]) }
+
+// ActiveUser reports who currently holds the port's mirror ("" if free).
+func (ms *MirrorScheduler) ActiveUser(port string) string {
+	if l := ms.active[port]; l != nil {
+		return l.User
+	}
+	return ""
+}
+
+func (ms *MirrorScheduler) grant(l *MirrorLease) error {
+	sess, err := ms.sw.StartMirror(l.Mirrored, l.Dirs, l.Egress)
+	if err != nil {
+		// The egress port may be busy with another user's session even
+		// though the mirrored port is free; surface the conflict.
+		return fmt.Errorf("patchwork: granting lease for %s: %w", l.User, err)
+	}
+	ms.active[l.Mirrored] = l
+	l.granted = ms.kernel.Now()
+	ms.Granted++
+	if l.OnGrant != nil {
+		l.OnGrant(sess)
+	}
+	ms.kernel.After(l.Duration, func() { ms.release(l) })
+	return nil
+}
+
+func (ms *MirrorScheduler) release(l *MirrorLease) {
+	ms.sw.StopMirror(l.Mirrored)
+	delete(ms.active, l.Mirrored)
+	if l.OnRelease != nil {
+		l.OnRelease()
+	}
+	// Grant the next pending lease for this port, skipping ones whose
+	// egress is currently held by another active session.
+	q := ms.queues[l.Mirrored]
+	for len(q) > 0 {
+		next := q[0]
+		q = q[1:]
+		ms.queues[l.Mirrored] = q
+		if next.cancelled {
+			continue
+		}
+		if err := ms.grant(next); err != nil {
+			// Egress conflict: requeue at the back and stop for now; it
+			// will be retried when the conflicting session releases.
+			ms.queues[l.Mirrored] = append(ms.queues[l.Mirrored], next)
+		}
+		break
+	}
+}

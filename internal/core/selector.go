@@ -1,0 +1,187 @@
+package patchwork
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+)
+
+// SelectContext carries everything a port-selection heuristic may
+// consult when choosing the next cycle's mirrored ports.
+type SelectContext struct {
+	// Site is the site being profiled.
+	Site *testbed.Site
+	// Store is the MFlib-style telemetry store (rates per port).
+	Store *telemetry.Store
+	// Candidates are the mirrorable ports (the instance's own egress
+	// ports are excluded).
+	Candidates []string
+	// History maps port name to the cycle index when it was last
+	// sampled (-1 / absent = never).
+	History map[string]int
+	// Cycle is the current cycle index (0-based).
+	Cycle int
+	// Want is the number of ports to select (= free mirror egresses).
+	Want int
+	// Rand is the run's deterministic randomness.
+	Rand *rng.Source
+	// Window is the telemetry lookback for rate queries.
+	Window sim.Duration
+}
+
+// PortSelector chooses which switch ports to mirror in a cycle. Users
+// can plug their own heuristics (Section 6.2.2: "Users can also add
+// their own heuristics").
+type PortSelector interface {
+	// SelectPorts returns up to ctx.Want candidate ports to mirror.
+	SelectPorts(ctx *SelectContext) []string
+}
+
+// BusiestBiasSelector is Patchwork's default: "busiest ports bias, 1/n
+// other non-idle port" — during every n-1 cycles it picks a random
+// non-idle port, and during the other cycles it picks the busiest port
+// that has not been sampled during the last n cycles. The heuristic
+// provides fair sampling across all non-idle ports.
+type BusiestBiasSelector struct {
+	// N is the heuristic's period (default 3).
+	N int
+}
+
+// SelectPorts implements PortSelector.
+func (s *BusiestBiasSelector) SelectPorts(ctx *SelectContext) []string {
+	n := s.N
+	if n < 2 {
+		n = 3
+	}
+	nonIdle := nonIdleCandidates(ctx)
+	if len(nonIdle) == 0 {
+		// Nothing measurable yet (first cycle): sample random candidates.
+		return randomSubset(ctx.Rand, ctx.Candidates, ctx.Want)
+	}
+	var out []string
+	used := map[string]bool{}
+	busiestTurn := ctx.Cycle%n == 0
+	for len(out) < ctx.Want {
+		var pick string
+		if busiestTurn {
+			// Busiest port not sampled during the last n cycles.
+			for _, pr := range nonIdle {
+				p := pr.Key.Port
+				if used[p] {
+					continue
+				}
+				if last, ok := ctx.History[p]; ok && ctx.Cycle-last <= n {
+					continue
+				}
+				pick = p
+				break
+			}
+			busiestTurn = false // at most one busiest pick per cycle
+		}
+		if pick == "" {
+			// Random non-idle port.
+			perm := ctx.Rand.Perm(len(nonIdle))
+			for _, i := range perm {
+				p := nonIdle[i].Key.Port
+				if !used[p] {
+					pick = p
+					break
+				}
+			}
+		}
+		if pick == "" {
+			break // all non-idle ports already chosen
+		}
+		used[pick] = true
+		out = append(out, pick)
+	}
+	return out
+}
+
+// FixedSelector always mirrors the same ports (no cycling).
+type FixedSelector struct {
+	Ports []string
+}
+
+// SelectPorts implements PortSelector.
+func (s *FixedSelector) SelectPorts(ctx *SelectContext) []string {
+	var out []string
+	allowed := map[string]bool{}
+	for _, c := range ctx.Candidates {
+		allowed[c] = true
+	}
+	for _, p := range s.Ports {
+		if allowed[p] && len(out) < ctx.Want {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// UplinkSelector samples only uplink ports, cycling through them.
+type UplinkSelector struct{}
+
+// SelectPorts implements PortSelector.
+func (s *UplinkSelector) SelectPorts(ctx *SelectContext) []string {
+	var uplinks []string
+	for _, name := range ctx.Candidates {
+		if p := ctx.Site.Switch.Port(name); p != nil && p.Role == switchsim.RoleUplink {
+			uplinks = append(uplinks, name)
+		}
+	}
+	return rotate(uplinks, ctx.Cycle, ctx.Want)
+}
+
+// AllPortsSelector cycles through every candidate port, idle ones
+// included.
+type AllPortsSelector struct{}
+
+// SelectPorts implements PortSelector.
+func (s *AllPortsSelector) SelectPorts(ctx *SelectContext) []string {
+	return rotate(ctx.Candidates, ctx.Cycle, ctx.Want)
+}
+
+// rotate returns want entries starting at offset cycle*want, wrapping.
+func rotate(ports []string, cycle, want int) []string {
+	if len(ports) == 0 || want <= 0 {
+		return nil
+	}
+	if want > len(ports) {
+		want = len(ports)
+	}
+	start := (cycle * want) % len(ports)
+	out := make([]string, 0, want)
+	for i := 0; i < want; i++ {
+		out = append(out, ports[(start+i)%len(ports)])
+	}
+	return out
+}
+
+func nonIdleCandidates(ctx *SelectContext) []telemetry.PortRate {
+	allowed := map[string]bool{}
+	for _, c := range ctx.Candidates {
+		allowed[c] = true
+	}
+	all := ctx.Store.NonIdlePorts(ctx.Site.Spec.Name, ctx.Window)
+	out := all[:0]
+	for _, pr := range all {
+		if allowed[pr.Key.Port] {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+func randomSubset(r *rng.Source, ports []string, want int) []string {
+	if want >= len(ports) {
+		return append([]string(nil), ports...)
+	}
+	perm := r.Perm(len(ports))
+	out := make([]string, 0, want)
+	for _, i := range perm[:want] {
+		out = append(out, ports[i])
+	}
+	return out
+}

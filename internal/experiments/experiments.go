@@ -1,0 +1,173 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (and the Section 5 study figures) from the simulated
+// substrates. Each experiment is a named function producing a Result —
+// a table of rows plus notes recording the paper's reported values next
+// to the measured ones, so EXPERIMENTS.md can be audited against the
+// harness output.
+//
+// Absolute numbers are not expected to match a hardware testbed; the
+// reproduction target is the shape of each result (who wins, by what
+// rough factor, where the crossovers fall).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier, e.g. "fig2", "table1".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows is the table body.
+	Rows [][]string
+	// Notes record paper-vs-measured comparisons and caveats.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (r *Result) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes an aligned text table with the title and notes.
+func (r *Result) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb.WriteByte(' ')
+				}
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+		return err
+	}
+	if err := writeRow(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits the result as CSV (header + rows; notes as trailing
+// comment-style rows).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Runner regenerates one experiment.
+type Runner func(seed uint64) (*Result, error)
+
+// registry maps experiment ids to runners, populated by the sibling
+// files' init functions.
+var registry = map[string]Runner{}
+
+func register(id string, fn Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = fn
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the named experiment.
+func Run(id string, seed uint64) (*Result, error) {
+	fn, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return fn(seed)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(seed uint64) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id, seed)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,432 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, id string) *Result {
+	t.Helper()
+	r, err := Run(id, 1)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", id, err)
+	}
+	if r.ID != id {
+		t.Errorf("result id = %q", r.ID)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	var buf bytes.Buffer
+	if err := r.Render(&buf); err != nil {
+		t.Fatalf("%s render: %v", id, err)
+	}
+	if !strings.Contains(buf.String(), id) {
+		t.Errorf("%s render missing id", id)
+	}
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("%s CSV: %v", id, err)
+	}
+	return r
+}
+
+func cell(t *testing.T, r *Result, row, col int) string {
+	t.Helper()
+	if row >= len(r.Rows) || col >= len(r.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d) in %d rows", r.ID, row, col, len(r.Rows))
+	}
+	return r.Rows[row][col]
+}
+
+func cellFloat(t *testing.T, r *Result, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell(t, r, row, col), "%"), 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", r.ID, row, col, cell(t, r, row, col))
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablation-cycling", "ablation-methods", "ablation-mirror-direction",
+		"ablation-netflow", "ablation-thresholds", "ablation-truncation",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig2", "fig3", "fig4", "fig5", "fig6", "framesizes",
+		"portutil", "table1", "table2", "tcpdump",
+	}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("ids = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestFig2Shape(t *testing.T) {
+	r := run(t, "fig2")
+	if len(r.Rows) != 28 {
+		t.Errorf("sites = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		down, _ := strconv.Atoi(row[1])
+		up, _ := strconv.Atoi(row[2])
+		if down <= up {
+			t.Errorf("%s: downlinks %d <= uplinks %d", row[0], down, up)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	r := run(t, "fig3")
+	single := cellFloat(t, r, 0, 2)
+	if single < 60 || single > 72 {
+		t.Errorf("single-site %% = %v, want ~66.5", single)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r := run(t, "fig4")
+	// Find the 24h row.
+	for _, row := range r.Rows {
+		if row[0] == "24h" {
+			v, _ := strconv.ParseFloat(row[1], 64)
+			if v < 0.72 || v > 0.78 {
+				t.Errorf("P(<=24h) = %v, want ~0.75", v)
+			}
+			return
+		}
+	}
+	t.Fatal("no 24h row")
+}
+
+func TestFig5Shape(t *testing.T) {
+	r := run(t, "fig5")
+	mean := cellFloat(t, r, 0, 1)
+	std := cellFloat(t, r, 1, 1)
+	max := cellFloat(t, r, 2, 1)
+	if mean < 65 || mean > 110 {
+		t.Errorf("mean = %v, want ~85", mean)
+	}
+	if std < 30 || std > 85 {
+		t.Errorf("stddev = %v, want ~52", std)
+	}
+	if max < 170 || max > 450 {
+		t.Errorf("max = %v, want ~272", max)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r := run(t, "fig6")
+	if len(r.Rows) != 52 {
+		t.Fatalf("weeks = %d", len(r.Rows))
+	}
+	gaps := 0
+	for _, row := range r.Rows {
+		if row[2] == "true" {
+			gaps++
+		}
+	}
+	if gaps != 3 {
+		t.Errorf("gap weeks = %d, want 3", gaps)
+	}
+	// The notes carry the peak calibration.
+	joined := strings.Join(r.Notes, " ")
+	if !strings.Contains(joined, "3.968") {
+		t.Errorf("peak note missing: %v", r.Notes)
+	}
+}
+
+func TestTcpdumpShape(t *testing.T) {
+	r := run(t, "tcpdump")
+	// Rows are 6..12 Gbps; loss must be ~0 at 8 and substantial at 11.
+	var loss8, loss11 float64 = -1, -1
+	for _, row := range r.Rows {
+		switch row[0] {
+		case "8Gbps":
+			loss8, _ = strconv.ParseFloat(row[1], 64)
+		case "11Gbps":
+			loss11, _ = strconv.ParseFloat(row[1], 64)
+		}
+	}
+	if loss8 != 0 {
+		t.Errorf("loss@8G = %v", loss8)
+	}
+	if loss11 < 5 {
+		t.Errorf("loss@11G = %v, want substantial", loss11)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := run(t, "table1")
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Every paper operating point must be feasible within 15 cores with
+	// loss < 1%.
+	for _, row := range r.Rows {
+		if row[3] == "infeasible<=15" {
+			t.Errorf("row %v infeasible", row)
+			continue
+		}
+		loss, _ := strconv.ParseFloat(row[4], 64)
+		if loss >= 1 {
+			t.Errorf("row %v loss = %v", row, loss)
+		}
+	}
+}
+
+func TestTable2NeedsFewerCores(t *testing.T) {
+	t1 := run(t, "table1")
+	t2 := run(t, "table2")
+	// Compare the 1514B@100Gbps rows: 64B truncation needs fewer cores.
+	c1, _ := strconv.Atoi(cell(t, t1, 0, 3))
+	c2, _ := strconv.Atoi(cell(t, t2, 0, 3))
+	if c2 >= c1 {
+		t.Errorf("64B trunc cores (%d) should beat 200B trunc cores (%d)", c2, c1)
+	}
+	// 512B@100Gbps: feasible at 64B truncation.
+	if cell(t, t2, 2, 3) == "infeasible<=15" {
+		t.Error("512B@100G/64B should be feasible")
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	r := run(t, "fig14")
+	if len(r.Rows) != 25 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// At 21% cache usage the 10:20 sum must dwarf the 20:50 sum.
+	var tight, wide float64
+	for _, row := range r.Rows {
+		if row[0] == "21" {
+			tight, _ = strconv.ParseFloat(row[1], 64)
+			wide, _ = strconv.ParseFloat(row[2], 64)
+		}
+	}
+	if tight <= 0 {
+		t.Fatal("no 10:20 latency at 21%")
+	}
+	if wide*50 > tight {
+		t.Errorf("10:20 (%v ms) should be orders of magnitude above 20:50 (%v ms)", tight, wide)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	r := run(t, "fig10")
+	var success, failed float64
+	var total int
+	for _, row := range r.Rows {
+		n, _ := strconv.Atoi(row[1])
+		total += n
+		switch row[0] {
+		case "success":
+			success = cellFloat(t, r, 0, 2)
+		case "failed":
+			failed, _ = strconv.ParseFloat(strings.TrimSuffix(row[2], "%"), 64)
+		}
+	}
+	if total != 96 { // 16 runs x 6 sites
+		t.Errorf("site runs = %d", total)
+	}
+	if success < 60 || success > 95 {
+		t.Errorf("success = %v%%, want ~79%%", success)
+	}
+	if failed < 5 || failed > 40 {
+		t.Errorf("failed = %v%%, want ~20%%", failed)
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := run(t, "fig11")
+	if len(r.Rows) != profileCorpusSites {
+		t.Fatalf("sites = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		depth, _ := strconv.Atoi(row[2])
+		if depth < 5 || depth > 12 {
+			t.Errorf("%s depth = %d, want 5-12", row[0], depth)
+		}
+	}
+	// Diversity: the spread between most- and least-diverse sites is wide.
+	hi, _ := strconv.Atoi(cell(t, r, 0, 1))
+	lo, _ := strconv.Atoi(cell(t, r, len(r.Rows)-1, 1))
+	if hi-lo < 4 {
+		t.Errorf("header diversity spread = %d-%d", hi, lo)
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := run(t, "fig12")
+	get := func(name string) float64 {
+		for _, row := range r.Rows {
+			if row[0] == name {
+				v, _ := strconv.ParseFloat(row[1], 64)
+				return v
+			}
+		}
+		return -1
+	}
+	if eth := get("Ethernet"); eth <= 100 {
+		t.Errorf("Ethernet = %v, want >100", eth)
+	}
+	ip4, ip6 := get("IPv4"), get("IPv6")
+	if ip4 < 60 {
+		t.Errorf("IPv4 = %v", ip4)
+	}
+	if ip6 < 0.3 || ip6 > 6 {
+		t.Errorf("IPv6 = %v, want small but present (~1.93)", ip6)
+	}
+	if tcp, udp := get("TCP"), get("UDP"); tcp <= udp {
+		t.Errorf("TCP (%v) should dominate UDP (%v)", tcp, udp)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := run(t, "fig13")
+	// Low buckets dominate.
+	low, high := 0, 0
+	for i, row := range r.Rows {
+		n, _ := strconv.Atoi(row[1])
+		if i <= 3 {
+			low += n
+		} else {
+			high += n
+		}
+	}
+	if low <= high {
+		t.Errorf("flow counts not concentrated low: low=%d high=%d", low, high)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r := run(t, "fig15")
+	if len(r.Rows) != profileCorpusSites {
+		t.Fatalf("sites = %d", len(r.Rows))
+	}
+	jumboCol := len(r.Header) - 1
+	variety := map[bool]int{}
+	for _, row := range r.Rows {
+		j, _ := strconv.ParseFloat(row[jumboCol], 64)
+		variety[j > 50]++
+	}
+	if variety[true] == 0 || variety[false] == 0 {
+		t.Errorf("no site variety in jumbo share: %v", variety)
+	}
+}
+
+func TestFrameSizesShape(t *testing.T) {
+	r := run(t, "framesizes")
+	get := func(bucket string) float64 {
+		for _, row := range r.Rows {
+			if row[0] == bucket {
+				v, _ := strconv.ParseFloat(row[2], 64)
+				return v
+			}
+		}
+		return -1
+	}
+	jumbo := get("1519-2047")
+	acks := get("65-127")
+	if jumbo < 40 {
+		t.Errorf("1519-2047 = %v%%, should dominate (paper 74.7%%)", jumbo)
+	}
+	if acks < 5 {
+		t.Errorf("65-127 = %v%%, want a substantial ACK share (paper 14.15%%)", acks)
+	}
+	if jumbo <= acks {
+		t.Error("jumbo should exceed ACK share")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cyc := run(t, "ablation-cycling")
+	if len(cyc.Rows) != 4 {
+		t.Errorf("cycling rows = %d", len(cyc.Rows))
+	}
+	tr := run(t, "ablation-truncation")
+	first, _ := strconv.ParseFloat(cell(t, tr, 0, 1), 64)
+	last, _ := strconv.ParseFloat(cell(t, tr, len(tr.Rows)-1, 1), 64)
+	if last <= first {
+		t.Errorf("loss should grow with snaplen: %v -> %v", first, last)
+	}
+	th := run(t, "ablation-thresholds")
+	if cell(t, th, 0, 1) == ">10" {
+		t.Error("10:20 should stall within 10s")
+	}
+	md := run(t, "ablation-mirror-direction")
+	bothLoss, _ := strconv.ParseFloat(cell(t, md, 0, 3), 64)
+	rxLoss, _ := strconv.ParseFloat(cell(t, md, 1, 3), 64)
+	if bothLoss < 30 {
+		t.Errorf("both-direction loss = %v, want ~50", bothLoss)
+	}
+	if rxLoss != 0 {
+		t.Errorf("rx-only loss = %v, want 0", rxLoss)
+	}
+	me := run(t, "ablation-methods")
+	tcpdumpLoss, _ := strconv.ParseFloat(cell(t, me, 0, 1), 64)
+	dpdkLoss, _ := strconv.ParseFloat(cell(t, me, 1, 1), 64)
+	if tcpdumpLoss <= dpdkLoss {
+		t.Errorf("tcpdump (%v%%) should lose more than DPDK (%v%%) at 20G", tcpdumpLoss, dpdkLoss)
+	}
+}
+
+func TestAblationNetflowShape(t *testing.T) {
+	r := run(t, "ablation-netflow")
+	nf, _ := strconv.Atoi(cell(t, r, 0, 1))
+	pw, _ := strconv.Atoi(cell(t, r, 0, 2))
+	if nf <= 0 || pw < nf*18/10 {
+		t.Errorf("collision not visible: netflow=%d patchwork=%d (want ~2x)", nf, pw)
+	}
+	encap, _ := strconv.Atoi(cell(t, r, 2, 2))
+	if encap < 3 {
+		t.Errorf("encapsulation patterns = %d", encap)
+	}
+}
+
+func TestPortUtilShape(t *testing.T) {
+	r := run(t, "portutil")
+	var median, p100 float64
+	for _, row := range r.Rows {
+		switch row[0] {
+		case "p50":
+			median, _ = strconv.ParseFloat(row[1], 64)
+		case "p100":
+			p100, _ = strconv.ParseFloat(row[1], 64)
+		}
+	}
+	if median < 30 || median > 46 {
+		t.Errorf("median utilization = %v%%, want ~38%%", median)
+	}
+	if p100 != 100 {
+		t.Errorf("max utilization = %v%%, want line rate", p100)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "x", Title: "t", Header: []string{"a", "b"}}
+	r.AddRow(1, 2.50)
+	if r.Rows[0][1] != "2.5" {
+		t.Errorf("float formatting = %q", r.Rows[0][1])
+	}
+	r.Notef("n=%d", 7)
+	if r.Notes[0] != "n=7" {
+		t.Errorf("note = %q", r.Notes[0])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "a,b\n1,2.5\n") {
+		t.Errorf("csv = %q", buf.String())
+	}
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/binary"
+
+	"repro/internal/analysis"
+	"repro/internal/netflow"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/trafficgen"
+)
+
+func init() {
+	register("ablation-netflow", AblationNetFlow)
+}
+
+// AblationNetFlow reproduces the Section 4 motivation experiment: the
+// authors collected NetFlow inside a FABRIC slice "to assess the detail
+// we could obtain" and concluded that switch-style flow export cannot
+// serve a shared testbed — it neither separates slices that reuse the
+// same private addresses nor reveals encapsulation structure.
+//
+// The experiment runs one synthetic capture through both pipelines. A
+// second slice is simulated by replaying the same frames under a
+// different VLAN tag — exactly the address-reuse scenario the paper
+// describes ("even if the same 10/8 addresses are used in different
+// slices, they are treated as different flows" by Patchwork).
+func AblationNetFlow(seed uint64) (*Result, error) {
+	gen := trafficgen.NewGenerator(trafficgen.MakeSiteProfiles(seed, 1)[0], seed)
+	frames, err := gen.Sample(trafficgen.SampleConfig{
+		Duration: 20 * sim.Second, MaxFrames: 3000, FlowCount: 150,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	exporter := netflow.NewExporter(netflow.Config{})
+	acap := &analysis.Acap{Site: "S"}
+	feed := func(at sim.Time, data []byte) {
+		exporter.DeliverFrame(at, switchsim.NewFrame(data))
+		acap.Records = append(acap.Records, analysis.DigestFrame(int64(at), data, len(data)))
+	}
+	for _, tf := range frames {
+		feed(tf.At, tf.Data)
+		// The second slice: identical traffic under another VLAN.
+		clone := append([]byte(nil), tf.Data...)
+		retagVLAN(clone, 3999)
+		feed(tf.At+sim.Microsecond, clone)
+	}
+	exporter.FlushAll()
+
+	pwFlows := analysis.FlowsInSample(acap)
+	nfFlows := exporter.DistinctConversations()
+	census := analysis.EncapsulationCensus(acap.Records)
+
+	res := &Result{
+		ID:     "ablation-netflow",
+		Title:  "NetFlow-style export vs Patchwork analysis on two slices sharing 10/8 addresses",
+		Header: []string{"metric", "netflow_baseline", "patchwork"},
+	}
+	res.AddRow("distinct_conversations_observed", nfFlows, pwFlows)
+	res.AddRow("slices_distinguishable", "no (5-tuple only)", "yes (VLAN/MPLS tags in key)")
+	res.AddRow("encapsulation_patterns_visible", 0, len(census))
+	res.AddRow("per_frame_record", "aggregate counters", "full header stack (acap)")
+	res.AddRow("frames_metered", exporter.FramesSeen, len(acap.Records))
+	res.Notef("paper (Section 4): switch-sourced flow information \"does not distinguish between testbed users and provides coarse statistics\"")
+	res.Notef("measured: the two slices collapse to %d NetFlow flows but remain %d distinct Patchwork flows (%.1fx undercount)",
+		nfFlows, pwFlows, float64(pwFlows)/float64(maxInt1(nfFlows)))
+	return res, nil
+}
+
+func maxInt1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// retagVLAN rewrites the outer 802.1Q VLAN id in place (the tag follows
+// the 14-byte Ethernet header).
+func retagVLAN(data []byte, vlan uint16) {
+	if len(data) < 18 {
+		return
+	}
+	tci := binary.BigEndian.Uint16(data[14:16])
+	tci = tci&0xF000 | vlan&0x0FFF
+	binary.BigEndian.PutUint16(data[14:16], tci)
+}

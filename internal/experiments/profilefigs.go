@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/trafficgen"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func init() {
+	register("fig11", Fig11)
+	register("fig12", Fig12)
+	register("fig13", Fig13)
+	register("fig15", Fig15)
+	register("framesizes", FrameSizes)
+}
+
+// profileCorpusSites is the number of pseudonymized sites in the traffic
+// profile corpus (the paper's S0-S29).
+const profileCorpusSites = 30
+
+// corpus builds the shared multi-site acap corpus behind the Section 8.2
+// figures: per-site profiles, several 20-second samples each, 200-byte
+// truncation.
+// flowCount > 0 pins the number of flows per sample (long flow snippets,
+// as a 20s line-rate capture sees); flowCount == 0 draws it from the
+// site's profile (for the flow-count figure).
+func corpus(seed uint64, samplesPerSite, framesPerSample, flowCount int) ([]*analysis.Acap, error) {
+	profiles := trafficgen.MakeSiteProfiles(seed, profileCorpusSites)
+	var acaps []*analysis.Acap
+	for i, p := range profiles {
+		gen := trafficgen.NewGenerator(p, seed*1000+uint64(i))
+		for s := 0; s < samplesPerSite; s++ {
+			frames, err := gen.Sample(trafficgen.SampleConfig{
+				Duration:  20 * sim.Second,
+				MaxFrames: framesPerSample,
+				FlowCount: flowCount,
+			})
+			if err != nil {
+				return nil, err
+			}
+			a := &analysis.Acap{Site: p.Site, SampleStartNanos: int64(s) * int64(5*sim.Minute)}
+			for _, tf := range frames {
+				stored := tf.Data
+				if len(stored) > 200 {
+					stored = stored[:200]
+				}
+				a.Records = append(a.Records, analysis.DigestFrame(int64(tf.At), stored, len(tf.Data)))
+			}
+			acaps = append(acaps, a)
+		}
+	}
+	return acaps, nil
+}
+
+// Fig11 regenerates the per-site header-diversity figure: distinct
+// headers observed and deepest header stack per site.
+func Fig11(seed uint64) (*Result, error) {
+	acaps, err := corpus(seed, 3, 3000, 75)
+	if err != nil {
+		return nil, err
+	}
+	stats := analysis.HeaderStatsBySite(acaps)
+	res := &Result{
+		ID:     "fig11",
+		Title:  "Distinct headers and deepest stack per (anonymized) site",
+		Header: []string{"site", "distinct_headers", "max_stack_depth"},
+	}
+	minD, maxD := 99, 0
+	minH, maxH := 99, 0
+	for _, s := range stats {
+		res.AddRow(s.Site, s.DistinctHeaders, s.MaxStackDepth)
+		if s.MaxStackDepth < minD {
+			minD = s.MaxStackDepth
+		}
+		if s.MaxStackDepth > maxD {
+			maxD = s.MaxStackDepth
+		}
+		if s.DistinctHeaders < minH {
+			minH = s.DistinctHeaders
+		}
+		if s.DistinctHeaders > maxH {
+			maxH = s.DistinctHeaders
+		}
+	}
+	res.Notef("paper: sites exhibit a range of distinct headers; maximal header prefixes span 6 to 12 headers")
+	res.Notef("measured: distinct headers span %d-%d; max stack depth spans %d-%d", minH, maxH, minD, maxD)
+	return res, nil
+}
+
+// Fig12 regenerates the header-occurrence figure: percentage of frames
+// carrying each protocol header, aggregated over all sites.
+func Fig12(seed uint64) (*Result, error) {
+	acaps, err := corpus(seed, 2, 3000, 75)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Record
+	for _, a := range acaps {
+		all = append(all, a.Records...)
+	}
+	occ := analysis.HeaderOccurrence(all)
+	res := &Result{
+		ID:     "fig12",
+		Title:  "Occurrence of protocol headers in FABRIC traffic",
+		Header: []string{"header", "percent_of_frames"},
+	}
+	type row struct {
+		t   wire.LayerType
+		pct float64
+	}
+	var rows []row
+	for t, p := range occ {
+		rows = append(rows, row{t, p})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].pct != rows[j].pct {
+			return rows[i].pct > rows[j].pct
+		}
+		return rows[i].t < rows[j].t
+	})
+	for _, r := range rows {
+		res.AddRow(r.t.String(), r.pct)
+	}
+	sh := analysis.Shares(occ)
+	res.Notef("paper: Ethernet exceeds 100%% (inner Ethernet frames); IPv4 dominant; IPv6 = 1.93%% of frames; TCP most prevalent; most traffic VLAN/MPLS tagged")
+	res.Notef("measured: Ethernet %.1f%%, IPv4 %.1f%%, IPv6 %.2f%%, TCP %.1f%%, VLAN %.1f%%, MPLS %.1f%%",
+		sh.EthPercent, sh.IPv4Percent, sh.IPv6Percent, sh.TCPPercent, sh.VLANPercent, sh.MPLSPercent)
+	return res, nil
+}
+
+// Fig13 regenerates the flows-per-sample frequency figure.
+func Fig13(seed uint64) (*Result, error) {
+	acaps, err := corpus(seed, 4, 30000, 0)
+	if err != nil {
+		return nil, err
+	}
+	var counts []int
+	for _, a := range acaps {
+		counts = append(counts, analysis.FlowsInSample(a))
+	}
+	h := analysis.FlowCountHistogram(counts)
+	res := &Result{
+		ID:     "fig13",
+		Title:  "Frequency of flow counts per 20s traffic sample",
+		Header: []string{"flows_in_sample", "samples"},
+	}
+	labels := flowBucketLabels()
+	for i, c := range h {
+		res.AddRow(labels[i], c)
+	}
+	below3000 := 0
+	for _, c := range counts {
+		if c < 3000 {
+			below3000++
+		}
+	}
+	res.Notef("paper: most samples have fewer than 3,000 distinct flows; a handful exceed 20,000")
+	res.Notef("measured: %d/%d samples below 3,000 flows; max sample = %d flows", below3000, len(counts), maxOf(counts))
+	return res, nil
+}
+
+func flowBucketLabels() []string {
+	b := analysis.FlowCountBuckets
+	out := make([]string, len(b)+1)
+	out[0] = fmt.Sprintf("<=%d", b[0])
+	for i := 1; i < len(b); i++ {
+		out[i] = fmt.Sprintf("%d-%d", b[i-1]+1, b[i])
+	}
+	out[len(b)] = fmt.Sprintf(">%d", b[len(b)-1])
+	return out
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fig15 regenerates the per-site frame-size distribution (Appendix C).
+func Fig15(seed uint64) (*Result, error) {
+	acaps, err := corpus(seed, 2, 2500, 60)
+	if err != nil {
+		return nil, err
+	}
+	bySite := map[string][]analysis.Record{}
+	var order []string
+	for _, a := range acaps {
+		if _, ok := bySite[a.Site]; !ok {
+			order = append(order, a.Site)
+		}
+		bySite[a.Site] = append(bySite[a.Site], a.Records...)
+	}
+	header := []string{"site"}
+	for i := 0; i <= len(analysis.FrameSizeBuckets); i++ {
+		header = append(header, analysis.FrameSizeBucketLabel(i))
+	}
+	header = append(header, "jumbo_pct")
+	res := &Result{
+		ID:     "fig15",
+		Title:  "Distribution of frame sizes at different (pseudonymized) sites",
+		Header: header,
+	}
+	jumboSites, smallSites := 0, 0
+	for _, site := range order {
+		recs := bySite[site]
+		h := analysis.FrameSizeHistogram(recs)
+		total := len(recs)
+		row := []any{site}
+		for _, c := range h {
+			row = append(row, units.PercentOf(int64(c), int64(total)).String())
+		}
+		jumbo := analysis.JumboFraction(recs) * 100
+		row = append(row, trimFloat(jumbo))
+		res.AddRow(row...)
+		if jumbo > 50 {
+			jumboSites++
+		}
+		if jumbo < 20 {
+			smallSites++
+		}
+	}
+	res.Notef("paper: significant variety across sites; several sites notable for jumbo frames, most carry a proportion of smaller packets")
+	res.Notef("measured: %d sites majority-jumbo, %d sites mostly sub-jumbo, of %d", jumboSites, smallSites, len(order))
+	return res, nil
+}
+
+// FrameSizes regenerates the Section 8.2 aggregate frame-size breakdown:
+// 1519-2047 B = 74.7%, 65-127 B = 14.15%, 128-255 B = 5.79%.
+func FrameSizes(seed uint64) (*Result, error) {
+	acaps, err := corpus(seed, 2, 3000, 75)
+	if err != nil {
+		return nil, err
+	}
+	var all []analysis.Record
+	for _, a := range acaps {
+		all = append(all, a.Records...)
+	}
+	h := analysis.FrameSizeHistogram(all)
+	res := &Result{
+		ID:     "framesizes",
+		Title:  "Aggregate frame-size distribution across FABRIC",
+		Header: []string{"bucket", "frames", "percent"},
+	}
+	total := len(all)
+	var jumboPct, ackPct, smallPct float64
+	for i, c := range h {
+		pct := float64(c) / float64(total) * 100
+		res.AddRow(analysis.FrameSizeBucketLabel(i), c, pct)
+		switch analysis.FrameSizeBucketLabel(i) {
+		case "1519-2047":
+			jumboPct = pct
+		case "65-127":
+			ackPct = pct
+		case "128-255":
+			smallPct = pct
+		}
+	}
+	res.Notef("paper: 1519-2047B = 74.7%%, 65-127B = 14.15%%, 128-255B = 5.79%%")
+	res.Notef("measured: 1519-2047B = %.1f%%, 65-127B = %.1f%%, 128-255B = %.1f%%", jumboPct, ackPct, smallPct)
+	return res, nil
+}

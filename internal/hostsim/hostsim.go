@@ -1,0 +1,276 @@
+// Package hostsim models the parts of a Linux capture host that dominate
+// Patchwork's storage bottleneck (Section 8.1.3 and Appendix B of the
+// paper): the filesystem page cache with its vm.dirty_background_ratio and
+// vm.dirty_ratio thresholds, the asynchronous write-back flusher, and the
+// throttling of writer processes at the midpoint of the two thresholds.
+//
+// The model reproduces the paper's key observation: writev latency stays
+// flat until dirty pages cross dirty_background_ratio, then climbs
+// steeply, with hard blocking beginning at the *midpoint* of
+// (dirty_background_ratio, dirty_ratio) — before dirty_ratio itself — a
+// behaviour the authors confirmed in kernel source.
+package hostsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Config describes the capture host. The defaults mirror the paper's
+// evaluation machine: single NUMA node, 16 cores, 128 GB RAM, with about
+// 100 GB of RAM available as free page cache.
+type Config struct {
+	// Cores is the number of usable CPU cores.
+	Cores int
+	// RAM is total system memory.
+	RAM units.ByteSize
+	// FreeCache is the memory available to the page cache. Zero defaults
+	// to 78% of RAM (the paper: "for a 128GB RAM, the free cache memory by
+	// default will be around 100GB").
+	FreeCache units.ByteSize
+	// DirtyBackgroundRatio and DirtyRatio are percentages of FreeCache, as
+	// in vm.dirty_background_ratio / vm.dirty_ratio.
+	DirtyBackgroundRatio int
+	DirtyRatio           int
+	// StorageWriteRate is the secondary-storage sequential write
+	// bandwidth. Zero defaults to 2 GB/s (NVMe class).
+	StorageWriteRate units.BitRate
+	// WritevBaseLatency is the minimum syscall latency for one writev
+	// call. Zero defaults to 4 us.
+	WritevBaseLatency sim.Duration
+	// WritevPerByte is the per-byte page-cache copy cost. Zero defaults
+	// to 0.1 ns/byte (~10 GB/s single-core copy into cache pages).
+	WritevPerByte float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 16
+	}
+	if c.RAM == 0 {
+		c.RAM = 128 * units.GB
+	}
+	if c.FreeCache == 0 {
+		c.FreeCache = c.RAM * 78 / 100
+	}
+	if c.DirtyBackgroundRatio == 0 && c.DirtyRatio == 0 {
+		c.DirtyBackgroundRatio, c.DirtyRatio = 10, 20 // kernel defaults
+	}
+	if c.StorageWriteRate == 0 {
+		c.StorageWriteRate = 16 * units.Gbps // 2 GB/s
+	}
+	if c.WritevBaseLatency == 0 {
+		c.WritevBaseLatency = 4 * sim.Microsecond
+	}
+	if c.WritevPerByte == 0 {
+		c.WritevPerByte = 0.1
+	}
+	return c
+}
+
+// Validate checks threshold sanity.
+func (c Config) Validate() error {
+	if c.DirtyBackgroundRatio < 0 || c.DirtyRatio > 100 || c.DirtyBackgroundRatio >= c.DirtyRatio {
+		return fmt.Errorf("hostsim: bad dirty thresholds %d:%d", c.DirtyBackgroundRatio, c.DirtyRatio)
+	}
+	return nil
+}
+
+// Host models one capture host's storage path. It is not safe for
+// concurrent use; drive it from the simulation goroutine.
+type Host struct {
+	cfg Config
+
+	// Page-cache state.
+	dirty       int64    // dirty bytes awaiting write-back
+	flushedUpTo sim.Time // flusher state advanced to this time
+	// Derived thresholds in bytes.
+	bgBytes, midBytes, hardBytes int64
+
+	// WritevHist records one latency observation per writev call, in
+	// bpftrace-style log2 buckets.
+	WritevHist Histogram
+	// Stats accumulate over the host's lifetime.
+	Stats Stats
+}
+
+// Stats counts writer-visible events.
+type Stats struct {
+	WritevCalls    int64
+	BytesWritten   int64
+	ThrottledCalls int64 // calls slowed between midpoint and dirty_ratio
+	BlockedCalls   int64 // calls blocked at/above dirty_ratio
+}
+
+// New builds a host from cfg (zero fields defaulted).
+func New(cfg Config) (*Host, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h := &Host{cfg: cfg}
+	fc := int64(cfg.FreeCache)
+	h.bgBytes = fc * int64(cfg.DirtyBackgroundRatio) / 100
+	h.hardBytes = fc * int64(cfg.DirtyRatio) / 100
+	h.midBytes = (h.bgBytes + h.hardBytes) / 2
+	return h, nil
+}
+
+// Config returns the host's effective configuration.
+func (h *Host) Config() Config { return h.cfg }
+
+// DirtyBytes returns the current dirty page-cache bytes (after advancing
+// the flusher to now).
+func (h *Host) DirtyBytes(now sim.Time) int64 {
+	h.advanceFlusher(now)
+	return h.dirty
+}
+
+// DirtyFraction returns dirty bytes as a fraction of free cache.
+func (h *Host) DirtyFraction(now sim.Time) float64 {
+	return float64(h.DirtyBytes(now)) / float64(h.cfg.FreeCache)
+}
+
+// advanceFlusher drains dirty pages at device speed for the elapsed
+// interval. Write-back runs only while dirty exceeds the background
+// threshold, mirroring the kernel's flusher wakeup condition.
+func (h *Host) advanceFlusher(now sim.Time) {
+	if now <= h.flushedUpTo {
+		return
+	}
+	elapsed := int64(now - h.flushedUpTo)
+	h.flushedUpTo = now
+	if h.dirty <= h.bgBytes {
+		return
+	}
+	drained := h.cfg.StorageWriteRate.BytesInNanos(elapsed)
+	h.dirty -= drained
+	if h.dirty < h.bgBytes {
+		// The flusher stops at the background threshold; it does not
+		// write the cache fully clean.
+		h.dirty = h.bgBytes
+	}
+}
+
+// Writev models one writev syscall storing n bytes of pcap data at time
+// now, returning the syscall latency. The caller is responsible for
+// advancing its own clock by the returned latency (the writing core is
+// busy for that long).
+func (h *Host) Writev(now sim.Time, n int) sim.Duration {
+	h.advanceFlusher(now)
+	base := h.cfg.WritevBaseLatency + sim.Duration(float64(n)*h.cfg.WritevPerByte)
+	h.dirty += int64(n)
+	h.Stats.WritevCalls++
+	h.Stats.BytesWritten += int64(n)
+
+	var lat sim.Duration
+	switch {
+	case h.dirty < h.midBytes:
+		// Below the throttling midpoint: page-cache copy only.
+		lat = base
+	case h.dirty < h.hardBytes:
+		// balance_dirty_pages throttling: the writer is slowed toward the
+		// device's write-back rate, increasingly as dirty approaches the
+		// hard threshold.
+		h.Stats.ThrottledCalls++
+		// The writer is paced to the device's write-back rate as soon as
+		// the midpoint is crossed (balance_dirty_pages pauses writers so
+		// dirty stops growing), with the penalty deepening toward the
+		// hard threshold.
+		span := float64(h.hardBytes - h.midBytes)
+		depth := float64(h.dirty-h.midBytes) / span // 0..1
+		deviceTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(n))
+		lat = base + deviceTime + sim.Duration(depth*float64(deviceTime)*7)
+	default:
+		// At/above dirty_ratio: the writer blocks while the flusher
+		// drains back to the hard threshold, then pays device time for
+		// its own bytes.
+		h.Stats.BlockedCalls++
+		excess := h.dirty - h.hardBytes
+		drainTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(int(excess)))
+		deviceTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(n))
+		lat = base + drainTime + deviceTime
+		// Blocking gives the flusher time to work; by the time the call
+		// returns, dirty pages are back at the hard threshold (a blocked
+		// writer cannot push the cache past it).
+		h.advanceFlusher(now + lat)
+		if h.dirty > h.hardBytes {
+			h.dirty = h.hardBytes
+		}
+	}
+	h.WritevHist.Record(int64(lat))
+	return lat
+}
+
+// Histogram is a bpftrace-style log2 latency histogram. Bucket i counts
+// observations in [2^i, 2^(i+1)) nanoseconds.
+type Histogram struct {
+	counts [64]int64
+	total  int64
+}
+
+// Record adds one observation in nanoseconds.
+func (g *Histogram) Record(ns int64) {
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	g.counts[b]++
+	g.total++
+}
+
+// Total returns the number of observations.
+func (g *Histogram) Total() int64 { return g.total }
+
+// Bucket returns the count for bucket i ([2^i, 2^(i+1)) ns).
+func (g *Histogram) Bucket(i int) int64 {
+	if i < 0 || i >= len(g.counts) {
+		return 0
+	}
+	return g.counts[i]
+}
+
+// SumUpperBounds computes the Appendix-B "summed latency": each
+// observation contributes its bucket's *upper bound*, and buckets whose
+// upper bound is below minNanos are excluded (the paper discards the
+// average case and focuses on the high-latency tail).
+func (g *Histogram) SumUpperBounds(minNanos int64) int64 {
+	var sum int64
+	for i, c := range g.counts {
+		if c == 0 {
+			continue
+		}
+		upper := int64(1) << uint(i+1)
+		if upper < minNanos {
+			continue
+		}
+		sum += upper * c
+	}
+	return sum
+}
+
+// Reset clears the histogram.
+func (g *Histogram) Reset() {
+	*g = Histogram{}
+}
+
+// String renders non-empty buckets, low to high.
+func (g *Histogram) String() string {
+	s := ""
+	for i, c := range g.counts {
+		if c == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("[%d,%d)ns:%d", int64(1)<<uint(i), int64(1)<<uint(i+1), c)
+	}
+	if s == "" {
+		return "(empty)"
+	}
+	return s
+}

@@ -1,0 +1,277 @@
+package hostsim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func newHost(t testing.TB, bg, hard int) *Host {
+	t.Helper()
+	h, err := New(Config{DirtyBackgroundRatio: bg, DirtyRatio: hard})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return h
+}
+
+func TestDefaults(t *testing.T) {
+	h, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Config()
+	if cfg.Cores != 16 || cfg.RAM != 128*units.GB {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// ~100GB free cache from 128GB RAM, per the paper.
+	if cfg.FreeCache < 95*units.GB || cfg.FreeCache > 105*units.GB {
+		t.Errorf("free cache = %v", cfg.FreeCache)
+	}
+	if cfg.DirtyBackgroundRatio != 10 || cfg.DirtyRatio != 20 {
+		t.Errorf("thresholds = %d:%d", cfg.DirtyBackgroundRatio, cfg.DirtyRatio)
+	}
+}
+
+func TestBadThresholds(t *testing.T) {
+	if _, err := New(Config{DirtyBackgroundRatio: 50, DirtyRatio: 20}); err == nil {
+		t.Error("bg >= hard should fail")
+	}
+	if _, err := New(Config{DirtyBackgroundRatio: 10, DirtyRatio: 120}); err == nil {
+		t.Error("ratio > 100 should fail")
+	}
+}
+
+func TestLowPressureLatencyFlat(t *testing.T) {
+	h := newHost(t, 20, 50)
+	lat1 := h.Writev(0, 128*200)
+	lat2 := h.Writev(sim.Second, 128*200)
+	if lat1 != lat2 {
+		t.Errorf("latencies differ at low pressure: %v vs %v", lat1, lat2)
+	}
+	if lat1 <= 0 {
+		t.Error("latency must be positive")
+	}
+	if h.Stats.ThrottledCalls != 0 || h.Stats.BlockedCalls != 0 {
+		t.Errorf("stats = %+v", h.Stats)
+	}
+}
+
+func TestLatencyCliffAtMidpoint(t *testing.T) {
+	// The paper's core finding: the steep latency increase happens at the
+	// midpoint of (bg, hard), before dirty_ratio is reached.
+	h, err := New(Config{FreeCache: units.GB, DirtyBackgroundRatio: 10, DirtyRatio: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := int64(h.Config().FreeCache)
+	mid := (fc*10/100 + fc*20/100) / 2
+
+	// Fill the cache to just below the midpoint instantaneously (the
+	// flusher gets no time to drain).
+	const chunk = 1 << 20
+	var filled int64
+	var lowLat sim.Duration
+	for filled < mid-2*chunk {
+		lowLat = h.Writev(0, chunk)
+		filled += chunk
+	}
+	if h.Stats.ThrottledCalls != 0 {
+		t.Fatalf("throttled before midpoint: %+v (filled=%d mid=%d)", h.Stats, filled, mid)
+	}
+	// Push past the midpoint.
+	for i := 0; i < 4; i++ {
+		h.Writev(0, chunk)
+		filled += chunk
+	}
+	highLat := h.Writev(0, chunk)
+	if h.Stats.ThrottledCalls == 0 {
+		t.Fatal("no throttling after midpoint")
+	}
+	if highLat < lowLat*2 {
+		t.Errorf("latency did not climb at midpoint: %v -> %v", lowLat, highLat)
+	}
+}
+
+func TestHardBlockingAtDirtyRatio(t *testing.T) {
+	h := newHost(t, 10, 20)
+	fc := int64(h.Config().FreeCache)
+	hard := fc * 20 / 100
+	const chunk = 16 << 20
+	for written := int64(0); written < hard+chunk; written += chunk {
+		h.Writev(0, chunk)
+	}
+	if h.Stats.BlockedCalls == 0 {
+		t.Error("no blocked calls above dirty_ratio")
+	}
+}
+
+func TestFlusherDrainsBackground(t *testing.T) {
+	h := newHost(t, 10, 20)
+	fc := int64(h.Config().FreeCache)
+	bg := fc * 10 / 100
+	// Dirty 15% of the cache at t=0.
+	target := fc * 15 / 100
+	const chunk = 64 << 20
+	var now sim.Time
+	for h.DirtyBytes(now) < target {
+		h.Writev(now, chunk)
+	}
+	d0 := h.DirtyBytes(now)
+	if d0 <= bg {
+		t.Fatalf("setup failed: dirty=%d bg=%d", d0, bg)
+	}
+	// After plenty of idle time the flusher drains to exactly the
+	// background threshold, not below.
+	later := now + 1000*sim.Second
+	d1 := h.DirtyBytes(later)
+	if d1 != bg {
+		t.Errorf("dirty after idle = %d, want bg %d", d1, bg)
+	}
+}
+
+func TestWiderThresholdsDelayCliff(t *testing.T) {
+	// Appendix B: at the same RAM usage (15% of cache), a 10:20 host is
+	// deep into throttling while a 20:50 host is still flat. Summed
+	// latency differs by orders of magnitude.
+	fill := func(bg, hard int) int64 {
+		h, err := New(Config{FreeCache: units.GB, DirtyBackgroundRatio: bg, DirtyRatio: hard})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := int64(h.Config().FreeCache)
+		target := fc * 16 / 100
+		// Write in the paper's batch granularity (128 frames of ~200B +
+		// record headers ≈ 28 KB per writev), so the unthrottled base
+		// latency stays below the 32 us accounting cutoff.
+		const chunk = 28 << 10
+		for written := int64(0); written < target; written += chunk {
+			h.Writev(0, chunk)
+		}
+		return h.WritevHist.SumUpperBounds(32 * 1024) // exclude <32us buckets
+	}
+	tight := fill(10, 20)
+	wide := fill(20, 50)
+	if tight == 0 {
+		t.Fatal("10:20 host shows no tail latency at 16% cache usage")
+	}
+	if wide*10 > tight {
+		t.Errorf("20:50 (%d) should be orders of magnitude below 10:20 (%d)", wide, tight)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var g Histogram
+	g.Record(1)    // bucket 0
+	g.Record(3)    // bucket 1
+	g.Record(1024) // bucket 10
+	g.Record(1500) // bucket 10
+	if g.Total() != 4 {
+		t.Errorf("total = %d", g.Total())
+	}
+	if g.Bucket(0) != 1 || g.Bucket(1) != 1 || g.Bucket(10) != 2 {
+		t.Errorf("buckets = %v", g.String())
+	}
+	if g.Bucket(-1) != 0 || g.Bucket(64) != 0 {
+		t.Error("out-of-range buckets should be 0")
+	}
+}
+
+func TestHistogramUpperBoundAccounting(t *testing.T) {
+	// Appendix B: an observation in [32K, 64K) ns contributes 64K ns.
+	var g Histogram
+	g.Record(40_000)
+	if got := g.SumUpperBounds(0); got != 65536 {
+		t.Errorf("sum = %d, want 65536", got)
+	}
+	// Exclusion threshold drops low buckets.
+	g.Record(100)
+	if got := g.SumUpperBounds(32 * 1024); got != 65536 {
+		t.Errorf("sum with cutoff = %d, want 65536", got)
+	}
+}
+
+func TestHistogramNonNegativeProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		var g Histogram
+		var n int64
+		for _, v := range vals {
+			g.Record(int64(v))
+			n++
+		}
+		return g.Total() == n && g.SumUpperBounds(0) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramResetAndString(t *testing.T) {
+	var g Histogram
+	if g.String() != "(empty)" {
+		t.Errorf("empty string = %q", g.String())
+	}
+	g.Record(5)
+	if !strings.Contains(g.String(), "[4,8)ns:1") {
+		t.Errorf("string = %q", g.String())
+	}
+	g.Reset()
+	if g.Total() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := newHost(t, 10, 20)
+	h.Writev(0, 100)
+	h.Writev(0, 200)
+	if h.Stats.WritevCalls != 2 || h.Stats.BytesWritten != 300 {
+		t.Errorf("stats = %+v", h.Stats)
+	}
+}
+
+// TestEightSecondStall reproduces the paper's back-of-envelope: at a
+// sustained 8.5 GB/s ingest (100 Gbps) with 60:80 thresholds on ~100 GB of
+// free cache, the writer hits the page-cache cliff after roughly 8-9
+// seconds.
+func TestEightSecondStall(t *testing.T) {
+	h, err := New(Config{
+		RAM: 128 * units.GB, FreeCache: 100 * units.GB,
+		DirtyBackgroundRatio: 60, DirtyRatio: 80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkBytes = 128 * 200 // one writev per 128-frame batch
+	ingestBps := int64(8_500_000_000)
+	interval := sim.Duration(int64(sim.Second) * chunkBytes / ingestBps)
+	var now sim.Time
+	var stallAt sim.Time
+	for now < 20*sim.Second {
+		h.Writev(now, chunkBytes)
+		if h.Stats.ThrottledCalls+h.Stats.BlockedCalls > 0 {
+			stallAt = now
+			break
+		}
+		now += interval
+	}
+	if stallAt == 0 {
+		t.Fatal("no stall within 20s")
+	}
+	secs := stallAt.Seconds()
+	if secs < 6 || secs > 12 {
+		t.Errorf("stall at %.1fs, want ~8-9s", secs)
+	}
+}
+
+func BenchmarkWritev(b *testing.B) {
+	h, _ := New(Config{DirtyBackgroundRatio: 60, DirtyRatio: 80})
+	var now sim.Time
+	for i := 0; i < b.N; i++ {
+		lat := h.Writev(now, 128*200)
+		now += lat + sim.Microsecond
+	}
+}

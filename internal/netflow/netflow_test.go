@@ -1,0 +1,182 @@
+package netflow
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/trafficgen"
+	"repro/internal/wire"
+)
+
+// buildFrame constructs a VLAN/MPLS-encapsulated UDP frame with the given
+// tag and 5-tuple.
+func buildFrame(t testing.TB, vlan uint16, src, dst string, sport, dport uint16) []byte {
+	t.Helper()
+	pay := wire.Payload(make([]byte, 64))
+	buf := wire.NewSerializeBuffer()
+	err := wire.SerializeLayers(buf, wire.SerializeOptions{FixLengths: true},
+		&wire.Ethernet{EthernetType: wire.EthernetTypeDot1Q},
+		&wire.Dot1Q{VLANID: vlan, EthernetType: wire.EthernetTypeMPLSUnicast},
+		&wire.MPLS{Label: uint32(vlan) + 100, StackBottom: true, TTL: 64},
+		&wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP,
+			SrcIP: netip.MustParseAddr(src), DstIP: netip.MustParseAddr(dst)},
+		&wire.UDP{SrcPort: sport, DstPort: dport},
+		&pay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(buf.Bytes()))
+	copy(out, buf.Bytes())
+	return out
+}
+
+func TestMeteringBasics(t *testing.T) {
+	e := NewExporter(Config{})
+	f := buildFrame(t, 100, "10.0.0.1", "10.0.0.2", 1000, 2000)
+	for i := 0; i < 5; i++ {
+		e.DeliverFrame(sim.Time(i)*sim.Second, switchsim.NewFrame(f))
+	}
+	e.FlushAll()
+	if len(e.Exported) != 1 {
+		t.Fatalf("records = %d", len(e.Exported))
+	}
+	r := e.Exported[0]
+	if r.Packets != 5 || r.Bytes != int64(5*len(f)) {
+		t.Errorf("record = %+v", r)
+	}
+	if r.First != 0 || r.Last != 4*sim.Second {
+		t.Errorf("times = %v..%v", r.First, r.Last)
+	}
+}
+
+func TestSliceCollisionBlindness(t *testing.T) {
+	// The paper's core criticism: two slices reusing the same 10/8
+	// addresses are distinct flows to Patchwork (VLAN/MPLS tags differ)
+	// but collapse into ONE flow under NetFlow.
+	e := NewExporter(Config{})
+	fa := buildFrame(t, 100, "10.0.0.1", "10.0.0.2", 1000, 2000)
+	fb := buildFrame(t, 200, "10.0.0.1", "10.0.0.2", 1000, 2000) // other slice
+	e.DeliverFrame(0, switchsim.NewFrame(fa))
+	e.DeliverFrame(1, switchsim.NewFrame(fb))
+	e.FlushAll()
+	if got := e.DistinctFlows(); got != 1 {
+		t.Errorf("NetFlow distinct flows = %d, want 1 (collision)", got)
+	}
+	// Patchwork's tag-aware keys keep them apart.
+	ra := analysis.DigestFrame(0, fa, len(fa)).Flow.Canonical()
+	rb := analysis.DigestFrame(0, fb, len(fb)).Flow.Canonical()
+	if ra == rb {
+		t.Error("Patchwork keys should differ across slices")
+	}
+}
+
+func TestInactiveTimeoutExpires(t *testing.T) {
+	e := NewExporter(Config{InactiveTimeout: 10 * sim.Second})
+	f := buildFrame(t, 1, "10.1.0.1", "10.1.0.2", 5, 6)
+	e.DeliverFrame(0, switchsim.NewFrame(f))
+	// A different flow arriving much later triggers expiry of the first.
+	g := buildFrame(t, 1, "10.1.0.3", "10.1.0.4", 7, 8)
+	e.DeliverFrame(30*sim.Second, switchsim.NewFrame(g))
+	if len(e.Exported) != 1 {
+		t.Fatalf("expired records = %d, want 1", len(e.Exported))
+	}
+	e.FlushAll()
+	if len(e.Exported) != 2 {
+		t.Errorf("total records = %d", len(e.Exported))
+	}
+}
+
+func TestActiveTimeoutSplitsLongFlow(t *testing.T) {
+	e := NewExporter(Config{ActiveTimeout: 10 * sim.Second, InactiveTimeout: 100 * sim.Second})
+	f := buildFrame(t, 1, "10.2.0.1", "10.2.0.2", 5, 6)
+	for ts := sim.Time(0); ts <= 25*sim.Second; ts += sim.Second {
+		e.DeliverFrame(ts, switchsim.NewFrame(f))
+	}
+	e.FlushAll()
+	if len(e.Exported) < 2 {
+		t.Errorf("long flow exported %d records, want >=2 (active timeout)", len(e.Exported))
+	}
+	if e.DistinctFlows() != 1 {
+		t.Errorf("distinct = %d", e.DistinctFlows())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	e := NewExporter(Config{MaxCacheEntries: 4, InactiveTimeout: sim.Hour})
+	for i := 0; i < 10; i++ {
+		f := buildFrame(t, 1, "10.3.0.1", "10.3.0.2", uint16(1000+i), 80)
+		e.DeliverFrame(sim.Time(i), switchsim.NewFrame(f))
+	}
+	if e.Evictions == 0 {
+		t.Error("no evictions despite overflow")
+	}
+	e.FlushAll()
+	if e.DistinctFlows() != 10 {
+		t.Errorf("distinct = %d, want 10", e.DistinctFlows())
+	}
+}
+
+func TestNonIPIgnored(t *testing.T) {
+	e := NewExporter(Config{})
+	e.DeliverFrame(0, switchsim.Frame{Size: 100}) // no data
+	e.DeliverFrame(0, switchsim.NewFrame([]byte{1, 2, 3}))
+	if e.FramesIgnored != 2 || len(e.cache) != 0 {
+		t.Errorf("ignored = %d cache = %d", e.FramesIgnored, len(e.cache))
+	}
+}
+
+func TestTCPFlagsAggregated(t *testing.T) {
+	g := trafficgen.NewGenerator(bulkOnly(), 5)
+	fs := g.NewFlow()
+	e := NewExporter(Config{})
+	syn, err := g.BuildTCPControl(&fs, trafficgen.DirForward, wire.TCPSyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataFrame, err := g.BuildFrame(&fs, trafficgen.DirForward, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := g.BuildTCPControl(&fs, trafficgen.DirForward, wire.TCPFin|wire.TCPAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.DeliverFrame(0, switchsim.NewFrame(syn))
+	e.DeliverFrame(1, switchsim.NewFrame(dataFrame))
+	e.DeliverFrame(2, switchsim.NewFrame(fin))
+	e.FlushAll()
+	if len(e.Exported) != 1 {
+		t.Fatalf("records = %d", len(e.Exported))
+	}
+	got := wire.TCPFlags(e.Exported[0].TCPFlagsOr)
+	for _, want := range []wire.TCPFlags{wire.TCPSyn, wire.TCPFin, wire.TCPAck} {
+		if got&want == 0 {
+			t.Errorf("flags OR = %v missing %v", got, want)
+		}
+	}
+}
+
+func bulkOnly() trafficgen.Profile {
+	p := trafficgen.Profile{Site: "T", PWFraction: 1, MPLSDepth2Fraction: 1, JumboData: true,
+		FlowsPerSampleLogMean: 4, FlowsPerSampleLogSigma: 1}
+	p.KindWeights[trafficgen.KindBulkTCP] = 1
+	return p
+}
+
+func TestDistinctConversationsMergesDirections(t *testing.T) {
+	e := NewExporter(Config{})
+	fwd := buildFrame(t, 1, "10.5.0.1", "10.5.0.2", 1000, 2000)
+	rev := buildFrame(t, 1, "10.5.0.2", "10.5.0.1", 2000, 1000)
+	e.DeliverFrame(0, switchsim.NewFrame(fwd))
+	e.DeliverFrame(1, switchsim.NewFrame(rev))
+	e.FlushAll()
+	if e.DistinctFlows() != 2 {
+		t.Errorf("directional flows = %d, want 2", e.DistinctFlows())
+	}
+	if e.DistinctConversations() != 1 {
+		t.Errorf("conversations = %d, want 1", e.DistinctConversations())
+	}
+}

@@ -1,0 +1,232 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("adjacent seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Error("sibling splits produced identical first draw")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d count %d deviates >10%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(99)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	s := New(5)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.ExpFloat64()
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		if v := s.Pareto(100, 1.2); v < 100 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(13)
+	for _, n := range []int{0, 1, 5, 64} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	s := New(21)
+	weights := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[s.WeightedChoice(weights)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight bucket chosen %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-total weights should panic")
+		}
+	}()
+	New(1).WeightedChoice([]float64{0, 0})
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := New(17)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		var sum int
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if New(1).Poisson(0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+}
+
+func TestBool(t *testing.T) {
+	s := New(29)
+	if s.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !s.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.25) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.23 || p > 0.27 {
+		t.Errorf("Bool(0.25) frequency = %v", p)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	s := New(31)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	orig := append([]int(nil), xs...)
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle altered elements: %v (orig %v)", xs, orig)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}

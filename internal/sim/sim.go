@@ -1,0 +1,226 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+// Every time-dependent substrate in this repository (switches, hosts,
+// capture pipelines, the testbed federation) advances on a shared virtual
+// clock driven by an event queue. Wall-clock time never enters a
+// simulation, which keeps experiment output reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration = Time
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+	Day                  = 24 * Hour
+	Week                 = 7 * Day
+)
+
+// String renders the time as seconds with nanosecond precision.
+func (t Time) String() string {
+	return fmt.Sprintf("%d.%09ds", int64(t)/int64(Second), int64(t)%int64(Second))
+}
+
+// Seconds converts to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break so same-time events run FIFO (determinism)
+	fn   func()
+	done bool // cancelled
+	idx  int  // heap index
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is the simulation engine. It is not safe for concurrent use; a
+// simulation runs single-threaded by design.
+type Kernel struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nEvent uint64
+}
+
+// NewKernel returns a kernel at time zero with an empty queue.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// EventsProcessed reports how many events have been executed.
+func (k *Kernel) EventsProcessed() uint64 { return k.nEvent }
+
+// Pending reports how many events remain scheduled (including cancelled
+// events not yet reaped).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Handle identifies a scheduled event and allows cancellation.
+type Handle struct{ e *event }
+
+// Cancel prevents the event from running. Cancelling an already-run or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.e == nil || h.e.done {
+		return false
+	}
+	h.e.done = true
+	h.e.fn = nil
+	return true
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a logic error in a discrete-event model.
+func (k *Kernel) At(t Time, fn func()) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	e := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return Handle{e}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Duration, fn func()) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn at now+d, then every d thereafter, until the returned
+// Ticker is stopped. fn receives the firing time.
+func (k *Kernel) Every(d Duration, fn func(Time)) *Ticker {
+	if d <= 0 {
+		panic("sim: non-positive period")
+	}
+	t := &Ticker{k: k, period: d, fn: fn}
+	t.schedule()
+	return t
+}
+
+// Ticker is a repeating event. Stop cancels future firings.
+type Ticker struct {
+	k       *Kernel
+	period  Duration
+	fn      func(Time)
+	h       Handle
+	stopped bool
+}
+
+func (t *Ticker) schedule() {
+	t.h = t.k.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.k.now)
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.h.Cancel()
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*event)
+		if e.done {
+			continue // reap cancelled
+		}
+		k.now = e.at
+		e.done = true
+		fn := e.fn
+		e.fn = nil
+		k.nEvent++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (k *Kernel) RunUntil(deadline Time) {
+	for {
+		e := k.peek()
+		if e == nil || e.at > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now + d) }
+
+func (k *Kernel) peek() *event {
+	for len(k.queue) > 0 {
+		e := k.queue[0]
+		if !e.done {
+			return e
+		}
+		heap.Pop(&k.queue)
+	}
+	return nil
+}

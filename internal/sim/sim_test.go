@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderedExecution(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, d := range []Duration{5, 1, 3, 2, 4} {
+		d := d
+		k.After(d, func() { got = append(got, k.Now()) })
+	}
+	k.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Errorf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(100, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	k := NewKernel()
+	k.After(10*Second, func() {
+		if k.Now() != 10*Second {
+			t.Errorf("clock = %v inside event, want 10s", k.Now())
+		}
+	})
+	k.Run()
+	if k.Now() != 10*Second {
+		t.Errorf("final clock = %v, want 10s", k.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.After(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		k.At(1, func() {})
+	})
+	k.Run()
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel()
+	ran := false
+	h := k.After(10, func() { ran = true })
+	if !h.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	if h.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	k.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := NewKernel()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			k.After(1, recurse)
+		}
+	}
+	k.After(1, recurse)
+	k.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if k.Now() != 100 {
+		t.Errorf("clock = %v, want 100", k.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		k.At(at, func() { fired = append(fired, at) })
+	}
+	k.RunUntil(25)
+	if len(fired) != 2 {
+		t.Errorf("fired %v, want events at 10,20", fired)
+	}
+	if k.Now() != 25 {
+		t.Errorf("clock = %v, want 25", k.Now())
+	}
+	k.Run()
+	if len(fired) != 4 {
+		t.Errorf("remaining events lost: %v", fired)
+	}
+}
+
+func TestRunForAccumulates(t *testing.T) {
+	k := NewKernel()
+	k.RunFor(10 * Second)
+	k.RunFor(5 * Second)
+	if k.Now() != 15*Second {
+		t.Errorf("clock = %v, want 15s", k.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel()
+	var ticks []Time
+	tk := k.Every(10, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 5 {
+			// Stop from inside the callback.
+			// (tk captured below; safe because Every returns first)
+		}
+	})
+	k.RunUntil(55)
+	tk.Stop()
+	k.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5: %v", len(ticks), ticks)
+	}
+	for i, tick := range ticks {
+		if tick != Time(10*(i+1)) {
+			t.Errorf("tick %d at %v, want %v", i, tick, 10*(i+1))
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tk *Ticker
+	tk = k.Every(1, func(Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	k.Run()
+	if count != 3 {
+		t.Errorf("ticker fired %d times after Stop at 3", count)
+	}
+}
+
+func TestDeterminismProperty(t *testing.T) {
+	// The same schedule produces the same execution order regardless of
+	// insertion pattern within equal timestamps being preserved.
+	f := func(delays []uint16) bool {
+		run := func() []Time {
+			k := NewKernel()
+			var order []Time
+			for _, d := range delays {
+				d := Duration(d)
+				k.After(d, func() { order = append(order, k.Now()) })
+			}
+			k.Run()
+			return order
+		}
+		a, b := run(), run()
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEventsProcessedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.After(Duration(i), func() {})
+	}
+	h := k.After(100, func() {})
+	h.Cancel()
+	k.Run()
+	if k.EventsProcessed() != 7 {
+		t.Errorf("EventsProcessed = %d, want 7", k.EventsProcessed())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(1500 * Millisecond).String(); got != "1.500000000s" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Time(2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v", got)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel()
+		for j := 0; j < 100; j++ {
+			k.After(Duration(j%10), func() {})
+		}
+		k.Run()
+	}
+}

@@ -1,0 +1,298 @@
+// Package telemetry reproduces the measurement path Patchwork consumes on
+// FABRIC: SNMP-style polling of switch port counters into a time-series
+// store, fronted by an MFlib-like query API. The real pipeline is
+// SNMP -> Prometheus -> MFlib; here a Poller samples switchsim counters on
+// the simulation clock at the same 5-minute cadence and the Store answers
+// the queries Patchwork needs (recent Tx/Rx rates, busiest ports, weekly
+// aggregate utilization).
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/units"
+)
+
+// DefaultPollInterval matches FABRIC's 5-minute SNMP sampling.
+const DefaultPollInterval = 5 * sim.Minute
+
+// PortKey identifies one switch port across the federation.
+type PortKey struct {
+	Switch string
+	Port   string
+}
+
+// String renders "switch/port".
+func (k PortKey) String() string { return k.Switch + "/" + k.Port }
+
+// Sample is one polled counter snapshot.
+type Sample struct {
+	Time     sim.Time
+	Counters switchsim.Counters
+}
+
+// Rate is a pair of byte rates derived from two adjacent samples.
+type Rate struct {
+	// Window covered by the two samples.
+	From, To sim.Time
+	// TxBps and RxBps are bytes per second over the window.
+	TxBps, RxBps float64
+}
+
+// TotalBps is the sum of both directions.
+func (r Rate) TotalBps() float64 { return r.TxBps + r.RxBps }
+
+// Store holds polled samples per port. It is safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	series map[PortKey][]Sample
+	keys   []PortKey // deterministic order
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[PortKey][]Sample)}
+}
+
+// Record appends a sample for the port.
+func (s *Store) Record(key PortKey, sample Sample) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.series[key]; !seen {
+		s.keys = append(s.keys, key)
+	}
+	s.series[key] = append(s.series[key], sample)
+}
+
+// Keys returns all port keys in first-seen order.
+func (s *Store) Keys() []PortKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]PortKey(nil), s.keys...)
+}
+
+// Samples returns the samples for a port in time order.
+func (s *Store) Samples(key PortKey) []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.series[key]...)
+}
+
+// LatestRate computes the port's byte rates from the two most recent
+// samples. It returns false when fewer than two samples exist or the
+// window is zero.
+func (s *Store) LatestRate(key PortKey) (Rate, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser := s.series[key]
+	if len(ser) < 2 {
+		return Rate{}, false
+	}
+	return rateBetween(ser[len(ser)-2], ser[len(ser)-1])
+}
+
+// RateOver computes the average rates over the trailing window ending at
+// the most recent sample.
+func (s *Store) RateOver(key PortKey, window sim.Duration) (Rate, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser := s.series[key]
+	if len(ser) < 2 {
+		return Rate{}, false
+	}
+	last := ser[len(ser)-1]
+	cutoff := last.Time - window
+	first := ser[0]
+	for i := len(ser) - 2; i >= 0; i-- {
+		if ser[i].Time <= cutoff {
+			first = ser[i]
+			break
+		}
+		first = ser[i]
+	}
+	return rateBetween(first, last)
+}
+
+func rateBetween(a, b Sample) (Rate, bool) {
+	dt := b.Time - a.Time
+	if dt <= 0 {
+		return Rate{}, false
+	}
+	secs := float64(dt) / float64(sim.Second)
+	return Rate{
+		From: a.Time, To: b.Time,
+		TxBps: float64(b.Counters.TxBytes-a.Counters.TxBytes) / secs,
+		RxBps: float64(b.Counters.RxBytes-a.Counters.RxBytes) / secs,
+	}, true
+}
+
+// PortRate pairs a port with its measured rate, for ranking queries.
+type PortRate struct {
+	Key  PortKey
+	Rate Rate
+}
+
+// BusiestPorts returns the ports of the given switch ranked by total
+// (Tx+Rx) rate over the trailing window, busiest first. Ports with no
+// measurable rate are omitted.
+func (s *Store) BusiestPorts(switchName string, window sim.Duration) []PortRate {
+	var out []PortRate
+	for _, k := range s.Keys() {
+		if k.Switch != switchName {
+			continue
+		}
+		r, ok := s.RateOver(k, window)
+		if !ok {
+			continue
+		}
+		out = append(out, PortRate{Key: k, Rate: r})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Rate.TotalBps() > out[j].Rate.TotalBps()
+	})
+	return out
+}
+
+// IdleThresholdBps is the rate below which a port counts as idle for the
+// port-cycling heuristics.
+const IdleThresholdBps = 1000 // 1 KB/s
+
+// NonIdlePorts returns ports on the switch whose total rate over the
+// window exceeds the idle threshold, busiest first.
+func (s *Store) NonIdlePorts(switchName string, window sim.Duration) []PortRate {
+	all := s.BusiestPorts(switchName, window)
+	out := all[:0]
+	for _, pr := range all {
+		if pr.Rate.TotalBps() > IdleThresholdBps {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// WeeklyUtilization aggregates, per week, the sum over all ports of each
+// 5-minute byte-rate sample (the quantity graphed in the paper's Fig. 6).
+// Weeks with no samples (telemetry gaps) are reported with Missing=true.
+type WeeklyUtilization struct {
+	Week    int // week index since simulation start
+	SumBps  float64
+	Missing bool
+}
+
+// WeeklyUtilizationSeries computes the Fig. 6 series over [0, end).
+func (s *Store) WeeklyUtilizationSeries(end sim.Time) []WeeklyUtilization {
+	weeks := int((end + sim.Week - 1) / sim.Week)
+	sums := make([]float64, weeks)
+	seen := make([]bool, weeks)
+	for _, k := range s.Keys() {
+		ser := s.Samples(k)
+		for i := 1; i < len(ser); i++ {
+			r, ok := rateBetween(ser[i-1], ser[i])
+			if !ok {
+				continue
+			}
+			w := int(ser[i].Time / sim.Week)
+			if w < 0 || w >= weeks {
+				continue
+			}
+			sums[w] += r.TotalBps()
+			seen[w] = true
+		}
+	}
+	out := make([]WeeklyUtilization, weeks)
+	for i := range out {
+		out[i] = WeeklyUtilization{Week: i, SumBps: sums[i], Missing: !seen[i]}
+	}
+	return out
+}
+
+// Poller samples switch counters into a Store on the simulation clock.
+type Poller struct {
+	store    *Store
+	kernel   *sim.Kernel
+	interval sim.Duration
+
+	mu       sync.Mutex
+	switches []*switchsim.Switch
+	gaps     []gap
+	ticker   *sim.Ticker
+}
+
+type gap struct{ from, to sim.Time }
+
+// NewPoller creates a poller writing into store. Interval 0 selects the
+// default 5-minute cadence.
+func NewPoller(k *sim.Kernel, store *Store, interval sim.Duration) *Poller {
+	if interval <= 0 {
+		interval = DefaultPollInterval
+	}
+	return &Poller{store: store, kernel: k, interval: interval}
+}
+
+// Watch registers a switch for polling.
+func (p *Poller) Watch(sw *switchsim.Switch) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.switches = append(p.switches, sw)
+}
+
+// AddGap suppresses polling during [from, to) — modeling the telemetry
+// outages that appear as gray bands in the paper's Fig. 6.
+func (p *Poller) AddGap(from, to sim.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gaps = append(p.gaps, gap{from, to})
+}
+
+// Start begins periodic polling. Calling Start twice panics.
+func (p *Poller) Start() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ticker != nil {
+		panic("telemetry: poller already started")
+	}
+	p.ticker = p.kernel.Every(p.interval, p.pollOnce)
+}
+
+// Stop halts polling.
+func (p *Poller) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+// PollNow samples all watched switches immediately (used by tests and by
+// Patchwork instances that need a fresh reading before a cycling
+// decision).
+func (p *Poller) PollNow() { p.pollOnce(p.kernel.Now()) }
+
+func (p *Poller) pollOnce(now sim.Time) {
+	p.mu.Lock()
+	switches := append([]*switchsim.Switch(nil), p.switches...)
+	for _, g := range p.gaps {
+		if now >= g.from && now < g.to {
+			p.mu.Unlock()
+			return
+		}
+	}
+	p.mu.Unlock()
+	for _, sw := range switches {
+		for _, port := range sw.Ports() {
+			key := PortKey{Switch: sw.Name, Port: port.Name}
+			p.store.Record(key, Sample{Time: now, Counters: port.Counters()})
+		}
+	}
+}
+
+// FormatRate renders a rate for logs, e.g. "tx 1.25GB/s rx 0B/s".
+func FormatRate(r Rate) string {
+	return fmt.Sprintf("tx %s/s rx %s/s",
+		units.ByteSize(r.TxBps), units.ByteSize(r.RxBps))
+}

@@ -1,0 +1,214 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/units"
+)
+
+func setup(t *testing.T) (*sim.Kernel, *switchsim.Switch, *Store, *Poller) {
+	t.Helper()
+	k := sim.NewKernel()
+	sw := switchsim.New("STAR", k)
+	sw.AddPort("P1", switchsim.RoleUplink, 100*units.Gbps)
+	sw.AddPort("P2", switchsim.RoleDownlink, 100*units.Gbps)
+	sw.AddPort("P3", switchsim.RoleDownlink, 100*units.Gbps)
+	st := NewStore()
+	p := NewPoller(k, st, 0)
+	p.Watch(sw)
+	return k, sw, st, p
+}
+
+// drive injects constant-rate traffic on a port for the duration. One
+// aggregate "frame" per second keeps the event count small; the 5-minute
+// rate sampling only sees byte totals.
+func drive(k *sim.Kernel, sw *switchsim.Switch, port string, dir switchsim.Direction, bytesPerSec int64, dur sim.Duration) {
+	tick := k.Every(sim.Second, func(sim.Time) {
+		_ = sw.Transit(port, dir, switchsim.Frame{Size: int(bytesPerSec)})
+	})
+	k.At(k.Now()+dur, func() { tick.Stop() })
+}
+
+func TestPollerRecordsAllPorts(t *testing.T) {
+	k, _, st, p := setup(t)
+	p.Start()
+	k.RunUntil(16 * sim.Minute) // 3 polls at 5,10,15
+	if got := len(st.Keys()); got != 3 {
+		t.Fatalf("keys = %d, want 3", got)
+	}
+	for _, key := range st.Keys() {
+		if n := len(st.Samples(key)); n != 3 {
+			t.Errorf("%v has %d samples, want 3", key, n)
+		}
+	}
+}
+
+func TestLatestRate(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.Start()
+	drive(k, sw, "P2", switchsim.DirRx, 1_000_000, 20*sim.Minute) // 1 MB/s
+	k.RunUntil(11 * sim.Minute)
+	r, ok := st.LatestRate(PortKey{"STAR", "P2"})
+	if !ok {
+		t.Fatal("no rate")
+	}
+	if r.RxBps < 0.9e6 || r.RxBps > 1.1e6 {
+		t.Errorf("RxBps = %v, want ~1e6", r.RxBps)
+	}
+	if r.TxBps != 0 {
+		t.Errorf("TxBps = %v, want 0", r.TxBps)
+	}
+}
+
+func TestRateNeedsTwoSamples(t *testing.T) {
+	k, _, st, p := setup(t)
+	p.Start()
+	k.RunUntil(6 * sim.Minute) // one poll only
+	if _, ok := st.LatestRate(PortKey{"STAR", "P2"}); ok {
+		t.Error("rate from one sample should fail")
+	}
+}
+
+func TestBusiestPortsRanking(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.Start()
+	drive(k, sw, "P2", switchsim.DirRx, 5_000_000, 20*sim.Minute)
+	drive(k, sw, "P3", switchsim.DirTx, 1_000_000, 20*sim.Minute)
+	k.RunUntil(12 * sim.Minute)
+	ranked := st.BusiestPorts("STAR", 10*sim.Minute)
+	if len(ranked) < 2 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0].Key.Port != "P2" {
+		t.Errorf("busiest = %v, want P2", ranked[0].Key)
+	}
+	if ranked[0].Rate.TotalBps() <= ranked[1].Rate.TotalBps() {
+		t.Error("ranking not descending")
+	}
+}
+
+func TestNonIdleExcludesQuietPorts(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.Start()
+	drive(k, sw, "P2", switchsim.DirRx, 2_000_000, 20*sim.Minute)
+	// P1 and P3 stay silent.
+	k.RunUntil(12 * sim.Minute)
+	nonIdle := st.NonIdlePorts("STAR", 10*sim.Minute)
+	if len(nonIdle) != 1 || nonIdle[0].Key.Port != "P2" {
+		t.Errorf("nonIdle = %v, want only P2", nonIdle)
+	}
+}
+
+func TestGapSuppressesPolls(t *testing.T) {
+	k, _, st, p := setup(t)
+	p.AddGap(7*sim.Minute, 13*sim.Minute) // swallows the 10-minute poll
+	p.Start()
+	k.RunUntil(16 * sim.Minute)
+	n := len(st.Samples(PortKey{"STAR", "P1"}))
+	if n != 2 { // polls at 5 and 15 only
+		t.Errorf("samples = %d, want 2 (gap should suppress t=10)", n)
+	}
+}
+
+func TestWeeklyUtilizationSeries(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.Start()
+	// Active in week 0, idle in week 1, active in week 2.
+	drive(k, sw, "P2", switchsim.DirRx, 1_000_000, 2*sim.Day)
+	k.RunUntil(1 * sim.Week)
+	k.At(2*sim.Week+sim.Hour, func() {
+		drive(k, sw, "P2", switchsim.DirTx, 2_000_000, 1*sim.Day)
+	})
+	k.RunUntil(3 * sim.Week)
+	p.Stop()
+	series := st.WeeklyUtilizationSeries(3 * sim.Week)
+	if len(series) != 3 {
+		t.Fatalf("weeks = %d", len(series))
+	}
+	if series[0].SumBps <= 0 {
+		t.Error("week 0 should show activity")
+	}
+	if series[2].SumBps <= 0 {
+		t.Error("week 2 should show activity")
+	}
+	if series[0].Missing || series[2].Missing {
+		t.Error("weeks with polls should not be missing")
+	}
+	// Week 1 polled but idle: present, near-zero sum.
+	if series[1].Missing {
+		t.Error("week 1 was polled, not missing")
+	}
+}
+
+func TestWeeklyGapMarksMissing(t *testing.T) {
+	k, _, st, p := setup(t)
+	p.AddGap(1*sim.Week, 2*sim.Week)
+	p.Start()
+	k.RunUntil(3 * sim.Week)
+	series := st.WeeklyUtilizationSeries(3 * sim.Week)
+	if !series[1].Missing {
+		t.Error("gap week should be missing")
+	}
+	if series[0].Missing || series[2].Missing {
+		t.Error("polled weeks should be present")
+	}
+}
+
+func TestRateOverWindow(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.Start()
+	// 1 MB/s for the first 10 minutes, then silence.
+	drive(k, sw, "P2", switchsim.DirRx, 1_000_000, 10*sim.Minute)
+	k.RunUntil(31 * sim.Minute)
+	key := PortKey{"STAR", "P2"}
+	short, ok := st.RateOver(key, 5*sim.Minute)
+	if !ok {
+		t.Fatal("no short rate")
+	}
+	long, ok := st.RateOver(key, 30*sim.Minute)
+	if !ok {
+		t.Fatal("no long rate")
+	}
+	if short.RxBps > 1000 {
+		t.Errorf("recent window should be idle, got %v", short.RxBps)
+	}
+	if long.RxBps < 100_000 {
+		t.Errorf("long window should include the burst, got %v", long.RxBps)
+	}
+}
+
+func TestPollNow(t *testing.T) {
+	k, _, st, p := setup(t)
+	p.PollNow()
+	k.Run()
+	if len(st.Samples(PortKey{"STAR", "P1"})) != 1 {
+		t.Error("PollNow should record immediately")
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	_, _, _, p := setup(t)
+	p.Start()
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start should panic")
+		}
+	}()
+	p.Start()
+}
+
+func TestFormatRate(t *testing.T) {
+	s := FormatRate(Rate{TxBps: 1_250_000_000, RxBps: 0})
+	if !strings.Contains(s, "tx 1.25GB/s") {
+		t.Errorf("FormatRate = %q", s)
+	}
+}
+
+func TestPortKeyString(t *testing.T) {
+	if (PortKey{"STAR", "P1"}).String() != "STAR/P1" {
+		t.Error("PortKey.String")
+	}
+}

@@ -1,0 +1,171 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Allocation failure modes. Patchwork's iterative back-off reacts
+// differently to each: resource exhaustion triggers a scaled-down retry,
+// transient back-end errors mark the run Failed.
+var (
+	// ErrNoDedicatedNICs: the site has no free dedicated NICs (the most
+	// common cause of degraded runs in the paper's Fig. 10).
+	ErrNoDedicatedNICs = errors.New("testbed: no dedicated NICs available")
+	// ErrNoStorage: insufficient free storage for the requested VMs.
+	ErrNoStorage = errors.New("testbed: insufficient storage")
+	// ErrNoCores: insufficient free CPU cores.
+	ErrNoCores = errors.New("testbed: insufficient cores")
+	// ErrNoRAM: insufficient free memory.
+	ErrNoRAM = errors.New("testbed: insufficient RAM")
+	// ErrNoFPGA: no free FPGA NIC at this site.
+	ErrNoFPGA = errors.New("testbed: no FPGA NIC available")
+	// ErrBackendTransient: the slice allocator itself failed (the
+	// Sept 10/11 class of failures in Section 8.1.1). Retrying later may
+	// succeed; scaling down will not help.
+	ErrBackendTransient = errors.New("testbed: transient back-end failure")
+)
+
+// IsResourceExhaustion reports whether err is a scale-down-able shortage
+// rather than a back-end fault.
+func IsResourceExhaustion(err error) bool {
+	return errors.Is(err, ErrNoDedicatedNICs) || errors.Is(err, ErrNoStorage) ||
+		errors.Is(err, ErrNoCores) || errors.Is(err, ErrNoRAM) || errors.Is(err, ErrNoFPGA)
+}
+
+// VMRequest asks for one VM plus its NICs. Patchwork's default listening
+// node is 2 cores / 8 GB RAM / 100 GB storage / 1 dedicated dual-port NIC
+// (Section 6.2.1).
+type VMRequest struct {
+	Cores         int
+	RAM           units.ByteSize
+	Storage       units.ByteSize
+	DedicatedNICs int
+	FPGANICs      int
+}
+
+// DefaultListenerVM is Patchwork's standard per-instance request.
+func DefaultListenerVM() VMRequest {
+	return VMRequest{Cores: 2, RAM: 8 * units.GB, Storage: 100 * units.GB, DedicatedNICs: 1}
+}
+
+// SliceRequest is a set of VMs to allocate at one site.
+type SliceRequest struct {
+	Name string
+	VMs  []VMRequest
+}
+
+// totals sums the request's resource demands.
+func (r SliceRequest) totals() VMRequest {
+	var t VMRequest
+	for _, vm := range r.VMs {
+		t.Cores += vm.Cores
+		t.RAM += vm.RAM
+		t.Storage += vm.Storage
+		t.DedicatedNICs += vm.DedicatedNICs
+		t.FPGANICs += vm.FPGANICs
+	}
+	return t
+}
+
+// Sliver is a granted allocation at one site.
+type Sliver struct {
+	ID       int
+	Site     string
+	Request  SliceRequest
+	Granted  sim.Time
+	released bool
+}
+
+// AddOutage injects a transient back-end failure window [from, to):
+// Allocate calls during it return ErrBackendTransient.
+func (s *Site) AddOutage(from, to sim.Time) {
+	s.outages = append(s.outages, outage{from, to})
+}
+
+// CanAllocate performs the paper's "allocation simulation": it checks
+// whether the request would succeed right now without committing
+// resources (Patchwork runs this to avoid burdening the testbed's
+// allocator with doomed large requests).
+func (s *Site) CanAllocate(now sim.Time, req SliceRequest) error {
+	for _, o := range s.outages {
+		if now >= o.from && now < o.to {
+			return fmt.Errorf("site %s: %w", s.Spec.Name, ErrBackendTransient)
+		}
+	}
+	t := req.totals()
+	switch {
+	case t.DedicatedNICs > s.freeDedNICs:
+		return fmt.Errorf("site %s wants %d dedicated NICs, %d free: %w",
+			s.Spec.Name, t.DedicatedNICs, s.freeDedNICs, ErrNoDedicatedNICs)
+	case t.FPGANICs > s.freeFPGANICs:
+		return fmt.Errorf("site %s wants %d FPGAs, %d free: %w",
+			s.Spec.Name, t.FPGANICs, s.freeFPGANICs, ErrNoFPGA)
+	case t.Storage > s.freeStorage:
+		return fmt.Errorf("site %s wants %v storage, %v free: %w",
+			s.Spec.Name, t.Storage, s.freeStorage, ErrNoStorage)
+	case t.Cores > s.freeCores:
+		return fmt.Errorf("site %s wants %d cores, %d free: %w",
+			s.Spec.Name, t.Cores, s.freeCores, ErrNoCores)
+	case t.RAM > s.freeRAM:
+		return fmt.Errorf("site %s wants %v RAM, %v free: %w",
+			s.Spec.Name, t.RAM, s.freeRAM, ErrNoRAM)
+	}
+	return nil
+}
+
+// Allocate grants the request or returns one of the package's sentinel
+// errors (wrapped with context).
+func (s *Site) Allocate(now sim.Time, req SliceRequest) (*Sliver, error) {
+	if err := s.CanAllocate(now, req); err != nil {
+		return nil, err
+	}
+	t := req.totals()
+	s.freeCores -= t.Cores
+	s.freeRAM -= t.RAM
+	s.freeStorage -= t.Storage
+	s.freeDedNICs -= t.DedicatedNICs
+	s.freeFPGANICs -= t.FPGANICs
+	s.nextID++
+	sl := &Sliver{ID: s.nextID, Site: s.Spec.Name, Request: req, Granted: now}
+	s.slivers[sl.ID] = sl
+	return sl, nil
+}
+
+// Release returns a sliver's resources. Releasing twice is an error.
+func (s *Site) Release(sl *Sliver) error {
+	if sl.released {
+		return fmt.Errorf("testbed: sliver %d at %s already released", sl.ID, sl.Site)
+	}
+	if _, ok := s.slivers[sl.ID]; !ok {
+		return fmt.Errorf("testbed: sliver %d unknown at %s", sl.ID, sl.Site)
+	}
+	t := sl.Request.totals()
+	s.freeCores += t.Cores
+	s.freeRAM += t.RAM
+	s.freeStorage += t.Storage
+	s.freeDedNICs += t.DedicatedNICs
+	s.freeFPGANICs += t.FPGANICs
+	sl.released = true
+	delete(s.slivers, sl.ID)
+	return nil
+}
+
+// FreeDedicatedNICs reports currently free dedicated NICs — the quantity
+// Patchwork's discovery step queries before formulating its request.
+func (s *Site) FreeDedicatedNICs() int { return s.freeDedNICs }
+
+// FreeFPGANICs reports currently free FPGA NICs.
+func (s *Site) FreeFPGANICs() int { return s.freeFPGANICs }
+
+// FreeStorage reports currently free storage.
+func (s *Site) FreeStorage() units.ByteSize { return s.freeStorage }
+
+// FreeCores reports currently free cores.
+func (s *Site) FreeCores() int { return s.freeCores }
+
+// ActiveSlivers reports how many slivers are currently held.
+func (s *Site) ActiveSlivers() int { return len(s.slivers) }

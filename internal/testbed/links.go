@@ -1,0 +1,136 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/switchsim"
+	"repro/internal/units"
+)
+
+// InterSiteLink joins one uplink port of each of two sites. FABRIC's
+// inter-site links have heterogeneous capacities and are shared (some
+// with non-FABRIC users), so the link's rate may be below the port rate.
+type InterSiteLink struct {
+	A, B         string // site names
+	APort, BPort string // uplink port names on each switch
+	Rate         units.BitRate
+}
+
+// String renders "STAR/U1 <-> TACC/U2 (100Gbps)".
+func (l InterSiteLink) String() string {
+	return fmt.Sprintf("%s/%s <-> %s/%s (%v)", l.A, l.APort, l.B, l.BPort, l.Rate)
+}
+
+// ConnectSites records an inter-site link between free uplink ports of
+// the two sites. Each uplink port carries at most one link.
+func (f *Federation) ConnectSites(a, b string, rate units.BitRate) (*InterSiteLink, error) {
+	sa, sb := f.Site(a), f.Site(b)
+	if sa == nil || sb == nil {
+		return nil, fmt.Errorf("testbed: unknown site in link %s-%s", a, b)
+	}
+	if a == b {
+		return nil, fmt.Errorf("testbed: site %s cannot link to itself", a)
+	}
+	pa, err := f.freeUplink(sa)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := f.freeUplink(sb)
+	if err != nil {
+		return nil, err
+	}
+	if rate == 0 {
+		rate = 100 * units.Gbps
+	}
+	l := &InterSiteLink{A: a, B: b, APort: pa, BPort: pb, Rate: rate}
+	f.links = append(f.links, l)
+	f.usedUplinks[a+"/"+pa] = true
+	f.usedUplinks[b+"/"+pb] = true
+	return l, nil
+}
+
+// freeUplink returns the site's first unconnected uplink port.
+func (f *Federation) freeUplink(s *Site) (string, error) {
+	for _, name := range s.Switch.PortNames() {
+		p := s.Switch.Port(name)
+		if p == nil || p.Role != switchsim.RoleUplink {
+			continue
+		}
+		if !f.usedUplinks[s.Spec.Name+"/"+name] {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("testbed: site %s has no free uplink port", s.Spec.Name)
+}
+
+// Links returns the federation's inter-site links.
+func (f *Federation) Links() []*InterSiteLink {
+	return append([]*InterSiteLink(nil), f.links...)
+}
+
+// LinksOf returns the links touching a site.
+func (f *Federation) LinksOf(site string) []*InterSiteLink {
+	var out []*InterSiteLink
+	for _, l := range f.links {
+		if l.A == site || l.B == site {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TransitInterSite records a frame crossing the link from site `from` to
+// the other side: Rx at the origin's uplink (traffic arriving at the
+// switch from inside the site, heading out) is modeled as Tx out of the
+// origin uplink and Rx into the peer's uplink — the counters that
+// telemetry (and thus uplink-biased profiling) observes.
+func (f *Federation) TransitInterSite(l *InterSiteLink, from string, frame switchsim.Frame) error {
+	var fromSite, toSite *Site
+	var fromPort, toPort string
+	switch from {
+	case l.A:
+		fromSite, fromPort = f.Site(l.A), l.APort
+		toSite, toPort = f.Site(l.B), l.BPort
+	case l.B:
+		fromSite, fromPort = f.Site(l.B), l.BPort
+		toSite, toPort = f.Site(l.A), l.APort
+	default:
+		return fmt.Errorf("testbed: site %s not on link %v", from, l)
+	}
+	if err := fromSite.Switch.Transit(fromPort, switchsim.DirTx, frame); err != nil {
+		return err
+	}
+	return toSite.Switch.Transit(toPort, switchsim.DirRx, frame)
+}
+
+// WireBackbone connects the federation's sites into a ring plus chords,
+// approximating FABRIC's partially-meshed national/international
+// topology. It stops adding links when uplink ports run out. Returns the
+// links created.
+func (f *Federation) WireBackbone() []*InterSiteLink {
+	names := f.SiteNames()
+	if len(names) < 2 {
+		return nil
+	}
+	var made []*InterSiteLink
+	// Ring.
+	for i := range names {
+		a, b := names[i], names[(i+1)%len(names)]
+		if len(names) == 2 && i == 1 {
+			break // avoid a duplicate 2-site "ring"
+		}
+		if l, err := f.ConnectSites(a, b, 100*units.Gbps); err == nil {
+			made = append(made, l)
+		}
+	}
+	// Chords: connect site i to i+len/2 where ports remain.
+	half := len(names) / 2
+	for i := 0; i < half; i++ {
+		if l, err := f.ConnectSites(names[i], names[i+half], 100*units.Gbps); err == nil {
+			made = append(made, l)
+		}
+	}
+	sort.Slice(made, func(i, j int) bool { return made[i].String() < made[j].String() })
+	return made
+}

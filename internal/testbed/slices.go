@@ -1,0 +1,226 @@
+package testbed
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// SliceRecord is one research slice's lifecycle, as recorded in the
+// anonymized slice-creation statistics the FABRIC operator shared with
+// the Patchwork authors.
+type SliceRecord struct {
+	Start    sim.Time
+	Lifetime sim.Duration
+	// Sites lists the sites the slice uses resources in (>= 1).
+	Sites []string
+}
+
+// End returns the slice's teardown time.
+func (r SliceRecord) End() sim.Time { return r.Start + r.Lifetime }
+
+// WorkloadModel generates a year of slice activity statistically matched
+// to the paper's Section 5 findings:
+//
+//   - 66.5% of slices use a single site (Fig. 3);
+//   - 75% of slices last at most 24 hours (Fig. 4);
+//   - an average of 85 slices are active at any time, with standard
+//     deviation 52 and an observed maximum of 272 (Fig. 5);
+//   - activity ramps up before conference deadlines, peaking the week
+//     before Supercomputing in November (Fig. 6).
+type WorkloadModel struct {
+	// BaseArrivalsPerHour is the unmodulated Poisson arrival intensity.
+	BaseArrivalsPerHour float64
+	// SingleSiteFraction is the probability a slice stays in one site.
+	SingleSiteFraction float64
+	// DeadlineWeeks are week indices (0-based within the year) that act
+	// as activity attractors; intensity ramps up over the preceding
+	// weeks. The defaults approximate April and mid-November deadlines.
+	DeadlineWeeks []int
+}
+
+// DefaultWorkloadModel returns the calibration used for the paper-shape
+// experiments.
+func DefaultWorkloadModel() WorkloadModel {
+	return WorkloadModel{
+		BaseArrivalsPerHour: 3.45,
+		SingleSiteFraction:  0.665,
+		DeadlineWeeks:       []int{15, 46},
+	}
+}
+
+// DeadlineIntensityAt exposes the activity multiplier at time t for
+// utilization modeling (Fig. 6's ramp-ups reuse the same calendar).
+func (m WorkloadModel) DeadlineIntensityAt(t sim.Time) float64 {
+	return m.intensity(t)
+}
+
+// intensity returns the arrival-rate multiplier at time t: a baseline of
+// 0.55 rising toward ~3.2x in a deadline week, with an 8-week ramp.
+func (m WorkloadModel) intensity(t sim.Time) float64 {
+	week := float64(t) / float64(sim.Week)
+	mult := 0.55
+	for _, dw := range m.DeadlineWeeks {
+		d := float64(dw) - week
+		if d >= 0 && d < 8 {
+			// Linear ramp over the 8 weeks leading in, then cut off after
+			// the deadline passes ("ramp-up period to April and November").
+			mult += 2.65 * (1 - d/8)
+		}
+	}
+	return mult
+}
+
+// sampleLifetime draws a slice lifetime: 75% of mass within 24 hours
+// (short, quadratically skewed toward minutes-to-hours), the rest a
+// heavy Pareto tail capped at 8 weeks.
+func (m WorkloadModel) sampleLifetime(r *rng.Source) sim.Duration {
+	if r.Bool(0.75) {
+		u := r.Float64()
+		return sim.Duration(u * u * float64(24*sim.Hour))
+	}
+	d := sim.Duration(float64(24*sim.Hour) * r.Pareto(1, 1.3))
+	if d > 8*sim.Week {
+		d = 8 * sim.Week
+	}
+	return d
+}
+
+// sampleSites picks the sites a slice spans.
+func (m WorkloadModel) sampleSites(r *rng.Source, names []string) []string {
+	n := 1
+	if !r.Bool(m.SingleSiteFraction) {
+		// Multi-site slices: geometric-ish tail over 2..8 sites.
+		n = 2
+		for n < 8 && r.Bool(0.38) {
+			n++
+		}
+	}
+	if n > len(names) {
+		n = len(names)
+	}
+	perm := r.Perm(len(names))
+	sites := make([]string, n)
+	for i := 0; i < n; i++ {
+		sites[i] = names[perm[i]]
+	}
+	sort.Strings(sites)
+	return sites
+}
+
+// Generate produces slice records covering [0, horizon) using a
+// non-homogeneous Poisson arrival process (thinning over hourly steps).
+func (m WorkloadModel) Generate(seed uint64, horizon sim.Duration, siteNames []string) []SliceRecord {
+	r := rng.New(seed)
+	var out []SliceRecord
+	step := sim.Hour
+	for t := sim.Time(0); t < horizon; t += step {
+		mean := m.BaseArrivalsPerHour * m.intensity(t)
+		n := r.Poisson(mean)
+		for i := 0; i < n; i++ {
+			start := t + sim.Time(r.Int63n(int64(step)))
+			out = append(out, SliceRecord{
+				Start:    start,
+				Lifetime: m.sampleLifetime(r),
+				Sites:    m.sampleSites(r, siteNames),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// SitesPerSliceHistogram counts slices by the number of sites they span.
+// Index 0 is unused; index i counts slices spanning i sites.
+func SitesPerSliceHistogram(recs []SliceRecord) []int {
+	maxSites := 1
+	for _, r := range recs {
+		if len(r.Sites) > maxSites {
+			maxSites = len(r.Sites)
+		}
+	}
+	h := make([]int, maxSites+1)
+	for _, r := range recs {
+		h[len(r.Sites)]++
+	}
+	return h
+}
+
+// LifetimeCDF returns, for each requested duration, the fraction of
+// slices with Lifetime <= that duration.
+func LifetimeCDF(recs []SliceRecord, at []sim.Duration) []float64 {
+	out := make([]float64, len(at))
+	if len(recs) == 0 {
+		return out
+	}
+	for i, d := range at {
+		n := 0
+		for _, r := range recs {
+			if r.Lifetime <= d {
+				n++
+			}
+		}
+		out[i] = float64(n) / float64(len(recs))
+	}
+	return out
+}
+
+// ConcurrencyStats summarizes the number of simultaneously active slices
+// sampled at a fixed interval (Fig. 5 reports mean 85, stddev 52,
+// max 272).
+type ConcurrencyStats struct {
+	Mean, StdDev float64
+	Max          int
+	Series       []int
+}
+
+// Concurrency samples active-slice counts every interval over [0,
+// horizon).
+func Concurrency(recs []SliceRecord, horizon sim.Duration, interval sim.Duration) ConcurrencyStats {
+	if interval <= 0 {
+		interval = 6 * sim.Hour
+	}
+	// Event sweep: +1 at start, -1 at end.
+	type ev struct {
+		t sim.Time
+		d int
+	}
+	events := make([]ev, 0, 2*len(recs))
+	for _, r := range recs {
+		events = append(events, ev{r.Start, +1}, ev{r.End(), -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].t != events[j].t {
+			return events[i].t < events[j].t
+		}
+		return events[i].d < events[j].d // ends before starts at ties
+	})
+	var series []int
+	cur, ei := 0, 0
+	for t := sim.Time(0); t < sim.Time(horizon); t += interval {
+		for ei < len(events) && events[ei].t <= t {
+			cur += events[ei].d
+			ei++
+		}
+		series = append(series, cur)
+	}
+	var stats ConcurrencyStats
+	stats.Series = series
+	if len(series) == 0 {
+		return stats
+	}
+	var sum, sumSq float64
+	for _, v := range series {
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+		if v > stats.Max {
+			stats.Max = v
+		}
+	}
+	n := float64(len(series))
+	stats.Mean = sum / n
+	stats.StdDev = math.Sqrt(sumSq/n - stats.Mean*stats.Mean)
+	return stats
+}

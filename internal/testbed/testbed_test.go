@@ -1,0 +1,349 @@
+package testbed
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/units"
+)
+
+func twoSiteFederation(t *testing.T) *Federation {
+	t.Helper()
+	k := sim.NewKernel()
+	f, err := NewFederation(k, []SiteSpec{
+		{Name: "STAR", Uplinks: 2, Downlinks: 8, DedicatedNICs: 4, FPGANICs: 1,
+			Cores: 64, RAM: 256 * units.GB, Storage: 2 * units.TB},
+		{Name: "TACC", Uplinks: 1, Downlinks: 12, DedicatedNICs: 2,
+			Cores: 32, RAM: 128 * units.GB, Storage: 1 * units.TB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFederationConstruction(t *testing.T) {
+	f := twoSiteFederation(t)
+	if len(f.Sites()) != 2 {
+		t.Fatalf("sites = %d", len(f.Sites()))
+	}
+	star := f.Site("STAR")
+	if star == nil {
+		t.Fatal("no STAR site")
+	}
+	names := star.Switch.PortNames()
+	if len(names) != 10 { // 2 uplinks + 8 downlinks
+		t.Errorf("STAR ports = %v", names)
+	}
+	if star.Switch.Port("U1") == nil || star.Switch.Port("P8") == nil {
+		t.Error("expected U1 and P8 ports")
+	}
+	if f.Site("NOPE") != nil {
+		t.Error("unknown site should be nil")
+	}
+}
+
+func TestDuplicateSiteRejected(t *testing.T) {
+	k := sim.NewKernel()
+	_, err := NewFederation(k, []SiteSpec{{Name: "A", Downlinks: 1}, {Name: "A", Downlinks: 1}})
+	if err == nil {
+		t.Error("duplicate site should fail")
+	}
+}
+
+func TestPortDistributionSorted(t *testing.T) {
+	f := twoSiteFederation(t)
+	dist := f.PortDistribution()
+	if len(dist) != 2 || dist[0].Site != "TACC" || dist[0].Downlinks != 12 {
+		t.Errorf("dist = %v", dist)
+	}
+	// Every site: more downlinks than uplinks (the Fig. 2 observation).
+	for _, pc := range dist {
+		if pc.Downlinks <= pc.Uplinks {
+			t.Errorf("%s: downlinks %d <= uplinks %d", pc.Site, pc.Downlinks, pc.Uplinks)
+		}
+	}
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("STAR")
+	req := SliceRequest{Name: "pw", VMs: []VMRequest{DefaultListenerVM(), DefaultListenerVM()}}
+	sl, err := s.Allocate(0, req)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if s.FreeDedicatedNICs() != 2 {
+		t.Errorf("free NICs = %d, want 2", s.FreeDedicatedNICs())
+	}
+	if s.FreeCores() != 60 {
+		t.Errorf("free cores = %d, want 60", s.FreeCores())
+	}
+	if s.ActiveSlivers() != 1 {
+		t.Errorf("active = %d", s.ActiveSlivers())
+	}
+	if err := s.Release(sl); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if s.FreeDedicatedNICs() != 4 || s.FreeCores() != 64 {
+		t.Error("release did not restore capacity")
+	}
+	if err := s.Release(sl); err == nil {
+		t.Error("double release should fail")
+	}
+}
+
+func TestAllocationFailureModes(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("TACC") // 2 dedicated NICs, no FPGA, 1TB storage, 32 cores
+	cases := []struct {
+		req  VMRequest
+		want error
+	}{
+		{VMRequest{DedicatedNICs: 3}, ErrNoDedicatedNICs},
+		{VMRequest{FPGANICs: 1}, ErrNoFPGA},
+		{VMRequest{Storage: 2 * units.TB}, ErrNoStorage},
+		{VMRequest{Cores: 100}, ErrNoCores},
+		{VMRequest{RAM: 1 * units.TB}, ErrNoRAM},
+	}
+	for _, c := range cases {
+		_, err := s.Allocate(0, SliceRequest{VMs: []VMRequest{c.req}})
+		if !errors.Is(err, c.want) {
+			t.Errorf("Allocate(%+v) err = %v, want %v", c.req, err, c.want)
+		}
+		if !IsResourceExhaustion(err) {
+			t.Errorf("%v should be resource exhaustion", err)
+		}
+	}
+}
+
+func TestOutageReturnsTransient(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("STAR")
+	s.AddOutage(10*sim.Minute, 20*sim.Minute)
+	req := SliceRequest{VMs: []VMRequest{DefaultListenerVM()}}
+	if _, err := s.Allocate(15*sim.Minute, req); !errors.Is(err, ErrBackendTransient) {
+		t.Errorf("during outage err = %v", err)
+	}
+	if IsResourceExhaustion(ErrBackendTransient) {
+		t.Error("transient should not be resource exhaustion")
+	}
+	if _, err := s.Allocate(25*sim.Minute, req); err != nil {
+		t.Errorf("after outage: %v", err)
+	}
+}
+
+func TestCanAllocateDoesNotCommit(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("STAR")
+	req := SliceRequest{VMs: []VMRequest{DefaultListenerVM()}}
+	if err := s.CanAllocate(0, req); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeDedicatedNICs() != 4 {
+		t.Error("CanAllocate must not consume resources")
+	}
+}
+
+func TestDefaultFederationShape(t *testing.T) {
+	k := sim.NewKernel()
+	f := DefaultFederation(k, 1)
+	sites := f.Sites()
+	if len(sites) != 28 {
+		t.Fatalf("sites = %d", len(sites))
+	}
+	fpga := 0
+	for _, s := range sites {
+		spec := s.Spec
+		if spec.Uplinks < 1 || spec.Uplinks > 4 {
+			t.Errorf("%s uplinks = %d", spec.Name, spec.Uplinks)
+		}
+		if spec.Downlinks <= spec.Uplinks {
+			t.Errorf("%s downlinks %d <= uplinks %d", spec.Name, spec.Downlinks, spec.Uplinks)
+		}
+		if spec.Name != "UKY" && (spec.DedicatedNICs < 2 || spec.DedicatedNICs > 10) {
+			t.Errorf("%s dedicated NICs = %d", spec.Name, spec.DedicatedNICs)
+		}
+		if spec.FPGANICs > 0 {
+			fpga++
+		}
+	}
+	if f.Site("NCSA").Spec.DedicatedNICs != 10 {
+		t.Error("NCSA inventory not applied")
+	}
+	if f.Site("UKY").Spec.DedicatedNICs != 0 {
+		t.Error("UKY should lack dedicated NICs")
+	}
+	if fpga < 5 {
+		t.Errorf("only %d FPGA sites", fpga)
+	}
+	// Determinism.
+	g := DefaultFederation(sim.NewKernel(), 1)
+	for i := range sites {
+		if g.Sites()[i].Spec != sites[i].Spec {
+			t.Fatal("DefaultFederation not deterministic")
+		}
+	}
+}
+
+func TestWorkloadSingleSiteFraction(t *testing.T) {
+	m := DefaultWorkloadModel()
+	recs := m.Generate(7, 8*sim.Week, DefaultFederation(sim.NewKernel(), 1).SiteNames())
+	if len(recs) < 1000 {
+		t.Fatalf("only %d slices generated", len(recs))
+	}
+	h := SitesPerSliceHistogram(recs)
+	frac := float64(h[1]) / float64(len(recs))
+	if frac < 0.63 || frac < 0.60 || frac > 0.70 {
+		t.Errorf("single-site fraction = %.3f, want ~0.665", frac)
+	}
+	if len(h) < 3 {
+		t.Error("no multi-site slices")
+	}
+}
+
+func TestWorkloadLifetimeCDF(t *testing.T) {
+	m := DefaultWorkloadModel()
+	recs := m.Generate(11, 8*sim.Week, []string{"A", "B", "C"})
+	cdf := LifetimeCDF(recs, []sim.Duration{24 * sim.Hour, 8 * sim.Week})
+	if cdf[0] < 0.72 || cdf[0] > 0.78 {
+		t.Errorf("P(lifetime<=24h) = %.3f, want ~0.75", cdf[0])
+	}
+	if cdf[1] != 1 {
+		t.Errorf("P(lifetime<=8w) = %.3f, want 1 (capped)", cdf[1])
+	}
+}
+
+func TestWorkloadConcurrency(t *testing.T) {
+	m := DefaultWorkloadModel()
+	names := DefaultFederation(sim.NewKernel(), 1).SiteNames()
+	recs := m.Generate(3, 52*sim.Week, names)
+	st := Concurrency(recs, 52*sim.Week, 6*sim.Hour)
+	// Fig. 5: mean 85, stddev 52, max 272. Allow generous bands — the
+	// model is statistical, the shape is what matters.
+	if st.Mean < 60 || st.Mean > 115 {
+		t.Errorf("mean concurrency = %.1f, want ~85", st.Mean)
+	}
+	if st.StdDev < 30 || st.StdDev > 80 {
+		t.Errorf("stddev = %.1f, want ~52", st.StdDev)
+	}
+	if st.Max < 150 || st.Max > 450 {
+		t.Errorf("max = %d, want ~272", st.Max)
+	}
+}
+
+func TestIntensityRampsToDeadline(t *testing.T) {
+	m := DefaultWorkloadModel()
+	quiet := m.intensity(2 * sim.Week)
+	deadline := m.intensity(46 * sim.Week)
+	if deadline < quiet*3 {
+		t.Errorf("deadline intensity %.2f should dwarf quiet %.2f", deadline, quiet)
+	}
+	after := m.intensity(48 * sim.Week)
+	if after > quiet*1.5 {
+		t.Errorf("post-deadline intensity %.2f should fall back", after)
+	}
+}
+
+func TestConcurrencyEmpty(t *testing.T) {
+	st := Concurrency(nil, sim.Week, sim.Hour)
+	if st.Mean != 0 || st.Max != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	if got := LifetimeCDF(nil, []sim.Duration{sim.Hour}); got[0] != 0 {
+		t.Error("empty CDF should be 0")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	m := DefaultWorkloadModel()
+	a := m.Generate(5, 2*sim.Week, []string{"A", "B"})
+	b := m.Generate(5, 2*sim.Week, []string{"A", "B"})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].Lifetime != b[i].Lifetime {
+			t.Fatal("records differ")
+		}
+	}
+}
+
+func TestConnectSites(t *testing.T) {
+	f := twoSiteFederation(t)
+	l, err := f.ConnectSites("STAR", "TACC", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rate != 100*units.Gbps {
+		t.Errorf("default rate = %v", l.Rate)
+	}
+	if l.APort != "U1" || l.BPort != "U1" {
+		t.Errorf("ports = %s/%s", l.APort, l.BPort)
+	}
+	// STAR has 2 uplinks, TACC has 1: a second STAR-TACC link exhausts TACC.
+	if _, err := f.ConnectSites("STAR", "TACC", 0); err == nil {
+		t.Error("TACC has no free uplink; link should fail")
+	}
+	if _, err := f.ConnectSites("STAR", "STAR", 0); err == nil {
+		t.Error("self link should fail")
+	}
+	if _, err := f.ConnectSites("STAR", "NOPE", 0); err == nil {
+		t.Error("unknown site should fail")
+	}
+	if got := len(f.LinksOf("STAR")); got != 1 {
+		t.Errorf("LinksOf = %d", got)
+	}
+}
+
+func TestTransitInterSite(t *testing.T) {
+	f := twoSiteFederation(t)
+	l, err := f.ConnectSites("STAR", "TACC", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := switchsim.Frame{Size: 1500}
+	if err := f.TransitInterSite(l, "STAR", frame); err != nil {
+		t.Fatal(err)
+	}
+	star := f.Site("STAR").Switch.Port(l.APort).Counters()
+	tacc := f.Site("TACC").Switch.Port(l.BPort).Counters()
+	if star.TxBytes != 1500 || star.RxBytes != 0 {
+		t.Errorf("STAR uplink counters = %+v", star)
+	}
+	if tacc.RxBytes != 1500 || tacc.TxBytes != 0 {
+		t.Errorf("TACC uplink counters = %+v", tacc)
+	}
+	if err := f.TransitInterSite(l, "NOPE", frame); err == nil {
+		t.Error("off-link site should fail")
+	}
+}
+
+func TestWireBackbone(t *testing.T) {
+	k := sim.NewKernel()
+	f := DefaultFederation(k, 1)
+	links := f.WireBackbone()
+	// Sites with a single uplink can break at most a couple of ring
+	// edges; the backbone must still be nearly complete.
+	if len(links) < len(f.Sites())-2 {
+		t.Errorf("backbone has %d links for %d sites", len(links), len(f.Sites()))
+	}
+	// No uplink carries two links.
+	seen := map[string]bool{}
+	for _, l := range f.Links() {
+		for _, key := range []string{l.A + "/" + l.APort, l.B + "/" + l.BPort} {
+			if seen[key] {
+				t.Fatalf("uplink %s used twice", key)
+			}
+			seen[key] = true
+		}
+	}
+	// Every site is connected.
+	for _, s := range f.Sites() {
+		if len(f.LinksOf(s.Spec.Name)) == 0 {
+			t.Errorf("site %s disconnected", s.Spec.Name)
+		}
+	}
+}

@@ -1,0 +1,589 @@
+package trafficgen
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Dir is the direction of a frame relative to its flow.
+type Dir uint8
+
+// Directions.
+const (
+	DirForward Dir = iota
+	DirReverse
+)
+
+// TimedFrame is one synthesized frame with its arrival timestamp within a
+// sample window.
+type TimedFrame struct {
+	At   sim.Time
+	Data []byte
+	Dir  Dir
+}
+
+// FlowSpec fixes the invariants of one flow: endpoints, encapsulation,
+// and archetype. Frames of a flow share these, so the analysis pipeline
+// can classify them together.
+type FlowSpec struct {
+	Kind Kind
+	// VLANID tags the flow (FABRIC's underlay isolates slices by tag).
+	VLANID uint16
+	// MPLSLabels is the label stack, outermost first (empty = no MPLS).
+	MPLSLabels []uint32
+	// Pseudowire selects an Ethernet pseudowire (inner Ethernet) under
+	// the MPLS stack.
+	Pseudowire bool
+	// IPv6 selects IPv6 addressing.
+	IPv6 bool
+
+	SrcMAC, DstMAC   wire.MAC
+	SrcIP, DstIP     netip.Addr
+	SrcPort, DstPort uint16
+}
+
+// StackDepth returns the number of headers a forward data frame of this
+// flow will carry, including the port-classified application layer. The
+// paper's Fig. 11 reports maxima between 6 and 12.
+func (fs *FlowSpec) StackDepth() int {
+	if fs.Kind == KindARP {
+		// ARP frames skip the MPLS underlay: Ethernet/VLAN/ARP.
+		return 3
+	}
+	d := 2 // outer Ethernet + VLAN
+	d += len(fs.MPLSLabels)
+	if fs.Pseudowire {
+		d += 2 // control word + inner Ethernet
+	}
+	d++ // IP
+	switch fs.Kind {
+	case KindICMP:
+		d++ // ICMP
+	case KindBulkTCP, KindUDPBulk:
+		d++ // transport; payload unclassified
+	case KindVXLAN:
+		d += 5 // UDP + VXLAN + inner Ethernet + inner IP + inner UDP
+	case KindGRE:
+		d += 3 // GRE + inner IP + inner UDP
+	default:
+		d += 2 // transport + app layer
+	}
+	return d
+}
+
+// Generator synthesizes traffic for one site profile. It is driven by a
+// deterministic rng stream, so a (seed, profile) pair always produces the
+// same capture.
+type Generator struct {
+	Profile  Profile
+	r        *rng.Source
+	buf      *wire.SerializeBuffer
+	nextIP   uint32
+	nextPort uint16
+}
+
+// NewGenerator binds a profile to a seeded source.
+func NewGenerator(p Profile, seed uint64) *Generator {
+	return &Generator{
+		Profile:  p,
+		r:        rng.New(seed),
+		buf:      wire.NewSerializeBuffer(),
+		nextIP:   1,
+		nextPort: 30000,
+	}
+}
+
+// NewFlow draws a flow specification from the profile.
+func (g *Generator) NewFlow() FlowSpec {
+	p := &g.Profile
+	fs := FlowSpec{
+		Kind:   p.drawKind(g.r),
+		VLANID: uint16(2000 + g.r.Intn(1000)),
+		IPv6:   g.r.Bool(p.IPv6Fraction),
+	}
+	if fs.Kind == KindARP {
+		fs.IPv6 = false // ARP is IPv4-only
+	}
+	labels := 1
+	if g.r.Bool(p.MPLSDepth2Fraction) {
+		labels = 2
+	}
+	for i := 0; i < labels; i++ {
+		fs.MPLSLabels = append(fs.MPLSLabels, uint32(16+g.r.Intn(1<<19)))
+	}
+	fs.Pseudowire = g.r.Bool(p.PWFraction)
+	if fs.Kind == KindVXLAN || fs.Kind == KindGRE {
+		// Tunnel workloads already nest deeply; the underlay keeps them
+		// on a single label without a pseudowire (keeps observed stack
+		// depths within the paper's 6-12 range).
+		fs.Pseudowire = false
+		fs.MPLSLabels = fs.MPLSLabels[:1]
+	}
+	fs.SrcMAC = wire.MAC{0x02, 0xFA, 0xB0, byte(g.r.Intn(256)), byte(g.r.Intn(256)), byte(g.r.Intn(256))}
+	fs.DstMAC = wire.MAC{0x02, 0xFA, 0xB1, byte(g.r.Intn(256)), byte(g.r.Intn(256)), byte(g.r.Intn(256))}
+	// Different slices reuse 10/8 space; the VLAN/MPLS tags are what
+	// distinguish them (Section 6.2.4).
+	a := g.nextIP
+	g.nextIP += 2
+	if fs.IPv6 {
+		fs.SrcIP = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)})
+		fs.DstIP = netip.AddrFrom16([16]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a + 1)})
+	} else {
+		fs.SrcIP = netip.AddrFrom4([4]byte{10, byte(a >> 16), byte(a >> 8), byte(a)})
+		fs.DstIP = netip.AddrFrom4([4]byte{10, byte(a >> 16), byte(a >> 8), byte(a + 1)})
+	}
+	fs.SrcPort = g.nextPort
+	g.nextPort++
+	if g.nextPort > 60000 {
+		g.nextPort = 30000
+	}
+	fs.DstPort = wellKnownPort(fs.Kind, g.r)
+	return fs
+}
+
+func wellKnownPort(k Kind, r *rng.Source) uint16 {
+	switch k {
+	case KindTLS:
+		return 443
+	case KindSSH:
+		return 22
+	case KindHTTP:
+		return 80
+	case KindDNS:
+		return 53
+	case KindNTP:
+		return 123
+	case KindVXLAN:
+		return 4789
+	default:
+		return uint16(5001 + r.Intn(4000))
+	}
+}
+
+// DataFrameSize draws the wire size for a forward data frame of the given
+// kind. Bulk flows on jumbo-framed sites produce the 1519-2047B class
+// that dominates FABRIC traffic (74.7%).
+func (g *Generator) DataFrameSize(k Kind) int {
+	switch k {
+	case KindBulkTCP, KindUDPBulk, KindVXLAN, KindGRE:
+		if g.Profile.JumboData {
+			return 1519 + g.r.Intn(529) // 1519-2047
+		}
+		return 1400 + g.r.Intn(119) // near-MTU
+	case KindTLS, KindHTTP:
+		return 300 + g.r.Intn(1200)
+	case KindSSH:
+		return 90 + g.r.Intn(160)
+	case KindDNS, KindNTP:
+		return 90 + g.r.Intn(60)
+	case KindICMP:
+		return 98
+	case KindARP:
+		return 64
+	default:
+		return 128 + g.r.Intn(128)
+	}
+}
+
+// BuildFrame serializes one frame of the flow. For DirForward the frame
+// is padded/filled to approximately wireSize bytes; DirReverse produces a
+// minimum-size ACK (TCP kinds) or a small response.
+func (g *Generator) BuildFrame(fs *FlowSpec, dir Dir, wireSize int) ([]byte, error) {
+	var layers []wire.SerializableLayer
+	srcMAC, dstMAC := fs.SrcMAC, fs.DstMAC
+	srcIP, dstIP := fs.SrcIP, fs.DstIP
+	srcPort, dstPort := fs.SrcPort, fs.DstPort
+	if dir == DirReverse {
+		srcMAC, dstMAC = dstMAC, srcMAC
+		srcIP, dstIP = dstIP, srcIP
+		srcPort, dstPort = dstPort, srcPort
+	}
+
+	nextOuter := wire.EthernetTypeDot1Q
+	layers = append(layers, &wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: nextOuter})
+	innerType := wire.EthernetTypeIPv4
+	if fs.IPv6 {
+		innerType = wire.EthernetTypeIPv6
+	}
+	if fs.Kind == KindARP {
+		innerType = wire.EthernetTypeARP
+	}
+	vlanNext := innerType
+	if len(fs.MPLSLabels) > 0 && fs.Kind != KindARP {
+		vlanNext = wire.EthernetTypeMPLSUnicast
+	}
+	layers = append(layers, &wire.Dot1Q{VLANID: fs.VLANID, EthernetType: vlanNext})
+	if vlanNext == wire.EthernetTypeMPLSUnicast {
+		for i, label := range fs.MPLSLabels {
+			layers = append(layers, &wire.MPLS{
+				Label:       label,
+				StackBottom: i == len(fs.MPLSLabels)-1,
+				TTL:         64,
+			})
+		}
+		if fs.Pseudowire {
+			layers = append(layers,
+				&wire.PWControlWord{},
+				&wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: innerType})
+		}
+	}
+
+	if fs.Kind == KindARP {
+		op := uint16(wire.ARPRequest)
+		if dir == DirReverse {
+			op = wire.ARPReply
+		}
+		sip, tip := srcIP, dstIP
+		layers = append(layers, &wire.ARP{
+			Operation: op, SenderMAC: srcMAC, SenderIP: sip,
+			TargetMAC: dstMAC, TargetIP: tip,
+		})
+		return g.serialize(layers)
+	}
+
+	// Network layer.
+	overhead := stackOverhead(fs)
+	if fs.IPv6 {
+		proto := transportProto(fs.Kind, true)
+		layers = append(layers, &wire.IPv6{NextHeader: proto, HopLimit: 62, SrcIP: srcIP, DstIP: dstIP})
+	} else {
+		proto := transportProto(fs.Kind, false)
+		layers = append(layers, &wire.IPv4{TTL: 62, Protocol: proto, ID: uint16(g.r.Intn(1 << 16)), SrcIP: srcIP, DstIP: dstIP})
+	}
+
+	switch fs.Kind {
+	case KindICMP:
+		if fs.IPv6 {
+			typ := uint8(wire.ICMPv6TypeEchoRequest)
+			if dir == DirReverse {
+				typ = wire.ICMPv6TypeEchoReply
+			}
+			layers = append(layers, &wire.ICMPv6{Type: typ})
+		} else {
+			typ := uint8(wire.ICMPv4TypeEchoRequest)
+			if dir == DirReverse {
+				typ = wire.ICMPv4TypeEchoReply
+			}
+			layers = append(layers, &wire.ICMPv4{Type: typ, ID: 1, Seq: uint16(g.r.Intn(1 << 16))})
+		}
+		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-8, 0)))
+		layers = append(layers, &pay)
+	case KindGRE:
+		inner := wire.EthernetTypeIPv4
+		layers = append(layers, &wire.GRE{Protocol: inner})
+		layers = append(layers, &wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP, SrcIP: netip.AddrFrom4([4]byte{192, 168, 0, 1}), DstIP: netip.AddrFrom4([4]byte{192, 168, 0, 2})})
+		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: 9999})
+		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-32, 8)))
+		layers = append(layers, &pay)
+	case KindVXLAN:
+		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: 4789})
+		layers = append(layers, &wire.VXLAN{ValidIDFlag: true, VNI: uint32(g.r.Intn(1 << 24))})
+		layers = append(layers, &wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: wire.EthernetTypeIPv4})
+		layers = append(layers, &wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP, SrcIP: netip.AddrFrom4([4]byte{172, 16, 0, 1}), DstIP: netip.AddrFrom4([4]byte{172, 16, 0, 2})})
+		layers = append(layers, &wire.UDP{SrcPort: 7000, DstPort: 7001})
+		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-58, 8)))
+		layers = append(layers, &pay)
+	case KindDNS:
+		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: dstPort})
+		dns := &wire.DNS{ID: uint16(g.r.Intn(1 << 16)), QR: dir == DirReverse,
+			Questions: []string{fmt.Sprintf("host%d.fabric-testbed.net", g.r.Intn(1000))}}
+		layers = append(layers, dns)
+	case KindNTP:
+		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: dstPort})
+		mode := uint8(3)
+		if dir == DirReverse {
+			mode = 4
+		}
+		layers = append(layers, &wire.NTP{Version: 4, Mode: mode, Stratum: 2})
+	case KindUDPBulk:
+		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: dstPort})
+		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-8, 8)))
+		layers = append(layers, &pay)
+	default:
+		// TCP-based kinds.
+		tcp := &wire.TCP{SrcPort: srcPort, DstPort: dstPort,
+			Seq: uint32(g.r.Intn(1 << 30)), Ack: uint32(g.r.Intn(1 << 30)),
+			Window: 65535}
+		if dir == DirReverse {
+			tcp.Flags = wire.TCPAck // payload-free ACK: minimum-size frame
+			layers = append(layers, tcp)
+		} else {
+			tcp.Flags = wire.TCPPsh | wire.TCPAck
+			layers = append(layers, tcp)
+			payLen := clampPayload(wireSize-overhead-20, 1)
+			switch fs.Kind {
+			case KindTLS:
+				tl := &wire.TLS{RecordType: wire.TLSApplicationData, Version: 0x0303}
+				layers = append(layers, tl)
+				pay := wire.Payload(make([]byte, clampPayload(payLen-5, 1)))
+				layers = append(layers, &pay)
+			case KindSSH:
+				body := make([]byte, payLen)
+				copy(body, "SSH-2.0-OpenSSH_9.6\r\n")
+				pay := wire.Payload(body)
+				layers = append(layers, &pay)
+			case KindHTTP:
+				body := make([]byte, payLen)
+				copy(body, "GET /data HTTP/1.1\r\nHost: x\r\n\r\n")
+				pay := wire.Payload(body)
+				layers = append(layers, &pay)
+			default:
+				pay := wire.Payload(make([]byte, payLen))
+				layers = append(layers, &pay)
+			}
+		}
+	}
+	return g.serialize(layers)
+}
+
+func clampPayload(n, min int) int {
+	if n < min {
+		return min
+	}
+	return n
+}
+
+func transportProto(k Kind, v6 bool) wire.IPProtocol {
+	switch k {
+	case KindICMP:
+		if v6 {
+			return wire.IPProtocolICMPv6
+		}
+		return wire.IPProtocolICMPv4
+	case KindDNS, KindNTP, KindUDPBulk, KindVXLAN:
+		return wire.IPProtocolUDP
+	case KindGRE:
+		return wire.IPProtocolGRE
+	default:
+		return wire.IPProtocolTCP
+	}
+}
+
+// stackOverhead estimates encapsulation bytes above the transport payload
+// for sizing purposes.
+func stackOverhead(fs *FlowSpec) int {
+	n := wire.EthernetHeaderLen + wire.Dot1QHeaderLen
+	n += len(fs.MPLSLabels) * wire.MPLSHeaderLen
+	if fs.Pseudowire {
+		n += wire.PWControlWordLen + wire.EthernetHeaderLen
+	}
+	if fs.IPv6 {
+		n += wire.IPv6HeaderLen
+	} else {
+		n += wire.IPv4HeaderLen
+	}
+	return n
+}
+
+func (g *Generator) serialize(layers []wire.SerializableLayer) ([]byte, error) {
+	if err := wire.SerializeLayers(g.buf, wire.SerializeOptions{FixLengths: true}, layers...); err != nil {
+		return nil, err
+	}
+	if err := wire.PadToMinimumFrame(g.buf); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(g.buf.Bytes()))
+	copy(out, g.buf.Bytes())
+	return out, nil
+}
+
+// SampleConfig bounds one synthesized capture window.
+type SampleConfig struct {
+	// Duration of the window (the paper samples 20 seconds at a time).
+	Duration sim.Duration
+	// MaxFrames caps the number of frames generated.
+	MaxFrames int
+	// MaxBytes caps the total wire bytes (roughly rate * duration).
+	MaxBytes int64
+	// FlowCount overrides the profile's lognormal flow-count draw when
+	// positive.
+	FlowCount int
+}
+
+// Sample synthesizes one capture window: a set of flows drawn from the
+// profile, their frames spread over the window, sorted by timestamp.
+func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 20 * sim.Second
+	}
+	if cfg.MaxFrames <= 0 {
+		cfg.MaxFrames = 50000
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 1 << 30
+	}
+	nFlows := cfg.FlowCount
+	if nFlows <= 0 {
+		nFlows = g.Profile.drawFlowCount(g.r)
+	}
+	frames := make([]TimedFrame, 0, minInt(cfg.MaxFrames, nFlows*4))
+	var totalBytes int64
+
+	// A flow-storm sample (port scans, connection stress tests) has a
+	// huge number of single-frame flows; normal samples have heavy-tailed
+	// per-flow budgets where bulk flows dominate the bytes.
+	scanMode := nFlows > 5000
+	framesLeft := cfg.MaxFrames
+	for i := 0; i < nFlows && framesLeft > 0 && totalBytes < cfg.MaxBytes; i++ {
+		fs := g.NewFlow()
+		var nData int
+		switch {
+		case scanMode:
+			nData = 1
+		case fs.Kind == KindBulkTCP || fs.Kind == KindUDPBulk:
+			nData = 6 + int(g.r.Pareto(4, 1.05))
+		default:
+			nData = 1 + int(g.r.Pareto(1, 1.4))
+			if nData > 20 {
+				nData = 20
+			}
+		}
+		if nData > framesLeft {
+			nData = framesLeft
+		}
+		if nData > 400 {
+			nData = 400
+		}
+		// Flows that begin inside the window show their handshake.
+		flowStart := sim.Time(g.r.Int63n(int64(cfg.Duration)))
+		if isTCPKind(fs.Kind) && !scanMode && g.r.Bool(0.35) && framesLeft >= 2 {
+			syn, err := g.BuildTCPControl(&fs, DirForward, wire.TCPSyn)
+			if err != nil {
+				return nil, err
+			}
+			synAck, err := g.BuildTCPControl(&fs, DirReverse, wire.TCPSyn|wire.TCPAck)
+			if err != nil {
+				return nil, err
+			}
+			frames = append(frames, TimedFrame{At: flowStart, Data: syn, Dir: DirForward})
+			frames = append(frames, TimedFrame{At: flowStart + sim.Time(g.r.Int63n(int64(2*sim.Millisecond))), Data: synAck, Dir: DirReverse})
+			totalBytes += int64(len(syn) + len(synAck))
+			framesLeft -= 2
+		}
+		var lastAt sim.Time
+		for j := 0; j < nData && framesLeft > 0 && totalBytes < cfg.MaxBytes; j++ {
+			size := g.DataFrameSize(fs.Kind)
+			if scanMode {
+				size = 0 // probe-sized frames
+			}
+			var data []byte
+			var err error
+			if scanMode && isTCPKind(fs.Kind) {
+				// Port-scan probes are bare SYNs.
+				data, err = g.BuildTCPControl(&fs, DirForward, wire.TCPSyn)
+			} else {
+				data, err = g.BuildFrame(&fs, DirForward, size)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trafficgen: building %v frame: %w", fs.Kind, err)
+			}
+			at := sim.Time(g.r.Int63n(int64(cfg.Duration)))
+			if at > lastAt {
+				lastAt = at
+			}
+			frames = append(frames, TimedFrame{At: at, Data: data, Dir: DirForward})
+			totalBytes += int64(len(data))
+			framesLeft--
+			// Bulk TCP flows generate a reverse ACK for roughly every
+			// fourth data frame (delayed ACKs plus receive coalescing) —
+			// the source of the 65-127B frame class.
+			if (fs.Kind == KindBulkTCP || fs.Kind == KindTLS || fs.Kind == KindHTTP || fs.Kind == KindSSH) &&
+				!scanMode && j%4 == 3 && framesLeft > 0 {
+				ack, err := g.BuildFrame(&fs, DirReverse, 0)
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, TimedFrame{At: at + sim.Time(g.r.Int63n(int64(sim.Millisecond))), Data: ack, Dir: DirReverse})
+				totalBytes += int64(len(ack))
+				framesLeft--
+			}
+			// Request/response kinds answer once.
+			if (fs.Kind == KindDNS || fs.Kind == KindNTP || fs.Kind == KindICMP || fs.Kind == KindARP) &&
+				!scanMode && framesLeft > 0 {
+				resp, err := g.BuildFrame(&fs, DirReverse, g.DataFrameSize(fs.Kind))
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, TimedFrame{At: at + sim.Time(g.r.Int63n(int64(10*sim.Millisecond))), Data: resp, Dir: DirReverse})
+				totalBytes += int64(len(resp))
+				framesLeft--
+			}
+		}
+		// Flows that end inside the window show their teardown; a small
+		// fraction end abnormally (the RST class the profile definition
+		// calls out).
+		if isTCPKind(fs.Kind) && !scanMode && framesLeft > 0 {
+			switch {
+			case g.r.Bool(0.02):
+				rst, err := g.BuildTCPControl(&fs, DirForward, wire.TCPRst)
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, TimedFrame{At: lastAt, Data: rst, Dir: DirForward})
+				totalBytes += int64(len(rst))
+				framesLeft--
+			case g.r.Bool(0.3):
+				fin, err := g.BuildTCPControl(&fs, DirForward, wire.TCPFin|wire.TCPAck)
+				if err != nil {
+					return nil, err
+				}
+				frames = append(frames, TimedFrame{At: lastAt, Data: fin, Dir: DirForward})
+				totalBytes += int64(len(fin))
+				framesLeft--
+			}
+		}
+	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i].At < frames[j].At })
+	return frames, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// isTCPKind reports whether the archetype rides TCP.
+func isTCPKind(k Kind) bool {
+	switch k {
+	case KindBulkTCP, KindTLS, KindSSH, KindHTTP:
+		return true
+	default:
+		return false
+	}
+}
+
+// BuildTCPControl builds a payload-free TCP segment of the flow carrying
+// the given flags (SYN, SYN|ACK, FIN|ACK, RST, ...). It fails for
+// non-TCP archetypes.
+func (g *Generator) BuildTCPControl(fs *FlowSpec, dir Dir, flags wire.TCPFlags) ([]byte, error) {
+	if !isTCPKind(fs.Kind) {
+		return nil, fmt.Errorf("trafficgen: %v is not a TCP archetype", fs.Kind)
+	}
+	spec := *fs
+	if dir == DirForward {
+		// BuildFrame's DirReverse path emits the payload-free frame; the
+		// reverse of a swapped spec travels forward.
+		spec.SrcMAC, spec.DstMAC = spec.DstMAC, spec.SrcMAC
+		spec.SrcIP, spec.DstIP = spec.DstIP, spec.SrcIP
+		spec.SrcPort, spec.DstPort = spec.DstPort, spec.SrcPort
+	}
+	data, err := g.BuildFrame(&spec, DirReverse, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkt := wire.NewPacket(data, wire.LayerTypeEthernet, wire.NoCopy)
+	tl, ok := pkt.TransportLayer().(*wire.TCP)
+	if !ok {
+		return nil, fmt.Errorf("trafficgen: control frame lost its TCP header")
+	}
+	// LayerContents aliases data under NoCopy: patch the flag byte.
+	tl.LayerContents()[13] = uint8(flags)
+	return data, nil
+}

@@ -1,0 +1,185 @@
+// Package trafficgen synthesizes FABRIC-like network traffic: research
+// workloads wrapped in the testbed's underlay encapsulations (VLAN, MPLS,
+// Ethernet pseudowires). Because the real 13-month capture corpus cannot
+// be redistributed, generators are calibrated to the aggregate statistics
+// the paper reports — frame-size distribution dominated by jumbo frames,
+// IPv4 dominance with <2% IPv6, per-site protocol diversity ranging from
+// bare throughput tests to rich application mixes, and heavy-tailed flow
+// sizes.
+package trafficgen
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Kind is a flow archetype. Each kind maps to a protocol stack and a
+// characteristic frame-size mix.
+type Kind uint8
+
+// Flow archetypes observed in research-testbed traffic.
+const (
+	// KindBulkTCP is an iperf3-style throughput flow: jumbo data frames
+	// one way, minimum-size ACKs the other.
+	KindBulkTCP Kind = iota
+	// KindTLS is an HTTPS/TLS session (mid-size records).
+	KindTLS
+	// KindSSH is an interactive SSH session (small segments).
+	KindSSH
+	// KindHTTP is plaintext HTTP.
+	KindHTTP
+	// KindDNS is a UDP DNS query/response pair.
+	KindDNS
+	// KindNTP is an NTP poll.
+	KindNTP
+	// KindICMP is a ping train.
+	KindICMP
+	// KindARP is an ARP request/reply.
+	KindARP
+	// KindUDPBulk is a UDP blast (e.g. custom transport experiments).
+	KindUDPBulk
+	// KindVXLAN is VXLAN-encapsulated overlay traffic.
+	KindVXLAN
+	// KindGRE is GRE-tunneled traffic.
+	KindGRE
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	names := [...]string{
+		"bulk-tcp", "tls", "ssh", "http", "dns", "ntp", "icmp", "arp",
+		"udp-bulk", "vxlan", "gre",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Profile describes one site's workload mix. All fractions are 0..1.
+type Profile struct {
+	// Site is the (pseudonymized) site name.
+	Site string
+	// KindWeights gives the relative frequency of each flow archetype;
+	// zero-weight kinds never appear at this site. Sites with few nonzero
+	// weights reproduce the paper's low-protocol-variety sites.
+	KindWeights [numKinds]float64
+	// IPv6Fraction is the probability a flow uses IPv6 (1.93% of frames
+	// testbed-wide).
+	IPv6Fraction float64
+	// PWFraction is the probability a flow's encapsulation includes an
+	// Ethernet pseudowire (inner Ethernet) under the MPLS stack.
+	PWFraction float64
+	// MPLSDepth2Fraction is the probability of a 2-label MPLS stack
+	// instead of 1.
+	MPLSDepth2Fraction float64
+	// JumboData selects jumbo (~1519-2047B) data frames for bulk flows;
+	// otherwise standard 1500B MTU framing is used.
+	JumboData bool
+	// FlowsPerSampleLogMean/LogSigma parameterize a lognormal draw of the
+	// number of distinct flows in one 20-second sample (Fig. 13: mostly
+	// under 3,000, a handful above 20,000).
+	FlowsPerSampleLogMean  float64
+	FlowsPerSampleLogSigma float64
+	// MeanUtilization is the fraction of line rate this site's mirrored
+	// traffic tends to occupy (FABRIC utilization is usually low: the
+	// median port runs below 38%).
+	MeanUtilization float64
+	// StormProbability is the chance a sample window catches a
+	// flow-storm experiment (port scans, many-flow stress tests) whose
+	// flow count dwarfs the usual draw — the source of Fig. 13's
+	// >20,000-flow tail.
+	StormProbability float64
+}
+
+// ActiveKinds returns the kinds with nonzero weight.
+func (p *Profile) ActiveKinds() []Kind {
+	var out []Kind
+	for k := Kind(0); k < numKinds; k++ {
+		if p.KindWeights[k] > 0 {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// drawKind samples a flow archetype.
+func (p *Profile) drawKind(r *rng.Source) Kind {
+	return Kind(r.WeightedChoice(p.KindWeights[:]))
+}
+
+// drawFlowCount samples the number of distinct flows in a 20s sample.
+func (p *Profile) drawFlowCount(r *rng.Source) int {
+	n := int(r.LogNormal(p.FlowsPerSampleLogMean, p.FlowsPerSampleLogSigma))
+	if n < 1 {
+		n = 1
+	}
+	if r.Bool(p.StormProbability) {
+		n *= 80
+	}
+	return n
+}
+
+// MakeSiteProfiles builds n deterministic per-site profiles with the
+// diversity Section 8.2 reports: several sites run essentially one
+// workload (simple throughput experiments), most carry a moderate mix,
+// and a few host many protocol types.
+func MakeSiteProfiles(seed uint64, n int) []Profile {
+	r := rng.New(seed)
+	out := make([]Profile, n)
+	for i := range out {
+		p := Profile{
+			Site:                   fmt.Sprintf("S%d", i),
+			IPv6Fraction:           0.015 + 0.01*r.Float64(), // ~1.5-2.5% of flows
+			PWFraction:             0.5 + 0.4*r.Float64(),
+			MPLSDepth2Fraction:     0.3 + 0.4*r.Float64(),
+			JumboData:              r.Bool(0.95),
+			StormProbability:       0.03,
+			FlowsPerSampleLogMean:  4.5 + 2.2*r.Float64(), // e^4.5≈90 .. e^6.7≈810 median
+			FlowsPerSampleLogSigma: 0.9 + 0.8*r.Float64(),
+			MeanUtilization:        0.02 + 0.3*r.Float64()*r.Float64(),
+		}
+		if i%4 == 1 {
+			// Shallow-encapsulation sites: no pseudowire, single MPLS
+			// label (Fig. 11's 6-header minimum).
+			p.PWFraction = 0
+			p.MPLSDepth2Fraction = 0
+		}
+		// Workload variety class.
+		switch {
+		case i%5 == 0:
+			// Throughput-experiment site: bulk TCP dominates, little else.
+			p.KindWeights[KindBulkTCP] = 0.9
+			p.KindWeights[KindICMP] = 0.05
+			p.KindWeights[KindARP] = 0.05
+		case i%5 == 4:
+			// Rich application mix.
+			p.KindWeights[KindBulkTCP] = 0.25
+			p.KindWeights[KindTLS] = 0.2
+			p.KindWeights[KindSSH] = 0.12
+			p.KindWeights[KindHTTP] = 0.1
+			p.KindWeights[KindDNS] = 0.1
+			p.KindWeights[KindNTP] = 0.05
+			p.KindWeights[KindICMP] = 0.05
+			p.KindWeights[KindARP] = 0.03
+			p.KindWeights[KindUDPBulk] = 0.05
+			p.KindWeights[KindVXLAN] = 0.03
+			p.KindWeights[KindGRE] = 0.02
+		default:
+			// Moderate mix, randomized emphasis.
+			p.KindWeights[KindBulkTCP] = 0.55 + 0.3*r.Float64()
+			p.KindWeights[KindTLS] = 0.1 * r.Float64()
+			p.KindWeights[KindSSH] = 0.15 * r.Float64()
+			p.KindWeights[KindDNS] = 0.1 * r.Float64()
+			p.KindWeights[KindICMP] = 0.05
+			p.KindWeights[KindUDPBulk] = 0.2 * r.Float64()
+			if r.Bool(0.3) {
+				p.KindWeights[KindVXLAN] = 0.05
+			}
+		}
+		out[i] = p
+	}
+	return out
+}

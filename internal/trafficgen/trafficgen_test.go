@@ -1,0 +1,366 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func bulkProfile() Profile {
+	p := Profile{
+		Site:                   "S0",
+		IPv6Fraction:           0.02,
+		PWFraction:             0.6,
+		MPLSDepth2Fraction:     0.4,
+		JumboData:              true,
+		FlowsPerSampleLogMean:  5,
+		FlowsPerSampleLogSigma: 1,
+		MeanUtilization:        0.1,
+	}
+	p.KindWeights[KindBulkTCP] = 1
+	return p
+}
+
+func richProfile() Profile {
+	p := bulkProfile()
+	p.KindWeights[KindBulkTCP] = 0.3
+	p.KindWeights[KindTLS] = 0.15
+	p.KindWeights[KindSSH] = 0.1
+	p.KindWeights[KindHTTP] = 0.1
+	p.KindWeights[KindDNS] = 0.1
+	p.KindWeights[KindNTP] = 0.05
+	p.KindWeights[KindICMP] = 0.05
+	p.KindWeights[KindARP] = 0.05
+	p.KindWeights[KindUDPBulk] = 0.05
+	p.KindWeights[KindVXLAN] = 0.03
+	p.KindWeights[KindGRE] = 0.02
+	return p
+}
+
+func TestAllKindsDecode(t *testing.T) {
+	g := NewGenerator(richProfile(), 42)
+	seen := map[Kind]bool{}
+	for i := 0; i < 400; i++ {
+		fs := g.NewFlow()
+		seen[fs.Kind] = true
+		for _, dir := range []Dir{DirForward, DirReverse} {
+			size := g.DataFrameSize(fs.Kind)
+			data, err := g.BuildFrame(&fs, dir, size)
+			if err != nil {
+				t.Fatalf("BuildFrame(%v,%v): %v", fs.Kind, dir, err)
+			}
+			p := wire.NewPacket(data, wire.LayerTypeEthernet, wire.Default)
+			if fail := p.ErrorLayer(); fail != nil {
+				t.Fatalf("kind %v dir %v: decode failure %v in %v (len %d)",
+					fs.Kind, dir, fail.Error(), p.String(), len(data))
+			}
+			if len(p.LayerTypes()) < 3 {
+				t.Errorf("kind %v produced shallow stack %v", fs.Kind, p.String())
+			}
+		}
+	}
+	if len(seen) < 8 {
+		t.Errorf("only %d kinds drawn from rich profile", len(seen))
+	}
+}
+
+func TestStackDepthRange(t *testing.T) {
+	g := NewGenerator(richProfile(), 7)
+	for i := 0; i < 200; i++ {
+		fs := g.NewFlow()
+		d := fs.StackDepth()
+		if fs.Kind == KindARP {
+			if d != 3 {
+				t.Errorf("ARP stack depth = %d, want 3", d)
+			}
+			continue
+		}
+		if d < 4 || d > 12 {
+			t.Errorf("kind %v stack depth %d outside [4,12]", fs.Kind, d)
+		}
+	}
+}
+
+func TestStackDepthMatchesDecode(t *testing.T) {
+	// For TCP app kinds the predicted depth must equal the decoded layer
+	// count on a forward data frame.
+	g := NewGenerator(richProfile(), 99)
+	checked := 0
+	for i := 0; i < 300 && checked < 50; i++ {
+		fs := g.NewFlow()
+		switch fs.Kind {
+		case KindTLS, KindSSH, KindHTTP, KindDNS, KindNTP, KindICMP, KindARP, KindBulkTCP, KindUDPBulk:
+		default:
+			continue
+		}
+		data, err := g.BuildFrame(&fs, DirForward, g.DataFrameSize(fs.Kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := wire.NewPacket(data, wire.LayerTypeEthernet, wire.Default)
+		got := len(p.LayerTypes())
+		want := fs.StackDepth()
+		// Bulk flows end in Payload which the predictor counts as the
+		// transport's payload, so allow +1 for the Payload layer.
+		if got != want && got != want+1 {
+			t.Errorf("kind %v: decoded %d layers (%v), predicted %d",
+				fs.Kind, got, p.String(), want)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d flows checked", checked)
+	}
+}
+
+func TestJumboDataFrameSizes(t *testing.T) {
+	g := NewGenerator(bulkProfile(), 5)
+	for i := 0; i < 100; i++ {
+		s := g.DataFrameSize(KindBulkTCP)
+		if s < 1519 || s > 2047 {
+			t.Errorf("jumbo size = %d, want 1519-2047", s)
+		}
+	}
+}
+
+func TestAckFramesAreMinimal(t *testing.T) {
+	g := NewGenerator(bulkProfile(), 6)
+	fs := g.NewFlow()
+	ack, err := g.BuildFrame(&fs, DirReverse, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ack) < 60 || len(ack) > 127 {
+		t.Errorf("ACK frame = %d bytes, want 60-127", len(ack))
+	}
+	p := wire.NewPacket(ack, wire.LayerTypeEthernet, wire.Default)
+	tcp, ok := p.TransportLayer().(*wire.TCP)
+	if !ok {
+		t.Fatalf("no TCP in ACK: %v", p.String())
+	}
+	if tcp.Flags != wire.TCPAck {
+		t.Errorf("flags = %v", tcp.Flags)
+	}
+	if len(tcp.LayerPayload()) != 0 {
+		t.Errorf("ACK carries %d payload bytes", len(tcp.LayerPayload()))
+	}
+}
+
+func TestSampleRespectsBounds(t *testing.T) {
+	g := NewGenerator(richProfile(), 11)
+	frames, err := g.Sample(SampleConfig{Duration: 20 * sim.Second, MaxFrames: 500, FlowCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 || len(frames) > 500 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	for i, f := range frames {
+		if f.At < 0 || f.At >= 20*sim.Second {
+			t.Fatalf("frame %d at %v outside window", i, f.At)
+		}
+		if i > 0 && frames[i].At < frames[i-1].At {
+			t.Fatal("frames not sorted by time")
+		}
+	}
+}
+
+func TestSampleByteBudget(t *testing.T) {
+	g := NewGenerator(bulkProfile(), 13)
+	frames, err := g.Sample(SampleConfig{MaxFrames: 100000, MaxBytes: 100000, FlowCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, f := range frames {
+		total += int64(len(f.Data))
+	}
+	// The budget may be exceeded by at most a couple of frames.
+	if total > 100000+4096 {
+		t.Errorf("total bytes = %d, budget 100000", total)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, err := NewGenerator(richProfile(), 21).Sample(SampleConfig{MaxFrames: 300, FlowCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(richProfile(), 21).Sample(SampleConfig{MaxFrames: 300, FlowCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || len(a[i].Data) != len(b[i].Data) {
+			t.Fatal("samples differ")
+		}
+	}
+}
+
+func TestIPv6FractionApproximate(t *testing.T) {
+	p := bulkProfile()
+	p.IPv6Fraction = 0.02
+	g := NewGenerator(p, 31)
+	v6 := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if g.NewFlow().IPv6 {
+			v6++
+		}
+	}
+	frac := float64(v6) / n
+	if frac < 0.01 || frac > 0.035 {
+		t.Errorf("IPv6 flow fraction = %.4f, want ~0.02", frac)
+	}
+}
+
+func TestMakeSiteProfilesDiversity(t *testing.T) {
+	profiles := MakeSiteProfiles(1, 30)
+	if len(profiles) != 30 {
+		t.Fatalf("profiles = %d", len(profiles))
+	}
+	minKinds, maxKinds := 99, 0
+	for _, p := range profiles {
+		n := len(p.ActiveKinds())
+		if n < minKinds {
+			minKinds = n
+		}
+		if n > maxKinds {
+			maxKinds = n
+		}
+	}
+	if minKinds > 4 {
+		t.Errorf("no low-variety site (min %d kinds)", minKinds)
+	}
+	if maxKinds < 9 {
+		t.Errorf("no high-variety site (max %d kinds)", maxKinds)
+	}
+	// Determinism.
+	again := MakeSiteProfiles(1, 30)
+	for i := range profiles {
+		if profiles[i].KindWeights != again[i].KindWeights {
+			t.Fatal("profiles not deterministic")
+		}
+	}
+}
+
+func TestVLANAlwaysPresent(t *testing.T) {
+	g := NewGenerator(richProfile(), 41)
+	for i := 0; i < 50; i++ {
+		fs := g.NewFlow()
+		data, err := g.BuildFrame(&fs, DirForward, g.DataFrameSize(fs.Kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := wire.NewPacket(data, wire.LayerTypeEthernet, wire.Default)
+		if p.Layer(wire.LayerTypeDot1Q) == nil {
+			t.Fatalf("frame without VLAN tag: %v", p.String())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindBulkTCP.String() != "bulk-tcp" || KindVXLAN.String() != "vxlan" {
+		t.Error("kind names")
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Error("unknown kind name")
+	}
+}
+
+func BenchmarkBuildJumboFrame(b *testing.B) {
+	g := NewGenerator(bulkProfile(), 1)
+	fs := g.NewFlow()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.BuildFrame(&fs, DirForward, 1600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestBuildTCPControl(t *testing.T) {
+	g := NewGenerator(bulkProfile(), 17)
+	fs := g.NewFlow()
+	syn, err := g.BuildTCPControl(&fs, DirForward, wire.TCPSyn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := wire.NewPacket(syn, wire.LayerTypeEthernet, wire.Default)
+	tcp, ok := p.TransportLayer().(*wire.TCP)
+	if !ok {
+		t.Fatalf("no TCP: %v", p.String())
+	}
+	if tcp.Flags != wire.TCPSyn {
+		t.Errorf("flags = %v", tcp.Flags)
+	}
+	// Forward direction: ports match the flow's orientation.
+	if tcp.SrcPort != fs.SrcPort || tcp.DstPort != fs.DstPort {
+		t.Errorf("ports = %d->%d, want %d->%d", tcp.SrcPort, tcp.DstPort, fs.SrcPort, fs.DstPort)
+	}
+	if len(tcp.LayerPayload()) != 0 {
+		t.Error("control frame carries payload")
+	}
+
+	synAck, err := g.BuildTCPControl(&fs, DirReverse, wire.TCPSyn|wire.TCPAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := wire.NewPacket(synAck, wire.LayerTypeEthernet, wire.Default)
+	tcp2 := p2.TransportLayer().(*wire.TCP)
+	if tcp2.SrcPort != fs.DstPort || tcp2.DstPort != fs.SrcPort {
+		t.Errorf("reverse ports = %d->%d", tcp2.SrcPort, tcp2.DstPort)
+	}
+	if tcp2.Flags != wire.TCPSyn|wire.TCPAck {
+		t.Errorf("reverse flags = %v", tcp2.Flags)
+	}
+}
+
+func TestBuildTCPControlRejectsNonTCP(t *testing.T) {
+	p := bulkProfile()
+	p.KindWeights = [11]float64{}
+	p.KindWeights[KindDNS] = 1
+	g := NewGenerator(p, 3)
+	fs := g.NewFlow()
+	if _, err := g.BuildTCPControl(&fs, DirForward, wire.TCPSyn); err == nil {
+		t.Error("DNS flow should reject TCP control frames")
+	}
+}
+
+func TestSampleEmitsHandshakes(t *testing.T) {
+	g := NewGenerator(bulkProfile(), 23)
+	frames, err := g.Sample(SampleConfig{MaxFrames: 4000, FlowCount: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syn, fin, rst int
+	for _, tf := range frames {
+		p := wire.NewPacket(tf.Data, wire.LayerTypeEthernet, wire.Lazy)
+		tl, ok := p.Layer(wire.LayerTypeTCP).(*wire.TCP)
+		if !ok {
+			continue
+		}
+		switch {
+		case tl.Flags&wire.TCPSyn != 0:
+			syn++
+		case tl.Flags&wire.TCPRst != 0:
+			rst++
+		case tl.Flags&wire.TCPFin != 0:
+			fin++
+		}
+	}
+	if syn == 0 {
+		t.Error("no SYNs emitted")
+	}
+	if fin == 0 {
+		t.Error("no FINs emitted")
+	}
+	// RSTs are rare but should appear at this flow count.
+	if rst == 0 {
+		t.Log("no RSTs in this sample (rare event); acceptable")
+	}
+}

@@ -1,0 +1,190 @@
+// Package units provides value types for bandwidth, byte sizes, and data
+// rates used throughout the Patchwork simulation. All arithmetic is integer
+// based so simulation results are deterministic across platforms.
+package units
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// BitRate is a transmission rate in bits per second.
+type BitRate int64
+
+// Common bit rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1e3 * BitPerSecond
+	Mbps                 = 1e6 * BitPerSecond
+	Gbps                 = 1e9 * BitPerSecond
+	Tbps                 = 1e12 * BitPerSecond
+)
+
+// String formats the rate with the largest unit that keeps the value >= 1.
+func (r BitRate) String() string {
+	switch {
+	case r >= Tbps:
+		return formatScaled(int64(r), int64(Tbps), "Tbps")
+	case r >= Gbps:
+		return formatScaled(int64(r), int64(Gbps), "Gbps")
+	case r >= Mbps:
+		return formatScaled(int64(r), int64(Mbps), "Mbps")
+	case r >= Kbps:
+		return formatScaled(int64(r), int64(Kbps), "Kbps")
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// BytesPerSecond converts the bit rate to a byte rate.
+func (r BitRate) BytesPerSecond() int64 { return int64(r) / 8 }
+
+// TransmitNanos returns the number of nanoseconds needed to transmit n bytes
+// at this rate. A zero or negative rate yields 0 (instantaneous), which
+// callers treat as "unconstrained".
+func (r BitRate) TransmitNanos(n int) int64 {
+	if r <= 0 || n <= 0 {
+		return 0
+	}
+	bits := int64(n) * 8
+	// ns = bits / (bits per ns) = bits * 1e9 / rate, computed carefully to
+	// avoid overflow for realistic sizes (n < 1<<40, rate < 1<<50).
+	return mulDiv(bits, 1e9, int64(r))
+}
+
+// BytesInNanos returns how many bytes can be transmitted in d nanoseconds.
+func (r BitRate) BytesInNanos(d int64) int64 {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return mulDiv(int64(r), d, 8*1e9)
+}
+
+// mulDiv computes a*b/c for non-negative operands without intermediate
+// overflow, using a 128-bit product.
+func mulDiv(a, b, c int64) int64 {
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	q, _ := bits.Div64(hi, lo, uint64(c))
+	return int64(q)
+}
+
+// ByteSize is a size in bytes.
+type ByteSize int64
+
+// Common byte sizes.
+const (
+	Byte ByteSize = 1
+	KB            = 1000 * Byte
+	MB            = 1000 * KB
+	GB            = 1000 * MB
+	TB            = 1000 * GB
+	KiB           = 1024 * Byte
+	MiB           = 1024 * KiB
+	GiB           = 1024 * MiB
+	TiB           = 1024 * GiB
+)
+
+// String formats the size using decimal units.
+func (s ByteSize) String() string {
+	switch {
+	case s >= TB:
+		return formatScaled(int64(s), int64(TB), "TB")
+	case s >= GB:
+		return formatScaled(int64(s), int64(GB), "GB")
+	case s >= MB:
+		return formatScaled(int64(s), int64(MB), "MB")
+	case s >= KB:
+		return formatScaled(int64(s), int64(KB), "KB")
+	default:
+		return fmt.Sprintf("%dB", int64(s))
+	}
+}
+
+func formatScaled(v, unit int64, suffix string) string {
+	whole := v / unit
+	frac := (v % unit) * 100 / unit
+	if frac == 0 {
+		return fmt.Sprintf("%d%s", whole, suffix)
+	}
+	return fmt.Sprintf("%d.%02d%s", whole, frac, suffix)
+}
+
+// ParseBitRate parses strings like "100Gbps", "8.5Gbps", "11 Gbps",
+// "3968Mbps". It accepts an optional fractional component.
+func ParseBitRate(s string) (BitRate, error) {
+	s = strings.TrimSpace(s)
+	var unit BitRate
+	var numPart string
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(lower, "tbps"):
+		unit, numPart = Tbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "gbps"):
+		unit, numPart = Gbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "mbps"):
+		unit, numPart = Mbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "kbps"):
+		unit, numPart = Kbps, s[:len(s)-4]
+	case strings.HasSuffix(lower, "bps"):
+		unit, numPart = BitPerSecond, s[:len(s)-3]
+	default:
+		return 0, fmt.Errorf("units: unrecognized bit-rate suffix in %q", s)
+	}
+	numPart = strings.TrimSpace(numPart)
+	f, err := strconv.ParseFloat(numPart, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad bit-rate number in %q: %w", s, err)
+	}
+	if f < 0 {
+		return 0, fmt.Errorf("units: negative bit rate %q", s)
+	}
+	return BitRate(f * float64(unit)), nil
+}
+
+// ParseByteSize parses strings like "8GB", "100GiB", "32MB".
+func ParseByteSize(s string) (ByteSize, error) {
+	s = strings.TrimSpace(s)
+	type suf struct {
+		text string
+		unit ByteSize
+	}
+	suffixes := []suf{
+		{"tib", TiB}, {"gib", GiB}, {"mib", MiB}, {"kib", KiB},
+		{"tb", TB}, {"gb", GB}, {"mb", MB}, {"kb", KB}, {"b", Byte},
+	}
+	lower := strings.ToLower(s)
+	for _, sf := range suffixes {
+		if strings.HasSuffix(lower, sf.text) {
+			numPart := strings.TrimSpace(s[:len(s)-len(sf.text)])
+			f, err := strconv.ParseFloat(numPart, 64)
+			if err != nil {
+				return 0, fmt.Errorf("units: bad byte-size number in %q: %w", s, err)
+			}
+			if f < 0 {
+				return 0, fmt.Errorf("units: negative byte size %q", s)
+			}
+			return ByteSize(f * float64(sf.unit)), nil
+		}
+	}
+	return 0, fmt.Errorf("units: unrecognized byte-size suffix in %q", s)
+}
+
+// Percent is a ratio expressed in hundredths (basis points would be
+// overkill). It is used for utilization and loss figures.
+type Percent float64
+
+// String renders with two decimal places.
+func (p Percent) String() string { return strconv.FormatFloat(float64(p), 'f', 2, 64) + "%" }
+
+// Ratio converts to a 0..1 fraction.
+func (p Percent) Ratio() float64 { return float64(p) / 100 }
+
+// PercentOf returns part/whole as a Percent; zero whole yields 0.
+func PercentOf(part, whole int64) Percent {
+	if whole == 0 {
+		return 0
+	}
+	return Percent(float64(part) / float64(whole) * 100)
+}

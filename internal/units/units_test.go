@@ -1,0 +1,190 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{100 * Gbps, "100Gbps"},
+		{BitRate(8.5 * float64(Gbps)), "8.50Gbps"},
+		{3968 * Gbps, "3.96Tbps"},
+		{15 * Mbps, "15Mbps"},
+		{999, "999bps"},
+		{2 * Kbps, "2Kbps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("BitRate(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTransmitNanos(t *testing.T) {
+	// 1500 bytes at 1 Gbps = 12000 ns.
+	if got := (1 * Gbps).TransmitNanos(1500); got != 12000 {
+		t.Errorf("1Gbps 1500B = %d ns, want 12000", got)
+	}
+	// 64 bytes at 100 Gbps = 5.12 ns -> 5 (integer floor).
+	if got := (100 * Gbps).TransmitNanos(64); got != 5 {
+		t.Errorf("100Gbps 64B = %d ns, want 5", got)
+	}
+	if got := BitRate(0).TransmitNanos(1500); got != 0 {
+		t.Errorf("zero rate should be instantaneous, got %d", got)
+	}
+	if got := (1 * Gbps).TransmitNanos(0); got != 0 {
+		t.Errorf("zero bytes should take 0 ns, got %d", got)
+	}
+}
+
+func TestBytesInNanos(t *testing.T) {
+	// 1 Gbps for 1 second = 125 MB.
+	if got := (1 * Gbps).BytesInNanos(1e9); got != 125_000_000 {
+		t.Errorf("1Gbps for 1s = %d bytes, want 125000000", got)
+	}
+	// 100 Gbps for 1 us = 12500 bytes.
+	if got := (100 * Gbps).BytesInNanos(1000); got != 12500 {
+		t.Errorf("100Gbps for 1us = %d bytes, want 12500", got)
+	}
+}
+
+func TestTransmitRoundTripProperty(t *testing.T) {
+	// Transmitting n bytes then asking how many bytes fit in that time
+	// should return approximately n (within 1 byte of rounding).
+	f := func(n uint16, rateGbps uint8) bool {
+		if rateGbps == 0 {
+			return true
+		}
+		rate := BitRate(rateGbps) * Gbps
+		nb := int(n)%9000 + 64
+		ns := rate.TransmitNanos(nb)
+		back := rate.BytesInNanos(ns)
+		diff := back - int64(nb)
+		return diff >= -32 && diff <= 0 // floor rounding loses a little
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BitRate
+		ok   bool
+	}{
+		{"100Gbps", 100 * Gbps, true},
+		{"8.5Gbps", BitRate(8.5 * float64(Gbps)), true},
+		{"11 Gbps", 11 * Gbps, true},
+		{"3.968Tbps", BitRate(3.968 * float64(Tbps)), true},
+		{"15mbps", 15 * Mbps, true},
+		{"42bps", 42, true},
+		{"", 0, false},
+		{"fast", 0, false},
+		{"-1Gbps", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseBitRate(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseBitRate(%q) error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseBitRate(%q) should fail", c.in)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBitRate(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteSize
+		ok   bool
+	}{
+		{"8GB", 8 * GB, true},
+		{"32MiB", 32 * MiB, true},
+		{"100GB", 100 * GB, true},
+		{"1.5KB", 1500, true},
+		{"7B", 7, true},
+		{"xyz", 0, false},
+		{"-3GB", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseByteSize(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseByteSize(%q) error: %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			if err == nil {
+				t.Errorf("ParseByteSize(%q) should fail", c.in)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseByteSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestByteSizeString(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{8 * GB, "8GB"},
+		{1500 * Byte, "1.50KB"},
+		{100 * GB, "100GB"},
+		{999, "999B"},
+		{2 * TB, "2TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("ByteSize(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPercentOf(t *testing.T) {
+	if got := PercentOf(50, 100); got != 50 {
+		t.Errorf("PercentOf(50,100) = %v", got)
+	}
+	if got := PercentOf(1, 0); got != 0 {
+		t.Errorf("PercentOf(_,0) should be 0, got %v", got)
+	}
+	if got := PercentOf(665, 1000); got != 66.5 {
+		t.Errorf("PercentOf(665,1000) = %v, want 66.5", got)
+	}
+}
+
+func TestPercentString(t *testing.T) {
+	if got := Percent(1.93).String(); got != "1.93%" {
+		t.Errorf("Percent(1.93).String() = %q", got)
+	}
+	if got := Percent(100).Ratio(); got != 1 {
+		t.Errorf("Ratio = %v", got)
+	}
+}
+
+func TestMulDivNoOverflow(t *testing.T) {
+	// 100 Gbps transmitting 1 TB: bits = 8e12, times 1e9 overflows int64 if
+	// computed naively; mulDiv must handle it.
+	rate := 100 * Gbps
+	ns := rate.TransmitNanos(1 << 40) // 1 TiB
+	tib := float64(int64(1) << 40)
+	wantApprox := int64(tib * 8 / 100e9 * 1e9)
+	diff := ns - wantApprox
+	if diff < -1000 || diff > 1000 {
+		t.Errorf("TransmitNanos(1TiB@100Gbps) = %d, want ~%d", ns, wantApprox)
+	}
+}

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// ICMPv4 is an ICMP (v4) message header.
+type ICMPv4 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID       uint16 // echo request/reply identifier
+	Seq      uint16 // echo request/reply sequence
+
+	contents, payload []byte
+}
+
+// ICMPv4 message types seen in testbed traffic.
+const (
+	ICMPv4TypeEchoReply      = 0
+	ICMPv4TypeDestUnreach    = 3
+	ICMPv4TypeEchoRequest    = 8
+	ICMPv4TypeTimeExceeded   = 11
+	icmpv4HeaderLen          = 8
+	ICMPv6TypeEchoRequest    = 128
+	ICMPv6TypeEchoReply      = 129
+	ICMPv6TypeNeighborSolic  = 135
+	ICMPv6TypeNeighborAdvert = 136
+	icmpv6HeaderLen          = 8
+)
+
+// LayerType returns LayerTypeICMPv4.
+func (i *ICMPv4) LayerType() LayerType { return LayerTypeICMPv4 }
+
+// LayerContents returns the 8 header bytes.
+func (i *ICMPv4) LayerContents() []byte { return i.contents }
+
+// LayerPayload returns the message body.
+func (i *ICMPv4) LayerPayload() []byte { return i.payload }
+
+// CanDecode returns LayerTypeICMPv4.
+func (i *ICMPv4) CanDecode() LayerType { return LayerTypeICMPv4 }
+
+// NextLayerType returns Payload for non-empty bodies.
+func (i *ICMPv4) NextLayerType() LayerType {
+	if len(i.payload) == 0 {
+		return LayerTypeZero
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes parses the ICMP header.
+func (i *ICMPv4) DecodeFromBytes(data []byte) error {
+	if len(data) < icmpv4HeaderLen {
+		return errTruncated{icmpv4HeaderLen, len(data)}
+	}
+	i.Type = data[0]
+	i.Code = data[1]
+	i.Checksum = binary.BigEndian.Uint16(data[2:4])
+	i.ID = binary.BigEndian.Uint16(data[4:6])
+	i.Seq = binary.BigEndian.Uint16(data[6:8])
+	i.contents = data[:icmpv4HeaderLen]
+	i.payload = data[icmpv4HeaderLen:]
+	return nil
+}
+
+// SerializeTo prepends the ICMP header.
+func (i *ICMPv4) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	bytes, err := b.PrependBytes(icmpv4HeaderLen)
+	if err != nil {
+		return err
+	}
+	bytes[0] = i.Type
+	bytes[1] = i.Code
+	binary.BigEndian.PutUint16(bytes[4:6], i.ID)
+	binary.BigEndian.PutUint16(bytes[6:8], i.Seq)
+	binary.BigEndian.PutUint16(bytes[2:4], 0)
+	if b.opts.ComputeChecksums {
+		i.Checksum = internetChecksum(bytes[:icmpv4HeaderLen+payloadLen], 0)
+	}
+	binary.BigEndian.PutUint16(bytes[2:4], i.Checksum)
+	return nil
+}
+
+// ICMPv6 is an ICMPv6 message header.
+type ICMPv6 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	Body     uint32 // message-specific first word
+
+	contents, payload []byte
+}
+
+// LayerType returns LayerTypeICMPv6.
+func (i *ICMPv6) LayerType() LayerType { return LayerTypeICMPv6 }
+
+// LayerContents returns the 8 header bytes.
+func (i *ICMPv6) LayerContents() []byte { return i.contents }
+
+// LayerPayload returns the message body.
+func (i *ICMPv6) LayerPayload() []byte { return i.payload }
+
+// CanDecode returns LayerTypeICMPv6.
+func (i *ICMPv6) CanDecode() LayerType { return LayerTypeICMPv6 }
+
+// NextLayerType returns Payload for non-empty bodies.
+func (i *ICMPv6) NextLayerType() LayerType {
+	if len(i.payload) == 0 {
+		return LayerTypeZero
+	}
+	return LayerTypePayload
+}
+
+// DecodeFromBytes parses the ICMPv6 header.
+func (i *ICMPv6) DecodeFromBytes(data []byte) error {
+	if len(data) < icmpv6HeaderLen {
+		return errTruncated{icmpv6HeaderLen, len(data)}
+	}
+	i.Type = data[0]
+	i.Code = data[1]
+	i.Checksum = binary.BigEndian.Uint16(data[2:4])
+	i.Body = binary.BigEndian.Uint32(data[4:8])
+	i.contents = data[:icmpv6HeaderLen]
+	i.payload = data[icmpv6HeaderLen:]
+	return nil
+}
+
+// SerializeTo prepends the ICMPv6 header. (Checksum over the IPv6
+// pseudo-header is filled when ComputeChecksums and a network layer are
+// set.)
+func (i *ICMPv6) SerializeTo(b *SerializeBuffer) error {
+	payloadLen := len(b.Bytes())
+	bytes, err := b.PrependBytes(icmpv6HeaderLen)
+	if err != nil {
+		return err
+	}
+	bytes[0] = i.Type
+	bytes[1] = i.Code
+	binary.BigEndian.PutUint32(bytes[4:8], i.Body)
+	binary.BigEndian.PutUint16(bytes[2:4], 0)
+	if b.opts.ComputeChecksums && b.netForChecksum != nil {
+		sum := b.netForChecksum.pseudoHeaderChecksum(IPProtocolICMPv6, icmpv6HeaderLen+payloadLen)
+		i.Checksum = internetChecksum(bytes[:icmpv6HeaderLen+payloadLen], sum)
+	}
+	binary.BigEndian.PutUint16(bytes[2:4], i.Checksum)
+	return nil
+}
+
+// ARPHeaderLen is the length of an Ethernet/IPv4 ARP message.
+const ARPHeaderLen = 28
+
+// ARP operations.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// ARP is an Ethernet/IPv4 ARP message.
+type ARP struct {
+	Operation uint16
+	SenderMAC MAC
+	SenderIP  netip.Addr
+	TargetMAC MAC
+	TargetIP  netip.Addr
+
+	contents, payload []byte
+}
+
+// LayerType returns LayerTypeARP.
+func (a *ARP) LayerType() LayerType { return LayerTypeARP }
+
+// LayerContents returns the 28 message bytes.
+func (a *ARP) LayerContents() []byte { return a.contents }
+
+// LayerPayload returns trailing bytes (usually Ethernet padding).
+func (a *ARP) LayerPayload() []byte { return a.payload }
+
+// CanDecode returns LayerTypeARP.
+func (a *ARP) CanDecode() LayerType { return LayerTypeARP }
+
+// NextLayerType returns LayerTypeZero; ARP is terminal.
+func (a *ARP) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes parses an Ethernet/IPv4 ARP message.
+func (a *ARP) DecodeFromBytes(data []byte) error {
+	if len(data) < ARPHeaderLen {
+		return errTruncated{ARPHeaderLen, len(data)}
+	}
+	htype := binary.BigEndian.Uint16(data[0:2])
+	ptype := binary.BigEndian.Uint16(data[2:4])
+	if htype != 1 || ptype != uint16(EthernetTypeIPv4) {
+		return fmt.Errorf("ARP hw/proto = %d/0x%04x, want Ethernet/IPv4", htype, ptype)
+	}
+	if data[4] != 6 || data[5] != 4 {
+		return fmt.Errorf("ARP addr lengths = %d/%d, want 6/4", data[4], data[5])
+	}
+	a.Operation = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(data[14:18]))
+	copy(a.TargetMAC[:], data[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(data[24:28]))
+	a.contents = data[:ARPHeaderLen]
+	a.payload = data[ARPHeaderLen:]
+	return nil
+}
+
+// SerializeTo prepends the ARP message.
+func (a *ARP) SerializeTo(b *SerializeBuffer) error {
+	bytes, err := b.PrependBytes(ARPHeaderLen)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(bytes[0:2], 1)
+	binary.BigEndian.PutUint16(bytes[2:4], uint16(EthernetTypeIPv4))
+	bytes[4], bytes[5] = 6, 4
+	binary.BigEndian.PutUint16(bytes[6:8], a.Operation)
+	copy(bytes[8:14], a.SenderMAC[:])
+	sip := as4(a.SenderIP)
+	copy(bytes[14:18], sip[:])
+	copy(bytes[18:24], a.TargetMAC[:])
+	tip := as4(a.TargetIP)
+	copy(bytes[24:28], tip[:])
+	return nil
+}

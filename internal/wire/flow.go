@@ -1,0 +1,160 @@
+package wire
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// EndpointType distinguishes address families in an Endpoint.
+type EndpointType uint8
+
+// Endpoint types.
+const (
+	EndpointInvalid EndpointType = iota
+	EndpointMAC
+	EndpointIPv4
+	EndpointIPv6
+	EndpointTCPPort
+	EndpointUDPPort
+)
+
+// String names the endpoint type.
+func (t EndpointType) String() string {
+	switch t {
+	case EndpointMAC:
+		return "MAC"
+	case EndpointIPv4:
+		return "IPv4"
+	case EndpointIPv6:
+		return "IPv6"
+	case EndpointTCPPort:
+		return "TCPPort"
+	case EndpointUDPPort:
+		return "UDPPort"
+	default:
+		return "Invalid"
+	}
+}
+
+// Endpoint is a hashable, comparable representation of one side of a
+// conversation (a MAC, an IP address, or a port). Endpoints are valid map
+// keys and can be compared with ==.
+type Endpoint struct {
+	typ EndpointType
+	len uint8
+	raw [16]byte
+}
+
+// Type returns the endpoint's address family.
+func (e Endpoint) Type() EndpointType { return e.typ }
+
+// Raw returns the endpoint's address bytes.
+func (e Endpoint) Raw() []byte { return e.raw[:e.len] }
+
+// String renders the endpoint in its family's conventional form.
+func (e Endpoint) String() string {
+	switch e.typ {
+	case EndpointMAC:
+		var m MAC
+		copy(m[:], e.raw[:6])
+		return m.String()
+	case EndpointIPv4:
+		a := netip.AddrFrom4([4]byte(e.raw[:4]))
+		return a.String()
+	case EndpointIPv6:
+		a := netip.AddrFrom16(e.raw)
+		return a.String()
+	case EndpointTCPPort, EndpointUDPPort:
+		return fmt.Sprintf("%d", uint16(e.raw[0])<<8|uint16(e.raw[1]))
+	default:
+		return "invalid"
+	}
+}
+
+// FastHash returns a non-cryptographic hash of the endpoint, suitable for
+// load balancing.
+func (e Endpoint) FastHash() uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	h = (h ^ uint64(e.typ)) * 1099511628211
+	for i := uint8(0); i < e.len; i++ {
+		h = (h ^ uint64(e.raw[i])) * 1099511628211
+	}
+	return h
+}
+
+// NewMACEndpoint wraps a MAC address.
+func NewMACEndpoint(m MAC) Endpoint {
+	e := Endpoint{typ: EndpointMAC, len: 6}
+	copy(e.raw[:], m[:])
+	return e
+}
+
+// NewIPEndpoint wraps an IPv4 or IPv6 address.
+func NewIPEndpoint(a netip.Addr) Endpoint {
+	if a.Is4() {
+		e := Endpoint{typ: EndpointIPv4, len: 4}
+		b := a.As4()
+		copy(e.raw[:], b[:])
+		return e
+	}
+	e := Endpoint{typ: EndpointIPv6, len: 16}
+	b := a.As16()
+	copy(e.raw[:], b[:])
+	return e
+}
+
+// NewTCPPortEndpoint wraps a TCP port.
+func NewTCPPortEndpoint(p uint16) Endpoint {
+	return Endpoint{typ: EndpointTCPPort, len: 2, raw: [16]byte{byte(p >> 8), byte(p)}}
+}
+
+// NewUDPPortEndpoint wraps a UDP port.
+func NewUDPPortEndpoint(p uint16) Endpoint {
+	return Endpoint{typ: EndpointUDPPort, len: 2, raw: [16]byte{byte(p >> 8), byte(p)}}
+}
+
+// Flow is an ordered (src, dst) pair of endpoints. Flows are valid map
+// keys and can be compared with ==.
+type Flow struct {
+	src, dst Endpoint
+}
+
+// NewFlow builds a flow from src to dst. Mixing endpoint families (other
+// than IPv4/IPv6) panics, mirroring gopacket's contract.
+func NewFlow(src, dst Endpoint) Flow {
+	if src.typ != dst.typ {
+		okMix := (src.typ == EndpointIPv4 || src.typ == EndpointIPv6) &&
+			(dst.typ == EndpointIPv4 || dst.typ == EndpointIPv6)
+		if !okMix {
+			panic(fmt.Sprintf("wire: flow with mismatched endpoint types %v / %v", src.typ, dst.typ))
+		}
+	}
+	return Flow{src: src, dst: dst}
+}
+
+// Endpoints returns the flow's (src, dst) pair.
+func (f Flow) Endpoints() (src, dst Endpoint) { return f.src, f.dst }
+
+// Src returns the source endpoint.
+func (f Flow) Src() Endpoint { return f.src }
+
+// Dst returns the destination endpoint.
+func (f Flow) Dst() Endpoint { return f.dst }
+
+// Reverse returns the flow with endpoints swapped.
+func (f Flow) Reverse() Flow { return Flow{src: f.dst, dst: f.src} }
+
+// FastHash returns a symmetric non-cryptographic hash: A->B hashes equal
+// to B->A, so bidirectional traffic lands in the same bucket.
+func (f Flow) FastHash() uint64 {
+	a, b := f.src.FastHash(), f.dst.FastHash()
+	// XOR is symmetric; the multiply spreads bits afterwards.
+	h := a ^ b
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// String renders "src->dst".
+func (f Flow) String() string { return f.src.String() + "->" + f.dst.String() }

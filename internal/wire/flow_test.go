@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestEndpointEquality(t *testing.T) {
+	a := NewIPEndpoint(netip.MustParseAddr("10.0.0.1"))
+	b := NewIPEndpoint(netip.MustParseAddr("10.0.0.1"))
+	c := NewIPEndpoint(netip.MustParseAddr("10.0.0.2"))
+	if a != b {
+		t.Error("equal addresses should compare equal")
+	}
+	if a == c {
+		t.Error("different addresses should differ")
+	}
+	// Endpoints are map keys.
+	m := map[Endpoint]int{a: 1}
+	if m[b] != 1 {
+		t.Error("map lookup through equal endpoint failed")
+	}
+}
+
+func TestEndpointTypesDistinct(t *testing.T) {
+	tcp := NewTCPPortEndpoint(443)
+	udp := NewUDPPortEndpoint(443)
+	if tcp == udp {
+		t.Error("TCP and UDP port 443 should be distinct endpoints")
+	}
+	if tcp.String() != "443" || udp.String() != "443" {
+		t.Errorf("port strings = %q/%q", tcp, udp)
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	mac := NewMACEndpoint(MAC{0x02, 0, 0, 0, 0, 0xFF})
+	if mac.String() != "02:00:00:00:00:ff" {
+		t.Errorf("mac = %q", mac)
+	}
+	v6 := NewIPEndpoint(netip.MustParseAddr("2001:db8::1"))
+	if v6.String() != "2001:db8::1" {
+		t.Errorf("v6 = %q", v6)
+	}
+	if v6.Type() != EndpointIPv6 {
+		t.Errorf("type = %v", v6.Type())
+	}
+}
+
+func TestFlowSymmetricHash(t *testing.T) {
+	f := func(a, b [4]byte) bool {
+		src := NewIPEndpoint(netip.AddrFrom4(a))
+		dst := NewIPEndpoint(netip.AddrFrom4(b))
+		fwd := NewFlow(src, dst)
+		rev := NewFlow(dst, src)
+		return fwd.FastHash() == rev.FastHash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlowHashSpreads(t *testing.T) {
+	// Different flows should rarely collide in the low 3 bits (the paper's
+	// load-balancing example uses &0x7).
+	buckets := make(map[uint64]int)
+	for i := 0; i < 4096; i++ {
+		src := NewIPEndpoint(netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}))
+		dst := NewIPEndpoint(netip.AddrFrom4([4]byte{10, 1, 0, 1}))
+		buckets[NewFlow(src, dst).FastHash()&0x7]++
+	}
+	for b, n := range buckets {
+		if n < 4096/8/2 || n > 4096/8*2 {
+			t.Errorf("bucket %d has %d flows, poorly spread", b, n)
+		}
+	}
+	if len(buckets) != 8 {
+		t.Errorf("only %d buckets hit", len(buckets))
+	}
+}
+
+func TestFlowReverse(t *testing.T) {
+	src := NewTCPPortEndpoint(1000)
+	dst := NewTCPPortEndpoint(2000)
+	f := NewFlow(src, dst)
+	r := f.Reverse()
+	if r.Src() != dst || r.Dst() != src {
+		t.Errorf("reverse = %v", r)
+	}
+	if f == r {
+		t.Error("flow should differ from its reverse")
+	}
+	if f != r.Reverse() {
+		t.Error("double reverse should restore")
+	}
+}
+
+func TestFlowAsMapKey(t *testing.T) {
+	f1 := NewFlow(NewUDPPortEndpoint(1000), NewUDPPortEndpoint(500))
+	f2 := NewFlow(NewUDPPortEndpoint(1000), NewUDPPortEndpoint(500))
+	m := map[Flow]int{f1: 7}
+	if m[f2] != 7 {
+		t.Error("equal flows should hit the same map slot")
+	}
+}
+
+func TestMixedFamilyFlowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MAC->port flow should panic")
+		}
+	}()
+	NewFlow(NewMACEndpoint(MAC{}), NewTCPPortEndpoint(1))
+}
+
+func TestIPv4v6MixAllowed(t *testing.T) {
+	// 4-to-6 translation experiments produce these; they must not panic.
+	f := NewFlow(
+		NewIPEndpoint(netip.MustParseAddr("10.0.0.1")),
+		NewIPEndpoint(netip.MustParseAddr("2001:db8::1")))
+	if f.Src().Type() != EndpointIPv4 || f.Dst().Type() != EndpointIPv6 {
+		t.Errorf("flow = %v", f)
+	}
+}
+
+func TestLayerFlows(t *testing.T) {
+	p := NewPacket(fabricFrame(t), LayerTypeEthernet, Default)
+	ip := p.NetworkLayer().(*IPv4)
+	nf := ip.NetworkFlow()
+	if nf.Src().String() != "10.0.1.1" || nf.Dst().String() != "10.0.2.2" {
+		t.Errorf("network flow = %v", nf)
+	}
+	tcp := p.TransportLayer().(*TCP)
+	tf := tcp.TransportFlow()
+	if tf.String() != "51000->443" {
+		t.Errorf("transport flow = %v", tf)
+	}
+	eth := p.LinkLayer().(*Ethernet)
+	lf := eth.LinkFlow()
+	if lf.Src() != NewMACEndpoint(testSrcMAC) {
+		t.Errorf("link flow = %v", lf)
+	}
+}

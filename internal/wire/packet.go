@@ -1,0 +1,205 @@
+package wire
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DecodeOptions control how NewPacket processes data.
+type DecodeOptions struct {
+	// Lazy defers decoding of each layer until it is requested via Layer
+	// or Layers. Lazily decoded packets are not safe for concurrent use.
+	Lazy bool
+	// NoCopy uses the passed slice directly instead of copying it. The
+	// caller must guarantee the slice is never mutated afterwards.
+	NoCopy bool
+}
+
+// Convenience option sets, mirroring the gopacket names.
+var (
+	// Default decodes eagerly from a private copy of the data.
+	Default = DecodeOptions{}
+	// Lazy decodes on demand.
+	Lazy = DecodeOptions{Lazy: true}
+	// NoCopy decodes eagerly, borrowing the caller's slice.
+	NoCopy = DecodeOptions{NoCopy: true}
+	// LazyNoCopy combines both (fastest, most caveats).
+	LazyNoCopy = DecodeOptions{Lazy: true, NoCopy: true}
+)
+
+// Packet is a decoded frame: an ordered stack of layers over a byte
+// buffer.
+type Packet struct {
+	data   []byte
+	layers []Layer
+	// decode state for lazy mode
+	nextType LayerType
+	rest     []byte
+	failure  *DecodeFailure
+}
+
+// DecodeFailure is a pseudo-layer recording a decoding error. The bytes
+// that could not be decoded are its contents.
+type DecodeFailure struct {
+	data []byte
+	err  error
+}
+
+// LayerType returns LayerTypeDecodeFailure.
+func (f *DecodeFailure) LayerType() LayerType { return LayerTypeDecodeFailure }
+
+// LayerContents returns the undecodable bytes.
+func (f *DecodeFailure) LayerContents() []byte { return f.data }
+
+// LayerPayload returns nil.
+func (f *DecodeFailure) LayerPayload() []byte { return nil }
+
+// Error returns the decode error that produced this failure layer.
+func (f *DecodeFailure) Error() error { return f.err }
+
+// NewPacket decodes data beginning with the given first layer type.
+// Decoding failures do not produce an error return: layers decoded before
+// the failure are retained, and ErrorLayer exposes the failure.
+func NewPacket(data []byte, first LayerType, opts DecodeOptions) *Packet {
+	if !opts.NoCopy {
+		c := make([]byte, len(data))
+		copy(c, data)
+		data = c
+	}
+	p := &Packet{data: data, nextType: first, rest: data}
+	if !opts.Lazy {
+		p.decodeAll()
+	}
+	return p
+}
+
+// decodeOne advances decoding by a single layer. Returns false when
+// decoding is complete (terminal layer, failure, or no bytes left).
+func (p *Packet) decodeOne() bool {
+	if p.failure != nil || p.nextType == LayerTypeZero || len(p.rest) == 0 {
+		return false
+	}
+	d := newDecoder(p.nextType)
+	if d == nil {
+		// Unknown next layer: classify remaining bytes as payload.
+		d = newDecoder(LayerTypePayload)
+	}
+	if err := d.DecodeFromBytes(p.rest); err != nil {
+		p.failure = &DecodeFailure{data: p.rest, err: &DecodeError{Layer: p.nextType, Err: err}}
+		p.rest = nil
+		p.nextType = LayerTypeZero
+		return false
+	}
+	p.layers = append(p.layers, d)
+	p.rest = d.LayerPayload()
+	p.nextType = d.NextLayerType()
+	return true
+}
+
+func (p *Packet) decodeAll() {
+	for p.decodeOne() {
+	}
+}
+
+// Data returns the packet's raw bytes.
+func (p *Packet) Data() []byte { return p.data }
+
+// Layers returns every decoded layer, decoding the remainder if lazy.
+func (p *Packet) Layers() []Layer {
+	p.decodeAll()
+	return p.layers
+}
+
+// Layer returns the first layer of the given type, or nil. In lazy mode it
+// decodes only as far as needed.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	for p.decodeOne() {
+		l := p.layers[len(p.layers)-1]
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// ErrorLayer returns the decode-failure pseudo-layer if any part of the
+// packet failed to decode, after forcing full decoding.
+func (p *Packet) ErrorLayer() *DecodeFailure {
+	p.decodeAll()
+	return p.failure
+}
+
+// LinkLayer returns the first link-level layer (Ethernet), or nil.
+func (p *Packet) LinkLayer() Layer {
+	return p.Layer(LayerTypeEthernet)
+}
+
+// NetworkLayer returns the first IPv4 or IPv6 layer, or nil.
+func (p *Packet) NetworkLayer() Layer {
+	for _, l := range p.Layers() {
+		switch l.LayerType() {
+		case LayerTypeIPv4, LayerTypeIPv6:
+			return l
+		}
+	}
+	return nil
+}
+
+// TransportLayer returns the first TCP or UDP layer, or nil.
+func (p *Packet) TransportLayer() Layer {
+	for _, l := range p.Layers() {
+		switch l.LayerType() {
+		case LayerTypeTCP, LayerTypeUDP:
+			return l
+		}
+	}
+	return nil
+}
+
+// ApplicationLayer returns the first layer above transport (including
+// Payload), or nil.
+func (p *Packet) ApplicationLayer() Layer {
+	seenTransport := false
+	for _, l := range p.Layers() {
+		switch l.LayerType() {
+		case LayerTypeTCP, LayerTypeUDP, LayerTypeICMPv4, LayerTypeICMPv6:
+			seenTransport = true
+		case LayerTypePayload, LayerTypeDNS, LayerTypeTLS, LayerTypeSSH, LayerTypeHTTP, LayerTypeNTP:
+			if seenTransport {
+				return l
+			}
+		}
+	}
+	return nil
+}
+
+// LayerTypes returns the stack of layer types in order — the "abstract
+// capture" (acap) representation used by the analysis pipeline.
+func (p *Packet) LayerTypes() []LayerType {
+	ls := p.Layers()
+	ts := make([]LayerType, len(ls))
+	for i, l := range ls {
+		ts[i] = l.LayerType()
+	}
+	return ts
+}
+
+// String renders the layer stack, e.g.
+// "Ethernet/Dot1Q/MPLS/IPv4/TCP/TLS".
+func (p *Packet) String() string {
+	ts := p.LayerTypes()
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.String()
+	}
+	s := strings.Join(names, "/")
+	if p.failure != nil {
+		s += fmt.Sprintf("!(%v)", p.failure.err)
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"testing"
+)
+
+// fabricFrame builds the canonical FABRIC encapsulation from the paper:
+// Ethernet / VLAN / MPLS / MPLS / PseudoWire / Ethernet / IPv4 / TCP / TLS.
+func fabricFrame(t testing.TB) []byte {
+	t.Helper()
+	tlsPay := Payload(make([]byte, 64))
+	return buildFrame(t,
+		&Ethernet{DstMAC: testDstMAC, SrcMAC: testSrcMAC, EthernetType: EthernetTypeDot1Q},
+		&Dot1Q{VLANID: 2101, EthernetType: EthernetTypeMPLSUnicast},
+		&MPLS{Label: 1000, TTL: 64},
+		&MPLS{Label: 2000, StackBottom: true, TTL: 64},
+		&PWControlWord{},
+		&Ethernet{DstMAC: testSrcMAC, SrcMAC: testDstMAC, EthernetType: EthernetTypeIPv4},
+		&IPv4{TTL: 62, Protocol: IPProtocolTCP, SrcIP: testSrcIP4, DstIP: testDstIP4},
+		&TCP{SrcPort: 51000, DstPort: 443, DataOffset: 5, Flags: TCPPsh | TCPAck},
+		&TLS{RecordType: TLSApplicationData, Version: 0x0303},
+		&tlsPay,
+	)
+}
+
+func TestFabricEncapsulationStack(t *testing.T) {
+	p := NewPacket(fabricFrame(t), LayerTypeEthernet, Default)
+	if p.ErrorLayer() != nil {
+		t.Fatalf("decode error: %v", p.ErrorLayer().Error())
+	}
+	want := []LayerType{
+		LayerTypeEthernet, LayerTypeDot1Q, LayerTypeMPLS, LayerTypeMPLS,
+		LayerTypePWControlWord, LayerTypeEthernet, LayerTypeIPv4,
+		LayerTypeTCP, LayerTypeTLS,
+	}
+	got := p.LayerTypes()
+	if len(got) != len(want) {
+		t.Fatalf("stack = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stack[%d] = %v, want %v (full %v)", i, got[i], want[i], got)
+		}
+	}
+	if p.String() != "Ethernet/Dot1Q/MPLS/MPLS/PWControlWord/Ethernet/IPv4/TCP/TLS" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestFabricIPv6SSHStack(t *testing.T) {
+	// The paper's other example: Ethernet/VLAN/MPLS/PseudoWire/Ethernet/IPv6/SSH.
+	sshPay := Payload([]byte("SSH-2.0-OpenSSH_9.6\r\n"))
+	data := buildFrame(t,
+		&Ethernet{DstMAC: testDstMAC, SrcMAC: testSrcMAC, EthernetType: EthernetTypeDot1Q},
+		&Dot1Q{VLANID: 2102, EthernetType: EthernetTypeMPLSUnicast},
+		&MPLS{Label: 3000, StackBottom: true, TTL: 64},
+		&PWControlWord{},
+		&Ethernet{DstMAC: testSrcMAC, SrcMAC: testDstMAC, EthernetType: EthernetTypeIPv6},
+		&IPv6{NextHeader: IPProtocolTCP, HopLimit: 60, SrcIP: testSrcIP6, DstIP: testDstIP6},
+		&TCP{SrcPort: 54000, DstPort: 22, DataOffset: 5, Flags: TCPPsh | TCPAck},
+		&sshPay,
+	)
+	p := NewPacket(data, LayerTypeEthernet, Default)
+	ssh, ok := p.Layer(LayerTypeSSH).(*SSH)
+	if !ok {
+		t.Fatalf("no SSH layer in %v", p.String())
+	}
+	if ssh.Banner != "SSH-2.0-OpenSSH_9.6" {
+		t.Errorf("banner = %q", ssh.Banner)
+	}
+	if len(p.LayerTypes()) != 8 {
+		t.Errorf("stack depth = %d, want 8: %v", len(p.LayerTypes()), p.String())
+	}
+}
+
+func TestLazyDecoding(t *testing.T) {
+	p := NewPacket(fabricFrame(t), LayerTypeEthernet, Lazy)
+	// Asking for IPv4 should decode up to it but not beyond.
+	if p.Layer(LayerTypeIPv4) == nil {
+		t.Fatal("no IPv4 layer")
+	}
+	decodedSoFar := len(p.layers)
+	if decodedSoFar != 7 {
+		t.Errorf("lazy decoded %d layers before stopping, want 7", decodedSoFar)
+	}
+	// Layers() completes the decode.
+	if n := len(p.Layers()); n != 9 {
+		t.Errorf("full stack = %d layers", n)
+	}
+}
+
+func TestNoCopySharesData(t *testing.T) {
+	data := fabricFrame(t)
+	p := NewPacket(data, LayerTypeEthernet, NoCopy)
+	if &p.Data()[0] != &data[0] {
+		t.Error("NoCopy should alias caller's slice")
+	}
+	q := NewPacket(data, LayerTypeEthernet, Default)
+	if &q.Data()[0] == &data[0] {
+		t.Error("Default should copy")
+	}
+}
+
+func TestErrorLayerPreservesPrefix(t *testing.T) {
+	data := fabricFrame(t)
+	// Corrupt the inner IPv4 version nibble.
+	// Offsets: 14 eth + 4 vlan + 4 mpls + 4 mpls + 4 cw + 14 eth = 44.
+	data[44] = 0x95
+	p := NewPacket(data, LayerTypeEthernet, Default)
+	fail := p.ErrorLayer()
+	if fail == nil {
+		t.Fatal("expected decode failure")
+	}
+	if len(p.Layers()) != 6 {
+		t.Errorf("prefix layers = %d, want 6 (%v)", len(p.Layers()), p.String())
+	}
+	var de *DecodeError
+	if !asDecodeError(fail.Error(), &de) {
+		t.Fatalf("failure error type = %T", fail.Error())
+	}
+	if de.Layer != LayerTypeIPv4 {
+		t.Errorf("failed layer = %v", de.Layer)
+	}
+}
+
+func asDecodeError(err error, out **DecodeError) bool {
+	for err != nil {
+		if de, ok := err.(*DecodeError); ok {
+			*out = de
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestTruncatedFrameKeepsPrefix(t *testing.T) {
+	data := fabricFrame(t)
+	// Snap to 60 bytes as a capture with a small snaplen would.
+	p := NewPacket(data[:60], LayerTypeEthernet, Default)
+	// Everything through the inner IPv4 should decode; TCP is clipped
+	// (inner IPv4 starts at 44, needs 20, ends at 64 > 60).
+	types := p.LayerTypes()
+	if len(types) < 6 {
+		t.Errorf("truncated stack too short: %v", p.String())
+	}
+	if p.ErrorLayer() == nil {
+		t.Error("expected truncation failure layer")
+	} else if !IsTruncated(p.ErrorLayer().Error()) {
+		t.Errorf("error should be truncation: %v", p.ErrorLayer().Error())
+	}
+}
+
+func TestHelperAccessors(t *testing.T) {
+	p := NewPacket(fabricFrame(t), LayerTypeEthernet, Default)
+	if p.LinkLayer() == nil {
+		t.Error("no link layer")
+	}
+	net := p.NetworkLayer()
+	if net == nil || net.LayerType() != LayerTypeIPv4 {
+		t.Errorf("network layer = %v", net)
+	}
+	tr := p.TransportLayer()
+	if tr == nil || tr.LayerType() != LayerTypeTCP {
+		t.Errorf("transport layer = %v", tr)
+	}
+	app := p.ApplicationLayer()
+	if app == nil || app.LayerType() != LayerTypeTLS {
+		t.Errorf("application layer = %v", app)
+	}
+}
+
+func TestUnknownEtherTypeBecomesPayload(t *testing.T) {
+	pay := Payload([]byte{1, 2, 3, 4})
+	data := buildFrame(t,
+		&Ethernet{DstMAC: testDstMAC, SrcMAC: testSrcMAC, EthernetType: 0x88B5},
+		&pay)
+	p := NewPacket(data, LayerTypeEthernet, Default)
+	types := p.LayerTypes()
+	if len(types) != 2 || types[1] != LayerTypePayload {
+		t.Errorf("stack = %v", p.String())
+	}
+}
+
+func TestEmptyPacket(t *testing.T) {
+	p := NewPacket(nil, LayerTypeEthernet, Default)
+	if len(p.Layers()) != 0 {
+		t.Error("empty packet decoded layers")
+	}
+	if p.ErrorLayer() != nil {
+		t.Error("empty packet should not be an error, just empty")
+	}
+}

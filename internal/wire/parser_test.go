@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func newFastParser() (*DecodingLayerParser, *Ethernet, *Dot1Q, *MPLS, *PWControlWord, *IPv4, *IPv6, *TCP, *UDP) {
+	var (
+		eth  Ethernet
+		dot  Dot1Q
+		mpls MPLS
+		cw   PWControlWord
+		ip4  IPv4
+		ip6  IPv6
+		tcp  TCP
+		udp  UDP
+	)
+	p := NewDecodingLayerParser(LayerTypeEthernet, &eth, &dot, &mpls, &cw, &ip4, &ip6, &tcp, &udp)
+	return p, &eth, &dot, &mpls, &cw, &ip4, &ip6, &tcp, &udp
+}
+
+func TestParserDecodesFabricStack(t *testing.T) {
+	parser, _, dot, mpls, _, ip4, _, tcp, _ := newFastParser()
+	data := fabricFrame(t)
+	var decoded []LayerType
+	err := parser.DecodeLayers(data, &decoded)
+	// The TLS layer is not registered, so the parser should stop there.
+	var unsup ErrUnsupportedLayer
+	if !errors.As(err, &unsup) || unsup.LayerType != LayerTypeTLS {
+		t.Fatalf("err = %v, want unsupported TLS", err)
+	}
+	want := []LayerType{
+		LayerTypeEthernet, LayerTypeDot1Q, LayerTypeMPLS, LayerTypeMPLS,
+		LayerTypePWControlWord, LayerTypeEthernet, LayerTypeIPv4, LayerTypeTCP,
+	}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded = %v, want %v", decoded, want)
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("decoded = %v, want %v", decoded, want)
+		}
+	}
+	// The parser fills the caller's structs.
+	if dot.VLANID != 2101 {
+		t.Errorf("vlan = %d", dot.VLANID)
+	}
+	if mpls.Label != 2000 || !mpls.StackBottom {
+		t.Errorf("mpls (last decode wins) = %+v", mpls)
+	}
+	if ip4.DstIP != testDstIP4 {
+		t.Errorf("dst = %v", ip4.DstIP)
+	}
+	if tcp.DstPort != 443 {
+		t.Errorf("dport = %d", tcp.DstPort)
+	}
+}
+
+func TestParserReuseNoState(t *testing.T) {
+	parser, _, _, _, _, ip4, _, _, udp := newFastParser()
+	frameA := buildFrame(t,
+		&Ethernet{EthernetType: EthernetTypeIPv4},
+		&IPv4{TTL: 1, Protocol: IPProtocolUDP, SrcIP: testSrcIP4, DstIP: testDstIP4},
+		&UDP{SrcPort: 1, DstPort: 2})
+	frameB := buildFrame(t,
+		&Ethernet{EthernetType: EthernetTypeIPv4},
+		&IPv4{TTL: 1, Protocol: IPProtocolUDP, SrcIP: testDstIP4, DstIP: testSrcIP4},
+		&UDP{SrcPort: 3, DstPort: 4})
+	var decoded []LayerType
+	if err := parser.DecodeLayers(frameA, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := parser.DecodeLayers(frameB, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if ip4.SrcIP != testDstIP4 || udp.SrcPort != 3 {
+		t.Errorf("second decode did not overwrite: ip=%v udp=%d", ip4.SrcIP, udp.SrcPort)
+	}
+}
+
+func TestParserTruncationFlag(t *testing.T) {
+	parser, _, _, _, _, _, _, _, _ := newFastParser()
+	data := fabricFrame(t)
+	var decoded []LayerType
+	err := parser.DecodeLayers(data[:50], &decoded)
+	if err == nil {
+		t.Fatal("expected error on truncated frame")
+	}
+	if !parser.Truncated {
+		t.Error("Truncated flag not set")
+	}
+	// A protocol error (bad version) is not a truncation.
+	bad := make([]byte, len(data))
+	copy(bad, data)
+	bad[44] = 0x95
+	err = parser.DecodeLayers(bad, &decoded)
+	if err == nil {
+		t.Fatal("expected error on corrupt frame")
+	}
+	if parser.Truncated {
+		t.Error("protocol error mislabeled as truncation")
+	}
+}
+
+func TestParserMatchesPacketDecode(t *testing.T) {
+	// Property: for random TCP/UDP frames, the fast parser and the Packet
+	// decoder agree on the layer stack (up to the parser's registered set).
+	f := func(srcPort, dstPort uint16, useV6, useUDP bool, payLen uint8) bool {
+		var layers []SerializableLayer
+		layers = append(layers, &Ethernet{
+			DstMAC: testDstMAC, SrcMAC: testSrcMAC,
+			EthernetType: map[bool]EthernetType{false: EthernetTypeIPv4, true: EthernetTypeIPv6}[useV6],
+		})
+		proto := IPProtocolTCP
+		if useUDP {
+			proto = IPProtocolUDP
+		}
+		if useV6 {
+			layers = append(layers, &IPv6{NextHeader: proto, HopLimit: 64, SrcIP: testSrcIP6, DstIP: testDstIP6})
+		} else {
+			layers = append(layers, &IPv4{TTL: 64, Protocol: proto, SrcIP: testSrcIP4, DstIP: testDstIP4})
+		}
+		if useUDP {
+			layers = append(layers, &UDP{SrcPort: srcPort, DstPort: dstPort})
+		} else {
+			layers = append(layers, &TCP{SrcPort: srcPort, DstPort: dstPort, DataOffset: 5})
+		}
+		pay := Payload(make([]byte, int(payLen)))
+		layers = append(layers, &pay)
+
+		buf := NewSerializeBuffer()
+		if err := SerializeLayers(buf, SerializeOptions{FixLengths: true}, layers...); err != nil {
+			return false
+		}
+		data := buf.Bytes()
+
+		parser, _, _, _, _, _, _, _, _ := newFastParser()
+		var fast []LayerType
+		errFast := parser.DecodeLayers(data, &fast)
+
+		pkt := NewPacket(data, LayerTypeEthernet, Default)
+		slow := pkt.LayerTypes()
+
+		// Fast path may stop early on app layers; its decoded prefix must
+		// match the slow path's.
+		if errFast != nil {
+			var unsup ErrUnsupportedLayer
+			if !errors.As(errFast, &unsup) {
+				return false
+			}
+		}
+		if len(fast) > len(slow) {
+			return false
+		}
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserUnregisteredFirstLayer(t *testing.T) {
+	parser := NewDecodingLayerParser(LayerTypeEthernet) // nothing registered
+	var decoded []LayerType
+	err := parser.DecodeLayers([]byte{1, 2, 3}, &decoded)
+	var unsup ErrUnsupportedLayer
+	if !errors.As(err, &unsup) || unsup.LayerType != LayerTypeEthernet {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func BenchmarkDecodingLayerParser(b *testing.B) {
+	parser, _, _, _, _, _, _, _, _ := newFastParser()
+	data := fabricFrame(b)
+	var decoded []LayerType
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = parser.DecodeLayers(data, &decoded)
+	}
+}
+
+func BenchmarkNewPacketDecode(b *testing.B) {
+	data := fabricFrame(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket(data, LayerTypeEthernet, NoCopy)
+		_ = p.Layers()
+	}
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TCPOptionKind identifies a TCP option.
+type TCPOptionKind uint8
+
+// Common TCP option kinds.
+const (
+	TCPOptionEndOfList     TCPOptionKind = 0
+	TCPOptionNop           TCPOptionKind = 1
+	TCPOptionMSS           TCPOptionKind = 2
+	TCPOptionWindowScale   TCPOptionKind = 3
+	TCPOptionSACKPermitted TCPOptionKind = 4
+	TCPOptionSACK          TCPOptionKind = 5
+	TCPOptionTimestamps    TCPOptionKind = 8
+)
+
+// String names common kinds.
+func (k TCPOptionKind) String() string {
+	switch k {
+	case TCPOptionEndOfList:
+		return "EOL"
+	case TCPOptionNop:
+		return "NOP"
+	case TCPOptionMSS:
+		return "MSS"
+	case TCPOptionWindowScale:
+		return "WScale"
+	case TCPOptionSACKPermitted:
+		return "SACKPermitted"
+	case TCPOptionSACK:
+		return "SACK"
+	case TCPOptionTimestamps:
+		return "Timestamps"
+	default:
+		return fmt.Sprintf("TCPOption(%d)", uint8(k))
+	}
+}
+
+// TCPOption is one parsed option.
+type TCPOption struct {
+	Kind TCPOptionKind
+	// Data is the option payload (excluding kind and length bytes);
+	// empty for single-byte options.
+	Data []byte
+}
+
+// ParseOptions walks the segment's options field, returning the parsed
+// list. Malformed lengths produce an error; congestion-control
+// evaluation (the paper's motivating example for header inspection)
+// depends on fields like SACK blocks and timestamps parsing correctly.
+func (t *TCP) ParseOptions() ([]TCPOption, error) {
+	var out []TCPOption
+	data := t.Options
+	for len(data) > 0 {
+		kind := TCPOptionKind(data[0])
+		switch kind {
+		case TCPOptionEndOfList:
+			return out, nil
+		case TCPOptionNop:
+			data = data[1:]
+			continue
+		}
+		if len(data) < 2 {
+			return out, errTruncated{2, len(data)}
+		}
+		l := int(data[1])
+		if l < 2 || l > len(data) {
+			return out, fmt.Errorf("TCP option %v length %d invalid (have %d)", kind, l, len(data))
+		}
+		out = append(out, TCPOption{Kind: kind, Data: data[2:l]})
+		data = data[l:]
+	}
+	return out, nil
+}
+
+// MSS returns the segment's advertised maximum segment size, if present.
+func (t *TCP) MSS() (uint16, bool) {
+	opts, err := t.ParseOptions()
+	if err != nil {
+		return 0, false
+	}
+	for _, o := range opts {
+		if o.Kind == TCPOptionMSS && len(o.Data) == 2 {
+			return binary.BigEndian.Uint16(o.Data), true
+		}
+	}
+	return 0, false
+}
+
+// WindowScale returns the window-scale shift, if present.
+func (t *TCP) WindowScale() (uint8, bool) {
+	opts, err := t.ParseOptions()
+	if err != nil {
+		return 0, false
+	}
+	for _, o := range opts {
+		if o.Kind == TCPOptionWindowScale && len(o.Data) == 1 {
+			return o.Data[0], true
+		}
+	}
+	return 0, false
+}
+
+// SACKBlock is one selective-acknowledgement range.
+type SACKBlock struct{ Left, Right uint32 }
+
+// SACKBlocks returns the segment's SACK ranges, if present.
+func (t *TCP) SACKBlocks() ([]SACKBlock, bool) {
+	opts, err := t.ParseOptions()
+	if err != nil {
+		return nil, false
+	}
+	for _, o := range opts {
+		if o.Kind == TCPOptionSACK && len(o.Data)%8 == 0 && len(o.Data) > 0 {
+			blocks := make([]SACKBlock, 0, len(o.Data)/8)
+			for i := 0; i+8 <= len(o.Data); i += 8 {
+				blocks = append(blocks, SACKBlock{
+					Left:  binary.BigEndian.Uint32(o.Data[i : i+4]),
+					Right: binary.BigEndian.Uint32(o.Data[i+4 : i+8]),
+				})
+			}
+			return blocks, true
+		}
+	}
+	return nil, false
+}
+
+// BuildOptions serializes options into a 4-byte-aligned block suitable
+// for TCP.Options, padding with NOPs and a final EOL as needed.
+func BuildOptions(opts ...TCPOption) ([]byte, error) {
+	var out []byte
+	for _, o := range opts {
+		switch o.Kind {
+		case TCPOptionNop, TCPOptionEndOfList:
+			out = append(out, byte(o.Kind))
+		default:
+			l := 2 + len(o.Data)
+			if l > 255 {
+				return nil, fmt.Errorf("TCP option %v too long (%d)", o.Kind, l)
+			}
+			out = append(out, byte(o.Kind), byte(l))
+			out = append(out, o.Data...)
+		}
+	}
+	for len(out)%4 != 0 {
+		out = append(out, byte(TCPOptionNop))
+	}
+	return out, nil
+}

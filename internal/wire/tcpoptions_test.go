@@ -1,0 +1,172 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseOptionsMSSWScale(t *testing.T) {
+	opts, err := BuildOptions(
+		TCPOption{Kind: TCPOptionMSS, Data: []byte{0x23, 0x28}}, // 9000
+		TCPOption{Kind: TCPOptionWindowScale, Data: []byte{7}},
+		TCPOption{Kind: TCPOptionSACKPermitted},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts)%4 != 0 {
+		t.Fatalf("options not aligned: %d", len(opts))
+	}
+	tcp := &TCP{Options: opts}
+	parsed, err := tcp.ParseOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+	mss, ok := tcp.MSS()
+	if !ok || mss != 9000 {
+		t.Errorf("MSS = %d/%v", mss, ok)
+	}
+	ws, ok := tcp.WindowScale()
+	if !ok || ws != 7 {
+		t.Errorf("WScale = %d/%v", ws, ok)
+	}
+}
+
+func TestSACKBlocks(t *testing.T) {
+	data := make([]byte, 16)
+	put := func(i int, v uint32) {
+		data[i] = byte(v >> 24)
+		data[i+1] = byte(v >> 16)
+		data[i+2] = byte(v >> 8)
+		data[i+3] = byte(v)
+	}
+	put(0, 100)
+	put(4, 200)
+	put(8, 300)
+	put(12, 400)
+	opts, err := BuildOptions(TCPOption{Kind: TCPOptionSACK, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp := &TCP{Options: opts}
+	blocks, ok := tcp.SACKBlocks()
+	if !ok || len(blocks) != 2 {
+		t.Fatalf("blocks = %v/%v", blocks, ok)
+	}
+	if blocks[0] != (SACKBlock{100, 200}) || blocks[1] != (SACKBlock{300, 400}) {
+		t.Errorf("blocks = %v", blocks)
+	}
+}
+
+func TestParseOptionsMalformed(t *testing.T) {
+	tcp := &TCP{Options: []byte{byte(TCPOptionMSS)}} // truncated
+	if _, err := tcp.ParseOptions(); err == nil {
+		t.Error("truncated option should fail")
+	}
+	tcp.Options = []byte{byte(TCPOptionMSS), 1, 0, 0} // length < 2
+	if _, err := tcp.ParseOptions(); err == nil {
+		t.Error("undersized length should fail")
+	}
+	tcp.Options = []byte{byte(TCPOptionMSS), 200} // length > available
+	if _, err := tcp.ParseOptions(); err == nil {
+		t.Error("oversized length should fail")
+	}
+}
+
+func TestParseOptionsEOLStops(t *testing.T) {
+	tcp := &TCP{Options: []byte{
+		byte(TCPOptionNop),
+		byte(TCPOptionEndOfList),
+		byte(TCPOptionMSS), 4, 0x05, 0xB4, // after EOL: ignored
+	}}
+	parsed, err := tcp.ParseOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 0 {
+		t.Errorf("options after EOL parsed: %+v", parsed)
+	}
+	if _, ok := tcp.MSS(); ok {
+		t.Error("MSS after EOL should be invisible")
+	}
+}
+
+func TestOptionsRoundTripThroughSegment(t *testing.T) {
+	opts, err := BuildOptions(TCPOption{Kind: TCPOptionMSS, Data: []byte{0x05, 0xB4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pay := Payload([]byte("x"))
+	data := buildFrame(t,
+		&IPv4{TTL: 3, Protocol: IPProtocolTCP, SrcIP: testSrcIP4, DstIP: testDstIP4},
+		&TCP{SrcPort: 1, DstPort: 2, Flags: TCPSyn, Options: opts},
+		&pay)
+	var ip IPv4
+	if err := ip.DecodeFromBytes(data); err != nil {
+		t.Fatal(err)
+	}
+	var tcp TCP
+	if err := tcp.DecodeFromBytes(ip.LayerPayload()); err != nil {
+		t.Fatal(err)
+	}
+	mss, ok := tcp.MSS()
+	if !ok || mss != 1460 {
+		t.Errorf("round-tripped MSS = %d/%v", mss, ok)
+	}
+}
+
+func TestBuildOptionsTooLong(t *testing.T) {
+	if _, err := BuildOptions(TCPOption{Kind: TCPOptionSACK, Data: make([]byte, 300)}); err == nil {
+		t.Error("oversized option should fail")
+	}
+}
+
+func TestParseOptionsNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ParseOptions panicked: %v", r)
+			}
+		}()
+		tcp := &TCP{Options: raw}
+		_, _ = tcp.ParseOptions()
+		_, _ = tcp.MSS()
+		_, _ = tcp.SACKBlocks()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildParsePropertyRoundTrip(t *testing.T) {
+	f := func(mssVal uint16, wsVal uint8) bool {
+		opts, err := BuildOptions(
+			TCPOption{Kind: TCPOptionMSS, Data: []byte{byte(mssVal >> 8), byte(mssVal)}},
+			TCPOption{Kind: TCPOptionWindowScale, Data: []byte{wsVal}},
+		)
+		if err != nil {
+			return false
+		}
+		tcp := &TCP{Options: opts}
+		m, ok1 := tcp.MSS()
+		w, ok2 := tcp.WindowScale()
+		return ok1 && ok2 && m == mssVal && w == wsVal
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionKindStrings(t *testing.T) {
+	if TCPOptionMSS.String() != "MSS" || TCPOptionSACK.String() != "SACK" {
+		t.Error("kind names")
+	}
+	if !bytes.Contains([]byte(TCPOptionKind(99).String()), []byte("99")) {
+		t.Error("unknown kind name")
+	}
+}
