@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/capture"
 	patchwork "repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
@@ -38,6 +39,8 @@ func main() {
 		out       = flag.String("out", "patchwork-out", "output directory")
 		nSites    = flag.Int("federation-sites", 6, "number of sites in the simulated federation")
 		nice      = flag.Bool("nice", false, "enable runtime footprint scaling (the nice-factor extension)")
+		metrics   = flag.String("metrics", "", "write platform metrics to this file (.prom, .jsonl, or .csv by extension)")
+		trace     = flag.String("trace", "", "write span trace JSONL to this file")
 	)
 	flag.Parse()
 
@@ -78,6 +81,19 @@ func main() {
 		fatal(err)
 	}
 
+	// Observability: registry and tracer stamp everything in sim time, so
+	// two runs with the same seed emit byte-identical files.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics != "" {
+		reg = obs.NewKernelRegistry(k)
+		obs.CollectKernel(reg, k)
+		fed.SetObs(reg)
+	}
+	if *trace != "" {
+		tracer = obs.NewKernelTracer(k)
+	}
+
 	store := telemetry.NewStore()
 	poller := telemetry.NewPoller(k, store, 30*sim.Second)
 	profiles := trafficgen.MakeSiteProfiles(*seed, len(fed.Sites()))
@@ -106,6 +122,8 @@ func main() {
 		TruncateBytes:  *trunc,
 		Method:         capMethod,
 		Seed:           *seed,
+		Obs:            reg,
+		Tracer:         tracer,
 	}
 	if *nice {
 		cfg.Nice = &patchwork.NicePolicy{ScaleDownFreeNICs: 0, ScaleUpFreeNICs: 1}
@@ -125,6 +143,18 @@ func main() {
 
 	if err := writeProfile(*out, prof); err != nil {
 		fatal(err)
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metrics)
+	}
+	if *trace != "" {
+		if err := writeTrace(*trace, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *trace, tracer.Len())
 	}
 	fmt.Printf("profile complete: %d sites in %v of virtual time\n",
 		len(prof.Bundles), prof.Finished-prof.Started)
@@ -173,6 +203,40 @@ func writeProfile(dir string, prof *patchwork.Profile) error {
 		}
 	}
 	return nil
+}
+
+// writeMetrics exports the registry in the format the file extension
+// names: Prometheus text (.prom, also the fallback), JSONL, or CSV.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch filepath.Ext(path) {
+	case ".jsonl":
+		err = reg.WriteMetricsJSONL(f)
+	case ".csv":
+		err = reg.WriteCSV(f)
+	default:
+		err = reg.WritePrometheus(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeTrace exports the span tree as JSONL.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = tr.WriteJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -25,8 +25,10 @@ func main() {
 		seed  = flag.Uint64("seed", 1, "deterministic seed")
 		asCSV = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (with -all)")
+		obsD  = flag.String("obs", "", "directory to write per-experiment metrics (.prom) and traces (.jsonl) for experiments that support observability")
 	)
 	flag.Parse()
+	experiments.Observe = *obsD != ""
 
 	switch {
 	case *list:
@@ -43,6 +45,9 @@ func main() {
 				fatal(err)
 			}
 		} else if err := res.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if err := writeObs(*obsD, res); err != nil {
 			fatal(err)
 		}
 	case *all:
@@ -70,11 +75,52 @@ func main() {
 					fatal(err)
 				}
 			}
+			if err := writeObs(*obsD, res); err != nil {
+				fatal(err)
+			}
 		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeObs persists an experiment's observability outputs, if any:
+// <dir>/<id>.prom for metrics and <dir>/<id>.jsonl for spans.
+func writeObs(dir string, res *experiments.Result) error {
+	if dir == "" || (res.Metrics == nil && res.Trace == nil) {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if res.Metrics != nil {
+		f, err := os.Create(filepath.Join(dir, res.ID+".prom"))
+		if err != nil {
+			return err
+		}
+		err = res.Metrics.WritePrometheus(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if res.Trace != nil {
+		f, err := os.Create(filepath.Join(dir, res.ID+".jsonl"))
+		if err != nil {
+			return err
+		}
+		err = res.Trace.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

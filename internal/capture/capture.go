@@ -26,8 +26,10 @@ package capture
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/sim"
 	"repro/internal/switchsim"
@@ -111,6 +113,13 @@ type Config struct {
 	// SampleEvery keeps only every Nth frame when > 1 (sampling
 	// offload).
 	SampleEvery int
+	// Obs receives capture metrics when non-nil. Instruments are
+	// resolved once at engine construction, so with Obs nil (the
+	// default) the per-frame cost of observability is a nil check.
+	Obs *obs.Registry
+	// ObsLabels distinguish engines sharing a registry (e.g. site and
+	// egress port); the engine adds a "method" label itself.
+	ObsLabels []obs.Label
 }
 
 func (c Config) withDefaults() Config {
@@ -164,6 +173,9 @@ type coreState struct {
 	busyUntil   sim.Time
 	batchFrames int
 	batchBytes  int
+	// occupancy is the per-core queue-depth high-watermark gauge (nil
+	// unless the engine is instrumented).
+	occupancy *obs.Gauge
 }
 
 // Engine is one capture instance. It implements switchsim.Receiver. Not
@@ -182,6 +194,9 @@ type Engine struct {
 
 	// Stats is exported state; read freely between events.
 	Stats Stats
+
+	// Pre-resolved obs instruments (all nil when Config.Obs is nil).
+	mReceived, mFiltered, mDropped, mCaptured, mStoredBytes *obs.Counter
 }
 
 // NewEngine builds an engine bound to the simulation kernel.
@@ -193,11 +208,31 @@ func NewEngine(k *sim.Kernel, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("capture: snap length %d invalid", cfg.SnapLen)
 	}
 	cfg = cfg.withDefaults()
-	return &Engine{
+	e := &Engine{
 		cfg:    cfg,
 		kernel: k,
 		cores:  make([]coreState, cfg.Cores),
-	}, nil
+	}
+	if reg := cfg.Obs; reg != nil {
+		labels := append(append([]obs.Label(nil), cfg.ObsLabels...),
+			obs.L("method", cfg.Method.String()))
+		reg.Help("capture_frames_received_total", "frames delivered to the capture NIC")
+		reg.Help("capture_frames_filtered_total", "frames rejected by filter or sampler")
+		reg.Help("capture_frames_dropped_total", "frames lost to Rx queue or buffer overflow")
+		reg.Help("capture_frames_captured_total", "frames fully processed into the capture")
+		reg.Help("capture_stored_bytes_total", "stored (truncated) bytes")
+		reg.Help("capture_core_queue_highwater", "per-core Rx queue depth high-watermark")
+		e.mReceived = reg.Counter("capture_frames_received_total", labels...)
+		e.mFiltered = reg.Counter("capture_frames_filtered_total", labels...)
+		e.mDropped = reg.Counter("capture_frames_dropped_total", labels...)
+		e.mCaptured = reg.Counter("capture_frames_captured_total", labels...)
+		e.mStoredBytes = reg.Counter("capture_stored_bytes_total", labels...)
+		for i := range e.cores {
+			e.cores[i].occupancy = reg.Gauge("capture_core_queue_highwater",
+				append(append([]obs.Label(nil), labels...), obs.L("core", strconv.Itoa(i)))...)
+		}
+	}
+	return e, nil
 }
 
 // Config returns the engine's effective configuration.
@@ -242,6 +277,7 @@ func (e *Engine) perFrameCost(stored, wireLen int) sim.Duration {
 // mirrored port at virtual time now.
 func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 	e.Stats.Received++
+	e.mReceived.Inc()
 	e.estimateRate(now)
 
 	// Sampling and filtering. On the FPGA these run on the NIC before
@@ -251,11 +287,13 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		e.sample++
 		if e.sample%e.cfg.SampleEvery != 0 {
 			e.Stats.Filtered++
+			e.mFiltered.Inc()
 			return
 		}
 	}
 	if e.cfg.Filter != nil && !e.cfg.Filter(f.Data) {
 		e.Stats.Filtered++
+		e.mFiltered.Inc()
 		return
 	}
 
@@ -274,15 +312,18 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		slotBytes += tcpdumpSlotOverhead
 		if core.queuedBytes+slotBytes > e.cfg.BufferBytes {
 			e.Stats.Dropped++
+			e.mDropped.Inc()
 			return
 		}
 	} else if core.queued >= e.cfg.RxQueueDepth {
 		e.Stats.Dropped++
+		e.mDropped.Inc()
 		return
 	}
 
 	core.queued++
 	core.queuedBytes += slotBytes
+	core.occupancy.SetMax(float64(core.queued))
 	start := core.busyUntil
 	if start < now {
 		start = now
@@ -314,6 +355,8 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		c.queuedBytes -= slot
 		e.Stats.Captured++
 		e.Stats.StoredBytes += int64(storedLen)
+		e.mCaptured.Inc()
+		e.mStoredBytes.Add(int64(storedLen))
 		if e.cfg.Writer != nil {
 			data := frame.Data
 			if data == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -97,9 +98,12 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 	}
 	k := c.Federation.Kernel
 	profile := &Profile{Started: k.Now()}
+	expSpan := c.cfg.Tracer.Start("experiment",
+		obs.L("mode", c.cfg.Mode.String()), obs.L("sites", fmt.Sprintf("%d", len(sites))))
 	remaining := len(sites)
 	if remaining == 0 {
 		profile.Finished = k.Now()
+		expSpan.End()
 		done(profile, nil)
 		return
 	}
@@ -107,12 +111,13 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 	for i, site := range sites {
 		i, site := i, site
 		inst := &siteInstance{
-			cfg:    c.cfg,
-			site:   site,
-			store:  c.Store,
-			poller: c.Poller,
-			kernel: k,
-			r:      c.r.Split(),
+			cfg:        c.cfg,
+			site:       site,
+			store:      c.Store,
+			poller:     c.Poller,
+			kernel:     k,
+			r:          c.r.Split(),
+			parentSpan: expSpan,
 		}
 		inst.bundle.Site = site.Spec.Name
 		// Stagger starts slightly: the coordinator contacts sites one at
@@ -125,6 +130,7 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 				if remaining == 0 {
 					profile.Bundles = bundles
 					profile.Finished = k.Now()
+					expSpan.End()
 					done(profile, nil)
 				}
 			})

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/capture"
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -14,11 +15,37 @@ import (
 	"repro/internal/testbed"
 )
 
+// Level is a log severity. Typed constants (rather than free-form
+// strings) make levels typo-proof and let the obs layer count log
+// events per level.
+type Level uint8
+
+// Log levels, in increasing severity.
+const (
+	LevelInfo Level = iota
+	LevelWarn
+	LevelError
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("Level(%d)", uint8(l))
+	}
+}
+
 // LogEvent is one entry in an instance's run log. Logs travel with the
 // capture bundle so problems can be diagnosed offline (requirement R3).
 type LogEvent struct {
 	At      sim.Time
-	Level   string // "info", "warn", "error"
+	Level   Level
 	Message string
 }
 
@@ -124,6 +151,38 @@ type siteInstance struct {
 	totalStored int64
 
 	done func(Bundle)
+
+	// Observability state (all nil/no-op when cfg.Obs and cfg.Tracer are
+	// unset — the default).
+	parentSpan *obs.Span // the coordinator's experiment span
+	siteSpan   *obs.Span
+	cycleSpan  *obs.Span
+	mBackoffs  *obs.Counter
+	mMirrored  *obs.Counter
+	mCongested *obs.Counter
+	mLogs      [3]*obs.Counter // indexed by Level
+}
+
+// instrument resolves the instance's obs instruments. Called once at
+// run start; with a nil registry every handle stays nil and recording
+// costs one branch.
+func (si *siteInstance) instrument() {
+	reg := si.cfg.Obs
+	if reg == nil {
+		return
+	}
+	site := obs.L("site", si.site.Spec.Name)
+	reg.Help("patchwork_setup_backoffs_total", "listener requests abandoned during iterative back-off")
+	reg.Help("patchwork_ports_mirrored_total", "mirror sessions established by port cycling")
+	reg.Help("patchwork_congestion_events_total", "suspected incomplete samples (mirror egress overload)")
+	reg.Help("patchwork_log_events_total", "run-log events by level")
+	reg.Help("patchwork_runs_total", "site runs by outcome")
+	si.mBackoffs = reg.Counter("patchwork_setup_backoffs_total", site)
+	si.mMirrored = reg.Counter("patchwork_ports_mirrored_total", site)
+	si.mCongested = reg.Counter("patchwork_congestion_events_total", site)
+	for l := LevelInfo; l <= LevelError; l++ {
+		si.mLogs[l] = reg.Counter("patchwork_log_events_total", site, obs.L("level", l.String()))
+	}
 }
 
 // granted reports the current listener count.
@@ -142,16 +201,19 @@ func (si *siteInstance) activeEgress() []string {
 func (si *siteInstance) releaseAll() {
 	for _, sl := range si.slivers {
 		if err := si.site.Release(sl); err != nil {
-			si.logf("error", "teardown: %v", err)
+			si.logf(LevelError, "teardown: %v", err)
 		}
 	}
 	si.slivers = nil
 }
 
-func (si *siteInstance) logf(level, format string, args ...any) {
+func (si *siteInstance) logf(level Level, format string, args ...any) {
 	si.bundle.Logs = append(si.bundle.Logs, LogEvent{
 		At: si.kernel.Now(), Level: level, Message: fmt.Sprintf(format, args...),
 	})
+	if int(level) < len(si.mLogs) {
+		si.mLogs[level].Inc()
+	}
 }
 
 // setup performs discovery, request formulation, and iterative back-off
@@ -166,7 +228,7 @@ func (si *siteInstance) setup() bool {
 	if want == 0 {
 		si.bundle.Outcome = OutcomeFailed
 		si.bundle.FailureReason = "no dedicated NICs available"
-		si.logf("error", "setup: site has no free dedicated NICs")
+		si.logf(LevelError, "setup: site has no free dedicated NICs")
 		return false
 	}
 	// Iterative back-off: each listener (VM + NIC) is a separate small
@@ -179,18 +241,20 @@ func (si *siteInstance) setup() bool {
 		// testbed's allocator is not burdened with doomed requests.
 		if err := si.site.CanAllocate(si.kernel.Now(), req); err != nil {
 			if testbed.IsResourceExhaustion(err) {
-				si.logf("warn", "setup: backing off at %d instances: %v", n, err)
+				si.mBackoffs.Inc()
+				si.logf(LevelWarn, "setup: backing off at %d instances: %v", n, err)
 				break
 			}
 			si.bundle.Outcome = OutcomeFailed
 			si.bundle.FailureReason = fmt.Sprintf("backend: %v", err)
-			si.logf("error", "setup: backend failure: %v", err)
+			si.logf(LevelError, "setup: backend failure: %v", err)
 			si.releaseAll()
 			return false
 		}
 		sliver, err := si.site.Allocate(si.kernel.Now(), req)
 		if err != nil {
-			si.logf("warn", "setup: allocation raced: %v", err)
+			si.mBackoffs.Inc()
+			si.logf(LevelWarn, "setup: allocation raced: %v", err)
 			break
 		}
 		si.slivers = append(si.slivers, sliver)
@@ -198,11 +262,11 @@ func (si *siteInstance) setup() bool {
 	if len(si.slivers) == 0 {
 		si.bundle.Outcome = OutcomeFailed
 		si.bundle.FailureReason = "resources exhausted after back-off"
-		si.logf("error", "setup: could not allocate even one instance")
+		si.logf(LevelError, "setup: could not allocate even one instance")
 		return false
 	}
 	si.bundle.InstancesGranted = si.granted()
-	si.logf("info", "setup: %d/%d instances allocated", si.granted(), si.cfg.InstancesWanted)
+	si.logf(LevelInfo, "setup: %d/%d instances allocated", si.granted(), si.cfg.InstancesWanted)
 
 	// Reserve the tail downlink ports as the listeners' NIC attachment
 	// points (mirror egresses); everything else is a candidate. The
@@ -237,7 +301,13 @@ func (si *siteInstance) setup() bool {
 // invoked exactly once with the final bundle.
 func (si *siteInstance) run(done func(Bundle)) {
 	si.done = done
-	if !si.setup() {
+	si.instrument()
+	si.siteSpan = si.parentSpan.Child("site", obs.L("site", si.site.Spec.Name))
+	setupSpan := si.siteSpan.Child("setup")
+	ok := si.setup()
+	setupSpan.Annotate("granted", fmt.Sprintf("%d", si.granted()))
+	setupSpan.End()
+	if !ok {
 		si.finish()
 		return
 	}
@@ -257,7 +327,7 @@ func (si *siteInstance) cycle(runIdx int) {
 		return
 	}
 	if si.crashed && runIdx >= si.cfg.Runs/2 {
-		si.logf("error", "watchdog: instance terminated abnormally (crash)")
+		si.logf(LevelError, "watchdog: instance terminated abnormally (crash)")
 		si.bundle.Outcome = OutcomeIncomplete
 		if si.bundle.FailureReason == "" {
 			si.bundle.FailureReason = "crashed mid-run"
@@ -265,11 +335,14 @@ func (si *siteInstance) cycle(runIdx int) {
 		si.finish()
 		return
 	}
+	si.cycleSpan = si.siteSpan.Child("cycle", obs.L("run", fmt.Sprintf("%d", runIdx)))
 	si.poller.PollNow()
 	si.applyNicePolicy()
 	egress := si.activeEgress()
 	if len(egress) == 0 {
-		si.logf("warn", "cycle %d: no listeners held, skipping", runIdx)
+		si.logf(LevelWarn, "cycle %d: no listeners held, skipping", runIdx)
+		si.cycleSpan.Annotate("skipped", "no-listeners")
+		si.cycleSpan.End()
 		si.kernel.After(si.cfg.SampleInterval, func() { si.cycle(runIdx + 1) })
 		return
 	}
@@ -281,11 +354,13 @@ func (si *siteInstance) cycle(runIdx int) {
 	}
 	ports := si.cfg.Selector.SelectPorts(ctx)
 	if len(ports) == 0 {
-		si.logf("warn", "cycle %d: selector returned no ports", runIdx)
+		si.logf(LevelWarn, "cycle %d: selector returned no ports", runIdx)
+		si.cycleSpan.Annotate("skipped", "no-ports")
+		si.cycleSpan.End()
 		si.kernel.After(si.cfg.SampleInterval, func() { si.cycle(runIdx + 1) })
 		return
 	}
-	si.logf("info", "cycle %d: mirroring %v", runIdx, ports)
+	si.logf(LevelInfo, "cycle %d: mirroring %v", runIdx, ports)
 
 	type mirrorPair struct {
 		mirrored, egress string
@@ -299,29 +374,32 @@ func (si *siteInstance) cycle(runIdx int) {
 		eg := egress[i%len(egress)]
 		sess, err := si.site.Switch.StartMirror(p, switchsim.DirBoth, eg)
 		if err != nil {
-			si.logf("warn", "cycle %d: mirror %s->%s: %v", runIdx, p, eg, err)
+			si.logf(LevelWarn, "cycle %d: mirror %s->%s: %v", runIdx, p, eg, err)
 			continue
 		}
 		si.history[p] = runIdx
 		si.notePortSampled(p)
+		si.mMirrored.Inc()
 
 		buf := &bytes.Buffer{}
 		w, err := pcap.NewWriter(buf, pcap.FileHeader{
 			SnapLen: uint32(si.cfg.TruncateBytes), Nanosecond: true,
 		})
 		if err != nil {
-			si.logf("error", "cycle %d: pcap writer: %v", runIdx, err)
+			si.logf(LevelError, "cycle %d: pcap writer: %v", runIdx, err)
 			si.site.Switch.StopMirror(p)
 			continue
 		}
 		eng, err := capture.NewEngine(si.kernel, capture.Config{
-			Method:  si.cfg.Method,
-			SnapLen: si.cfg.TruncateBytes,
-			Cores:   si.cfg.CaptureCores,
-			Writer:  w,
+			Method:    si.cfg.Method,
+			SnapLen:   si.cfg.TruncateBytes,
+			Cores:     si.cfg.CaptureCores,
+			Writer:    w,
+			Obs:       si.cfg.Obs,
+			ObsLabels: []obs.Label{obs.L("site", si.site.Spec.Name)},
 		})
 		if err != nil {
-			si.logf("error", "cycle %d: capture engine: %v", runIdx, err)
+			si.logf(LevelError, "cycle %d: capture engine: %v", runIdx, err)
 			si.site.Switch.StopMirror(p)
 			continue
 		}
@@ -344,11 +422,16 @@ func (si *siteInstance) cycle(runIdx int) {
 				si.site.Switch.StopMirror(mp.mirrored)
 				si.site.Switch.Port(mp.egress).SetReceiver(nil)
 			}
+			harvestSpan := si.cycleSpan.Child("harvest")
 			si.harvestCycle()
+			harvestSpan.Annotate("pcaps", fmt.Sprintf("%d", len(si.bundle.CompressedPcaps)))
+			harvestSpan.End()
+			si.cycleSpan.End()
 			si.kernel.After(si.cfg.SampleInterval, func() { si.cycle(runIdx + 1) })
 			return
 		}
 		start := si.kernel.Now()
+		sampleSpan := si.cycleSpan.Child("sample", obs.L("sample", fmt.Sprintf("%d", sampleIdx)))
 		si.kernel.After(si.cfg.SampleDuration, func() {
 			// Sample ends: snapshot stats and check for switch congestion.
 			si.poller.PollNow()
@@ -370,6 +453,7 @@ func (si *siteInstance) cycle(runIdx int) {
 				si.checkCongestion(mp.mirrored, mp.egress)
 			}
 			si.checkStorage()
+			sampleSpan.End()
 			sampleIdx++
 			gap := si.cfg.SampleInterval - si.cfg.SampleDuration
 			if sampleIdx >= si.cfg.SamplesPerRun {
@@ -399,7 +483,8 @@ func (si *siteInstance) checkCongestion(mirrored, egress string) {
 			OfferedBps: offered, CapacityBps: capacity,
 		}
 		si.bundle.Congestion = append(si.bundle.Congestion, ev)
-		si.logf("warn", "congestion: %s tx+rx %.0f B/s exceeds egress %s capacity %.0f B/s — sample likely incomplete",
+		si.mCongested.Inc()
+		si.logf(LevelWarn, "congestion: %s tx+rx %.0f B/s exceeds egress %s capacity %.0f B/s — sample likely incomplete",
 			mirrored, offered, egress, capacity)
 	}
 }
@@ -413,7 +498,7 @@ func (si *siteInstance) checkStorage() {
 		stored += eng.Stats.StoredBytes
 	}
 	if si.totalStored+stored > si.cfg.StorageLimitBytes {
-		si.logf("error", "watchdog: VM storage exhausted (%d bytes captured)", si.totalStored+stored)
+		si.logf(LevelError, "watchdog: VM storage exhausted (%d bytes captured)", si.totalStored+stored)
 		si.bundle.Outcome = OutcomeIncomplete
 		si.bundle.FailureReason = "out of storage"
 		si.crashed = true
@@ -432,11 +517,11 @@ func (si *siteInstance) harvestCycle() {
 		var z bytes.Buffer
 		zw := gzip.NewWriter(&z)
 		if _, err := zw.Write(buf.Bytes()); err != nil {
-			si.logf("error", "gather: compressing pcap: %v", err)
+			si.logf(LevelError, "gather: compressing pcap: %v", err)
 			continue
 		}
 		if err := zw.Close(); err != nil {
-			si.logf("error", "gather: closing gzip: %v", err)
+			si.logf(LevelError, "gather: closing gzip: %v", err)
 			continue
 		}
 		si.bundle.CompressedPcaps = append(si.bundle.CompressedPcaps, z.Bytes())
@@ -460,7 +545,14 @@ func (si *siteInstance) finish() {
 		si.bundle.InstancesGranted > 0 {
 		si.bundle.Outcome = OutcomeDegraded
 	}
-	si.logf("info", "run complete: outcome=%v", si.bundle.Outcome)
+	si.logf(LevelInfo, "run complete: outcome=%v", si.bundle.Outcome)
+	if si.cfg.Obs != nil {
+		si.cfg.Obs.Counter("patchwork_runs_total",
+			obs.L("site", si.site.Spec.Name),
+			obs.L("outcome", si.bundle.Outcome.String())).Inc()
+	}
+	si.siteSpan.Annotate("outcome", si.bundle.Outcome.String())
+	si.siteSpan.End()
 	done := si.done
 	si.done = nil
 	if done != nil {

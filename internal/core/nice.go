@@ -73,7 +73,7 @@ func (si *siteInstance) applyNicePolicy() {
 		// Yield a listener: release the most recently acquired sliver.
 		last := si.slivers[len(si.slivers)-1]
 		if err := si.site.Release(last); err != nil {
-			si.logf("error", "nice: releasing listener: %v", err)
+			si.logf(LevelError, "nice: releasing listener: %v", err)
 			return
 		}
 		from := len(si.slivers)
@@ -81,13 +81,13 @@ func (si *siteInstance) applyNicePolicy() {
 		ev := ScaleEvent{At: now, From: from, To: si.granted(),
 			Reason: fmt.Sprintf("site down to %d free NICs", free)}
 		si.bundle.ScaleEvents = append(si.bundle.ScaleEvents, ev)
-		si.logf("info", "nice: scaled down %s", ev)
+		si.logf(LevelInfo, "nice: scaled down %s", ev)
 	case free >= p.ScaleUpFreeNICs && si.granted() < si.cfg.InstancesWanted:
 		req := defaultRequest(fmt.Sprintf("patchwork-%s-nice", si.site.Spec.Name), 1)
 		sliver, err := si.site.Allocate(now, req)
 		if err != nil {
 			if !testbed.IsResourceExhaustion(err) {
-				si.logf("warn", "nice: scale-up failed: %v", err)
+				si.logf(LevelWarn, "nice: scale-up failed: %v", err)
 			}
 			return
 		}
@@ -96,6 +96,6 @@ func (si *siteInstance) applyNicePolicy() {
 		ev := ScaleEvent{At: now, From: from, To: si.granted(),
 			Reason: fmt.Sprintf("site back to %d free NICs", free)}
 		si.bundle.ScaleEvents = append(si.bundle.ScaleEvents, ev)
-		si.logf("info", "nice: scaled up %s", ev)
+		si.logf(LevelInfo, "nice: scaled up %s", ev)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/capture"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -86,6 +87,14 @@ type Config struct {
 	// Nice enables runtime footprint scaling (the paper's future-work
 	// "nice factor"); nil keeps the deployed system's fixed footprint.
 	Nice *NicePolicy
+	// Obs receives platform metrics (setup back-offs, ports mirrored,
+	// congestion detections, run outcomes, per-level log counts, capture
+	// engine counters). Nil — the default — disables metric recording; hot
+	// paths then pay a single branch.
+	Obs *obs.Registry
+	// Tracer receives spans for the experiment/site/cycle/sample
+	// hierarchy. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {

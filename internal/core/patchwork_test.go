@@ -434,7 +434,7 @@ func TestOutcomeAndModeStrings(t *testing.T) {
 	if AllExperiment.String() != "all-experiment" || SingleExperiment.String() != "single-experiment" {
 		t.Error("mode names")
 	}
-	if !strings.Contains((LogEvent{At: 0, Level: "warn", Message: "x"}).String(), "warn x") {
+	if !strings.Contains((LogEvent{At: 0, Level: LevelWarn, Message: "x"}).String(), "warn x") {
 		t.Error("log event format")
 	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	patchwork "repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -28,8 +29,26 @@ func Fig10(seed uint64) (*Result, error) {
 	counts := map[patchwork.Outcome]int{}
 	totalSiteRuns := 0
 
+	// Each scheduled run gets a fresh kernel; the shared registry/tracer
+	// read sim time through a rebindable clock so observations always
+	// stamp against the currently-running kernel.
+	var cur *sim.Kernel
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if Observe {
+		clock := func() sim.Time {
+			if cur == nil {
+				return 0
+			}
+			return cur.Now()
+		}
+		reg = obs.NewRegistry(clock)
+		tracer = obs.NewTracer(clock)
+	}
+
 	for runIdx := 0; runIdx < scheduledRuns; runIdx++ {
 		k := sim.NewKernel()
+		cur = k
 		specs := make([]testbed.SiteSpec, sitesPerRun)
 		for i := range specs {
 			specs[i] = testbed.SiteSpec{
@@ -41,6 +60,7 @@ func Fig10(seed uint64) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		fed.SetObs(reg)
 		store := telemetry.NewStore()
 		poller := telemetry.NewPoller(k, store, 30*sim.Second)
 		profiles := trafficgen.MakeSiteProfiles(seed, sitesPerRun)
@@ -79,6 +99,8 @@ func Fig10(seed uint64) (*Result, error) {
 			InstancesWanted:  1,
 			Seed:             seed + uint64(runIdx),
 			CrashProbability: 0.012,
+			Obs:              reg,
+			Tracer:           tracer,
 		}
 		coord, err := patchwork.NewCoordinator(fed, store, poller, cfg)
 		if err != nil {
@@ -98,6 +120,7 @@ func Fig10(seed uint64) (*Result, error) {
 		ID:     "fig10",
 		Title:  "Behavior of Patchwork across scheduled runs (outcome mix)",
 		Header: []string{"outcome", "site_runs", "percent"},
+		Metrics: reg, Trace: tracer,
 	}
 	for _, o := range []patchwork.Outcome{
 		patchwork.OutcomeSuccess, patchwork.OutcomeDegraded,

@@ -16,7 +16,15 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"repro/internal/obs"
 )
+
+// Observe enables platform observability inside experiments that support
+// it: they attach an obs.Registry (and, where a kernel drives the run, a
+// tracer) to their substrates and publish both on the Result. Off by
+// default — observability must not perturb the benchmarked hot paths.
+var Observe bool
 
 // Result is one regenerated table or figure.
 type Result struct {
@@ -30,6 +38,10 @@ type Result struct {
 	Rows [][]string
 	// Notes record paper-vs-measured comparisons and caveats.
 	Notes []string
+	// Metrics and Trace carry platform observability when the experiment
+	// ran with Observe set; nil otherwise.
+	Metrics *obs.Registry
+	Trace   *obs.Tracer
 }
 
 // AddRow appends a row, formatting each cell with %v.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/hostsim"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -151,6 +152,14 @@ func Fig14(seed uint64) (*Result, error) {
 		Title:  "Summed writev latency vs page-cache usage (10:20 vs 20:50 thresholds)",
 		Header: []string{"cache_used_percent", "summed_latency_ms_10_20", "summed_latency_ms_20_50"},
 	}
+	// Fig14 drives hostsim with a manual clock (no kernel), so a
+	// nil-clock registry stamps observations at t=0; the latency
+	// histograms per threshold pair are the interesting output.
+	var reg *obs.Registry
+	if Observe {
+		reg = obs.NewRegistry(nil)
+		res.Metrics = reg
+	}
 	// The DPDK writer feeds ~8.5 GB/s of pcap data (100 Gbps of 1514B
 	// frames truncated to 200B would be less; Appendix B measures the
 	// full-rate firehose) in 128-frame writev batches.
@@ -163,6 +172,7 @@ func Fig14(seed uint64) (*Result, error) {
 		if err != nil {
 			panic(err)
 		}
+		host.Instrument(reg, obs.L("thresholds", fmt.Sprintf("%d:%d", bg, hard)))
 		ingestBps := int64(8_500_000_000)
 		interval := sim.Duration(int64(sim.Second) * batchBytes / ingestBps)
 		var now sim.Time

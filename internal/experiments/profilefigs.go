@@ -253,7 +253,7 @@ func FrameSizes(seed uint64) (*Result, error) {
 	total := len(all)
 	var jumboPct, ackPct, smallPct float64
 	for i, c := range h {
-		pct := float64(c) / float64(total) * 100
+		pct := float64(units.PercentOf(int64(c), int64(total)))
 		res.AddRow(analysis.FrameSizeBucketLabel(i), c, pct)
 		switch analysis.FrameSizeBucketLabel(i) {
 		case "1519-2047":

@@ -71,7 +71,7 @@ func Fig3(seed uint64) (*Result, error) {
 		}
 		res.AddRow(n, h[n], units.PercentOf(int64(h[n]), int64(total)))
 	}
-	single := float64(h[1]) / float64(total) * 100
+	single := float64(units.PercentOf(int64(h[1]), int64(total)))
 	res.Notef("paper: 66.5%% of all FABRIC slices use a single site")
 	res.Notef("measured: %.1f%% single-site over %d slices", single, total)
 	return res, nil

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -95,6 +96,31 @@ type Host struct {
 	WritevHist Histogram
 	// Stats accumulate over the host's lifetime.
 	Stats Stats
+
+	// Obs instruments (nil unless Instrument was called). inThrottle
+	// tracks dirty-page throttle state for the entry/exit counters.
+	mWritevLat                   *obs.Histogram
+	mThrottleEnter, mThrottleExit *obs.Counter
+	mBlocked                     *obs.Counter
+	inThrottle                   bool
+}
+
+// Instrument republishes the host's storage-path telemetry into an obs
+// registry: the writev latency histogram, dirty-page throttle
+// entry/exit counters, and a hard-block counter. Calling it with a nil
+// registry is a no-op; without it the host pays nothing.
+func (h *Host) Instrument(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.Help("hostsim_writev_latency_ns", "writev syscall latency (log2 buckets, ns)")
+	reg.Help("hostsim_throttle_entries_total", "entries into balance_dirty_pages throttling")
+	reg.Help("hostsim_throttle_exits_total", "exits from balance_dirty_pages throttling")
+	reg.Help("hostsim_writev_blocked_total", "writev calls hard-blocked at/above dirty_ratio")
+	h.mWritevLat = reg.Histogram("hostsim_writev_latency_ns", labels...)
+	h.mThrottleEnter = reg.Counter("hostsim_throttle_entries_total", labels...)
+	h.mThrottleExit = reg.Counter("hostsim_throttle_exits_total", labels...)
+	h.mBlocked = reg.Counter("hostsim_writev_blocked_total", labels...)
 }
 
 // Stats counts writer-visible events.
@@ -167,6 +193,13 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 	h.Stats.BytesWritten += int64(n)
 
 	var lat sim.Duration
+	throttledNow := h.dirty >= h.midBytes
+	if throttledNow && !h.inThrottle {
+		h.mThrottleEnter.Inc()
+	} else if !throttledNow && h.inThrottle {
+		h.mThrottleExit.Inc()
+	}
+	h.inThrottle = throttledNow
 	switch {
 	case h.dirty < h.midBytes:
 		// Below the throttling midpoint: page-cache copy only.
@@ -189,6 +222,7 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 		// drains back to the hard threshold, then pays device time for
 		// its own bytes.
 		h.Stats.BlockedCalls++
+		h.mBlocked.Inc()
 		excess := h.dirty - h.hardBytes
 		drainTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(int(excess)))
 		deviceTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(n))
@@ -202,6 +236,7 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 		}
 	}
 	h.WritevHist.Record(int64(lat))
+	h.mWritevLat.Observe(int64(lat))
 	return lat
 }
 

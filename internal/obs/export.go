@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// escapeLabelValue escapes a label value for the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// promLabels renders {a="b",c="d"}, with extra appended after the
+// point's own labels (used for histogram le).
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func promValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promTimestampMillis converts a sim time to the Prometheus text
+// format's millisecond timestamp. Virtual time stands in for wall time:
+// that is what makes the export deterministic.
+func promTimestampMillis(t sim.Time) int64 { return int64(t) / int64(sim.Millisecond) }
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format, families sorted by name, each sample stamped with its last
+// observation's sim time in milliseconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, mp := range r.Snapshot() {
+		if mp.Name != lastFamily {
+			lastFamily = mp.Name
+			if mp.Help != "" {
+				if _, err := fmt.Fprintf(bw, "# HELP %s %s\n", mp.Name, mp.Help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", mp.Name, mp.Kind); err != nil {
+				return err
+			}
+		}
+		ts := promTimestampMillis(mp.At)
+		switch mp.Kind {
+		case KindHistogram:
+			cum := int64(0)
+			for _, b := range mp.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(bw, "%s_bucket%s %d %d\n", mp.Name,
+					promLabels(mp.Labels, L("le", strconv.FormatInt(b.UpperBound, 10))), cum, ts); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%s_bucket%s %d %d\n", mp.Name,
+				promLabels(mp.Labels, L("le", "+Inf")), int64(mp.Value), ts); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "%s_sum%s %d %d\n", mp.Name, promLabels(mp.Labels), mp.Sum, ts); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, "%s_count%s %d %d\n", mp.Name, promLabels(mp.Labels), int64(mp.Value), ts); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(bw, "%s%s %s %d\n", mp.Name, promLabels(mp.Labels), promValue(mp.Value), ts); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteMetricsJSONL emits one JSON object per instrument: name, kind,
+// labels, value (plus sum/buckets for histograms), and the sim-time
+// stamp in nanoseconds.
+func (r *Registry) WriteMetricsJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, mp := range r.Snapshot() {
+		name, _ := json.Marshal(mp.Name)
+		if _, err := fmt.Fprintf(bw, `{"metric":%s,"kind":"%s"`, name, mp.Kind); err != nil {
+			return err
+		}
+		if len(mp.Labels) > 0 {
+			bw.WriteString(`,"labels":{`)
+			for i, l := range mp.Labels {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				k, _ := json.Marshal(l.Key)
+				v, _ := json.Marshal(l.Value)
+				fmt.Fprintf(bw, "%s:%s", k, v)
+			}
+			bw.WriteByte('}')
+		}
+		switch mp.Kind {
+		case KindHistogram:
+			fmt.Fprintf(bw, `,"count":%d,"sum":%d,"buckets":[`, int64(mp.Value), mp.Sum)
+			for i, b := range mp.Buckets {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, `{"le":%d,"n":%d}`, b.UpperBound, b.Count)
+			}
+			bw.WriteByte(']')
+		default:
+			fmt.Fprintf(bw, `,"value":%s`, promValue(mp.Value))
+		}
+		if _, err := fmt.Fprintf(bw, ",\"sim_ns\":%d}\n", int64(mp.At)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV emits a summary table: metric, kind, labels (k=v;k=v),
+// value, sum, count, sim_ns. Counters and gauges leave sum/count empty;
+// histograms put the observation count in count.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"metric", "kind", "labels", "value", "sum", "count", "sim_ns"}); err != nil {
+		return err
+	}
+	for _, mp := range r.Snapshot() {
+		parts := make([]string, len(mp.Labels))
+		for i, l := range mp.Labels {
+			parts[i] = l.Key + "=" + l.Value
+		}
+		row := []string{mp.Name, mp.Kind.String(), strings.Join(parts, ";")}
+		switch mp.Kind {
+		case KindHistogram:
+			row = append(row, "", strconv.FormatInt(mp.Sum, 10), strconv.FormatInt(int64(mp.Value), 10))
+		default:
+			row = append(row, promValue(mp.Value), "", "")
+		}
+		row = append(row, strconv.FormatInt(int64(mp.At), 10))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CollectKernel registers gauges exposing the simulation kernel's
+// internals — events processed, pending queue length, queue
+// high-watermark, and the maximum events executed at a single timestamp
+// — refreshed by a collector at every export.
+func CollectKernel(r *Registry, k *sim.Kernel, labels ...Label) {
+	if r == nil || k == nil {
+		return
+	}
+	r.Help("sim_events_processed", "events executed by the discrete-event kernel")
+	r.Help("sim_queue_pending", "events currently scheduled (including unreaped cancellations)")
+	r.Help("sim_queue_high_watermark", "maximum event-queue length observed")
+	r.Help("sim_max_events_per_tick", "maximum events executed at one virtual timestamp")
+	processed := r.Gauge("sim_events_processed", labels...)
+	pending := r.Gauge("sim_queue_pending", labels...)
+	highWater := r.Gauge("sim_queue_high_watermark", labels...)
+	perTick := r.Gauge("sim_max_events_per_tick", labels...)
+	r.RegisterCollector(func() {
+		processed.Set(float64(k.EventsProcessed()))
+		pending.Set(float64(k.Pending()))
+		highWater.Set(float64(k.QueueHighWatermark()))
+		perTick.Set(float64(k.MaxEventsPerTick()))
+	})
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry returned non-nil instruments")
+	}
+	// All of these must be safe no-ops.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(3)
+	r.Help("x", "help")
+	r.RegisterCollector(func() {})
+	r.Collect()
+	if got := r.Snapshot(); got != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", got)
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Errorf("nil instruments reported non-zero values")
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	now := sim.Time(0)
+	r := NewRegistry(func() sim.Time { return now })
+	c := r.Counter("frames_total", L("site", "STAR"))
+	now = 10
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if c.LastUpdate() != 10 {
+		t.Errorf("counter stamp = %v, want 10", c.LastUpdate())
+	}
+	// Same (name, labels) resolves to the same instrument, label order
+	// irrelevant.
+	if r.Counter("frames_total", L("site", "STAR")) != c {
+		t.Errorf("re-lookup returned a different instrument")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.SetMax(3) // lower: ignored
+	if g.Value() != 7 {
+		t.Errorf("gauge = %v, want 7", g.Value())
+	}
+	g.SetMax(11)
+	if g.Value() != 11 {
+		t.Errorf("gauge after SetMax = %v, want 11", g.Value())
+	}
+
+	h := r.Histogram("lat_ns")
+	h.Observe(1)    // bucket [1,2)
+	h.Observe(1000) // bucket [512,1024)... 1000 -> bits.Len(1000)=10 -> bucket 9 [512,1024)
+	h.Observe(0)    // clamps into the first bucket
+	if h.Count() != 3 || h.Sum() != 1001 {
+		t.Errorf("hist count=%d sum=%d, want 3/1001", h.Count(), h.Sum())
+	}
+	if h.Bucket(0) != 2 || h.Bucket(9) != 1 {
+		t.Errorf("hist buckets: b0=%d b9=%d, want 2/1", h.Bucket(0), h.Bucket(9))
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("gauge lookup of a counter name did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestHelpBeforeFirstInstrument(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Help("g", "a gauge")
+	r.Gauge("g").Set(1) // must not panic on kind mismatch
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# HELP g a gauge") ||
+		!strings.Contains(buf.String(), "# TYPE g gauge") {
+		t.Errorf("prometheus output missing help/type:\n%s", buf.String())
+	}
+}
+
+func TestPrometheusExport(t *testing.T) {
+	now := sim.Time(2 * sim.Second)
+	r := NewRegistry(func() sim.Time { return now })
+	r.Help("capture_frames_total", "frames captured")
+	r.Counter("capture_frames_total", L("method", "dpdk"), L("site", "STAR")).Add(12)
+	r.Gauge("queue_depth").Set(3.5)
+	h := r.Histogram("writev_ns")
+	h.Observe(5) // bucket [4,8) -> le=8
+	h.Observe(5)
+	h.Observe(100) // bucket [64,128) -> le=128
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP capture_frames_total frames captured",
+		"# TYPE capture_frames_total counter",
+		`capture_frames_total{method="dpdk",site="STAR"} 12 2000`,
+		"queue_depth 3.5 2000",
+		`writev_ns_bucket{le="8"} 2 2000`,
+		`writev_ns_bucket{le="128"} 3 2000`, // cumulative
+		`writev_ns_bucket{le="+Inf"} 3 2000`,
+		"writev_ns_sum 110 2000",
+		"writev_ns_count 3 2000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportDeterminism(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry(nil)
+		// Insertion order differs from sorted order on purpose.
+		r.Counter("z_total", L("b", "2")).Inc()
+		r.Counter("a_total").Add(3)
+		r.Counter("z_total", L("a", "1")).Inc()
+		r.Histogram("h").Observe(9)
+		r.Gauge("g").Set(1)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("prometheus export not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	// Sorted family order: a_total before g before h before z_total, and
+	// z_total's instruments sorted by label identity.
+	out := a.String()
+	if strings.Index(out, "a_total") > strings.Index(out, "z_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+	if strings.Index(out, `z_total{a="1"}`) > strings.Index(out, `z_total{b="2"}`) {
+		t.Errorf("instruments not sorted by labels:\n%s", out)
+	}
+}
+
+func TestJSONLAndCSVExport(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("c_total", L("k", `va"lue`)).Add(2)
+	r.Histogram("h").Observe(3)
+	var jl bytes.Buffer
+	if err := r.WriteMetricsJSONL(&jl); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(jl.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2:\n%s", len(lines), jl.String())
+	}
+	if !strings.Contains(lines[0], `"metric":"c_total"`) || !strings.Contains(lines[0], `"value":2`) {
+		t.Errorf("jsonl counter line wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"buckets":[{"le":4,"n":1}]`) {
+		t.Errorf("jsonl histogram line wrong: %s", lines[1])
+	}
+
+	var cs bytes.Buffer
+	if err := r.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	csvOut := cs.String()
+	if !strings.HasPrefix(csvOut, "metric,kind,labels,value,sum,count,sim_ns") {
+		t.Errorf("csv header wrong:\n%s", csvOut)
+	}
+	if !strings.Contains(csvOut, "c_total,counter") || !strings.Contains(csvOut, "h,histogram") {
+		t.Errorf("csv rows missing:\n%s", csvOut)
+	}
+}
+
+func TestCollectKernel(t *testing.T) {
+	k := sim.NewKernel()
+	r := NewKernelRegistry(k)
+	CollectKernel(r, k)
+	for i := 0; i < 4; i++ {
+		k.After(sim.Duration(i%2), func() {})
+	}
+	k.Run()
+	snap := map[string]float64{}
+	for _, mp := range r.Snapshot() {
+		snap[mp.Name] = mp.Value
+	}
+	if snap["sim_events_processed"] != 4 {
+		t.Errorf("sim_events_processed = %v, want 4", snap["sim_events_processed"])
+	}
+	if snap["sim_queue_high_watermark"] != 4 {
+		t.Errorf("sim_queue_high_watermark = %v, want 4", snap["sim_queue_high_watermark"])
+	}
+	if snap["sim_max_events_per_tick"] != 2 {
+		t.Errorf("sim_max_events_per_tick = %v, want 2", snap["sim_max_events_per_tick"])
+	}
+	if snap["sim_queue_pending"] != 0 {
+		t.Errorf("sim_queue_pending = %v, want 0", snap["sim_queue_pending"])
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("root")
+	if sp != nil {
+		t.Fatalf("nil tracer returned a span")
+	}
+	child := sp.Child("c")
+	if child != nil {
+		t.Fatalf("nil span returned a child")
+	}
+	sp.Annotate("k", "v")
+	sp.End()
+	if sp.ID() != 0 {
+		t.Errorf("nil span id = %d, want 0", sp.ID())
+	}
+	if tr.Len() != 0 {
+		t.Errorf("nil tracer len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Errorf("nil tracer wrote output: %v %q", err, buf.String())
+	}
+}
+
+func TestSpanTreeJSONL(t *testing.T) {
+	now := sim.Time(0)
+	tr := NewTracer(func() sim.Time { return now })
+	root := tr.Start("experiment", L("mode", "all"))
+	now = 5
+	site := root.Child("site", L("site", "STAR"))
+	now = 7
+	cyc := site.Child("cycle")
+	cyc.Annotate("run", "0")
+	now = 9
+	cyc.End()
+	cyc.End() // second End keeps the first end time
+	now = 11
+	site.End()
+	// root left open on purpose: it must serialize without end_ns.
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl lines = %d, want 3:\n%s", len(lines), buf.String())
+	}
+	// Every line must be valid JSON.
+	type spanLine struct {
+		Span    uint64            `json:"span"`
+		Parent  uint64            `json:"parent"`
+		Name    string            `json:"name"`
+		StartNs int64             `json:"start_ns"`
+		EndNs   *int64            `json:"end_ns"`
+		DurNs   *int64            `json:"dur_ns"`
+		Attrs   map[string]string `json:"attrs"`
+	}
+	var parsed []spanLine
+	for _, ln := range lines {
+		var sl spanLine
+		if err := json.Unmarshal([]byte(ln), &sl); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", ln, err)
+		}
+		parsed = append(parsed, sl)
+	}
+	if parsed[0].Name != "experiment" || parsed[0].Parent != 0 || parsed[0].EndNs != nil {
+		t.Errorf("root span wrong: %+v", parsed[0])
+	}
+	if parsed[0].Attrs["mode"] != "all" {
+		t.Errorf("root attrs wrong: %+v", parsed[0].Attrs)
+	}
+	if parsed[1].Parent != parsed[0].Span || parsed[1].StartNs != 5 || *parsed[1].EndNs != 11 {
+		t.Errorf("site span wrong: %+v", parsed[1])
+	}
+	if parsed[2].Parent != parsed[1].Span || *parsed[2].EndNs != 9 || *parsed[2].DurNs != 2 {
+		t.Errorf("cycle span wrong: %+v", parsed[2])
+	}
+	if parsed[2].Attrs["run"] != "0" {
+		t.Errorf("cycle annotation missing: %+v", parsed[2].Attrs)
+	}
+}
+
+func TestTracerDeterminism(t *testing.T) {
+	build := func() string {
+		k := sim.NewKernel()
+		tr := NewKernelTracer(k)
+		root := tr.Start("root")
+		k.After(3, func() {
+			c := root.Child("a")
+			c.End()
+		})
+		k.After(3, func() { root.Child("b").End() })
+		k.Run()
+		root.End()
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Errorf("trace output not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}

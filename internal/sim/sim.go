@@ -81,11 +81,17 @@ type Kernel struct {
 	queue  eventQueue
 	seq    uint64
 	nEvent uint64
+
+	// Introspection counters (metrics sources for the obs layer).
+	queueHighWater int
+	lastTick       Time
+	tickEvents     uint64
+	maxTickEvents  uint64
 }
 
 // NewKernel returns a kernel at time zero with an empty queue.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	return &Kernel{lastTick: -1}
 }
 
 // Now returns the current virtual time.
@@ -97,6 +103,15 @@ func (k *Kernel) EventsProcessed() uint64 { return k.nEvent }
 // Pending reports how many events remain scheduled (including cancelled
 // events not yet reaped).
 func (k *Kernel) Pending() int { return len(k.queue) }
+
+// QueueHighWatermark reports the maximum queue length ever observed —
+// a proxy for how bursty the schedule is and how much heap the kernel
+// needs.
+func (k *Kernel) QueueHighWatermark() int { return k.queueHighWater }
+
+// MaxEventsPerTick reports the largest number of events executed at a
+// single virtual timestamp.
+func (k *Kernel) MaxEventsPerTick() uint64 { return k.maxTickEvents }
 
 // Handle identifies a scheduled event and allows cancellation.
 type Handle struct{ e *event }
@@ -122,6 +137,9 @@ func (k *Kernel) At(t Time, fn func()) Handle {
 	e := &event{at: t, seq: k.seq, fn: fn}
 	k.seq++
 	heap.Push(&k.queue, e)
+	if len(k.queue) > k.queueHighWater {
+		k.queueHighWater = len(k.queue)
+	}
 	return Handle{e}
 }
 
@@ -184,6 +202,14 @@ func (k *Kernel) Step() bool {
 		fn := e.fn
 		e.fn = nil
 		k.nEvent++
+		if e.at != k.lastTick {
+			k.lastTick = e.at
+			k.tickEvents = 0
+		}
+		k.tickEvents++
+		if k.tickEvents > k.maxTickEvents {
+			k.maxTickEvents = k.tickEvents
+		}
 		fn()
 		return true
 	}

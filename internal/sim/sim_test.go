@@ -228,3 +228,62 @@ func BenchmarkScheduleAndRun(b *testing.B) {
 		k.Run()
 	}
 }
+
+func TestQueueHighWatermark(t *testing.T) {
+	k := NewKernel()
+	if k.QueueHighWatermark() != 0 {
+		t.Fatalf("fresh kernel watermark = %d, want 0", k.QueueHighWatermark())
+	}
+	for i := 0; i < 5; i++ {
+		k.After(Duration(i+1), func() {})
+	}
+	if got := k.QueueHighWatermark(); got != 5 {
+		t.Errorf("watermark after 5 scheduled = %d, want 5", got)
+	}
+	k.Run()
+	// Draining does not lower the high watermark.
+	if got := k.QueueHighWatermark(); got != 5 {
+		t.Errorf("watermark after drain = %d, want 5", got)
+	}
+	// Scheduling fewer events than the watermark leaves it unchanged;
+	// exceeding it raises it.
+	for i := 0; i < 3; i++ {
+		k.After(Duration(i+1), func() {})
+	}
+	if got := k.QueueHighWatermark(); got != 5 {
+		t.Errorf("watermark after smaller burst = %d, want 5", got)
+	}
+	for i := 0; i < 4; i++ {
+		k.After(Duration(i+1), func() {})
+	}
+	if got := k.QueueHighWatermark(); got != 7 {
+		t.Errorf("watermark after larger burst = %d, want 7", got)
+	}
+}
+
+func TestMaxEventsPerTick(t *testing.T) {
+	k := NewKernel()
+	if k.MaxEventsPerTick() != 0 {
+		t.Fatalf("fresh kernel max/tick = %d, want 0", k.MaxEventsPerTick())
+	}
+	// Three events at t=10, one at t=20, two at t=30.
+	for i := 0; i < 3; i++ {
+		k.At(10, func() {})
+	}
+	k.At(20, func() {})
+	k.At(30, func() {})
+	k.At(30, func() {})
+	k.Run()
+	if got := k.MaxEventsPerTick(); got != 3 {
+		t.Errorf("max events per tick = %d, want 3", got)
+	}
+	// Events at t=0 on a fresh kernel are counted from the first event
+	// (lastTick is initialized distinct from zero).
+	k2 := NewKernel()
+	k2.At(0, func() {})
+	k2.At(0, func() {})
+	k2.Run()
+	if got := k2.MaxEventsPerTick(); got != 2 {
+		t.Errorf("max events per tick at t=0 = %d, want 2", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -138,6 +139,20 @@ type Switch struct {
 	ports   map[string]*Port
 	order   []string // deterministic iteration order
 	mirrors map[string]*MirrorSession
+	obsReg  *obs.Registry
+}
+
+// SetObs attaches a metrics registry. Mirror sessions started afterwards
+// count cloned frames and egress-queue overflows into it; with no
+// registry (the default) cloning pays a single nil check.
+func (s *Switch) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obsReg = reg
+	if reg != nil {
+		reg.Help("switchsim_mirror_cloned_total", "mirrored frames enqueued on the egress channel")
+		reg.Help("switchsim_mirror_clone_drops_total", "mirrored frames dropped to egress-queue overflow")
+	}
 }
 
 // New creates a switch bound to a simulation kernel.
@@ -201,6 +216,9 @@ type MirrorSession struct {
 	CloneDrops uint64
 	// Cloned counts mirrored frames successfully enqueued.
 	Cloned uint64
+
+	// Obs counters, resolved at StartMirror (nil without a registry).
+	clonedC, dropsC *obs.Counter
 }
 
 // ErrMirrorConflict is returned when a port is already mirrored or when
@@ -234,6 +252,13 @@ func (s *Switch) StartMirror(mirrored string, dirs Direction, egress string) (*M
 		}
 	}
 	m := &MirrorSession{Mirrored: mirrored, Directions: dirs, Egress: egress}
+	if s.obsReg != nil {
+		labels := []obs.Label{
+			obs.L("switch", s.Name), obs.L("mirrored", mirrored), obs.L("egress", egress),
+		}
+		m.clonedC = s.obsReg.Counter("switchsim_mirror_cloned_total", labels...)
+		m.dropsC = s.obsReg.Counter("switchsim_mirror_clone_drops_total", labels...)
+	}
 	s.mirrors[mirrored] = m
 	return m, nil
 }
@@ -302,12 +327,14 @@ func (s *Switch) cloneLocked(now sim.Time, m *MirrorSession, f Frame) {
 	backlogBytes := eg.LineRate.BytesInNanos(backlogNanos)
 	if backlogBytes+int64(f.Size) > eg.queueCap {
 		m.CloneDrops++
+		m.dropsC.Inc()
 		eg.counters.TxDrops++
 		return
 	}
 	txNanos := eg.LineRate.TransmitNanos(f.Size)
 	eg.queueFree += sim.Time(txNanos)
 	m.Cloned++
+	m.clonedC.Inc()
 	eg.counters.TxBytes += uint64(f.Size)
 	eg.counters.TxFrames++
 	if r := eg.receiver; r != nil {

@@ -212,3 +212,56 @@ func TestPortKeyString(t *testing.T) {
 		t.Error("PortKey.String")
 	}
 }
+
+func TestBusiestPortsGapsOnlyWindow(t *testing.T) {
+	k, sw, st, p := setup(t)
+	// The whole observation window is a telemetry outage: every poll is
+	// suppressed, so no port has a measurable rate despite real traffic.
+	p.AddGap(0, sim.Hour)
+	p.Start()
+	drive(k, sw, "P2", switchsim.DirRx, 1_000_000, 30*sim.Minute)
+	k.RunUntil(30 * sim.Minute)
+	if got := st.BusiestPorts("STAR", 10*sim.Minute); len(got) != 0 {
+		t.Fatalf("busiest over a gaps-only window = %v, want none", got)
+	}
+	if _, ok := st.LatestRate(PortKey{"STAR", "P2"}); ok {
+		t.Error("LatestRate should report no rate with zero samples")
+	}
+}
+
+func TestRateOverBinBoundaries(t *testing.T) {
+	st := NewStore()
+	key := PortKey{"STAR", "P1"}
+	// Samples at t = 0, 5, 10, 15 min, growing 300 MB per bin (1 MB/s).
+	for i := 0; i < 4; i++ {
+		st.Record(key, Sample{
+			Time:     sim.Time(i) * sim.Time(5*sim.Minute),
+			Counters: switchsim.Counters{RxBytes: uint64(i) * 300_000_000},
+		})
+	}
+	// A 5-minute window from the last sample puts the cutoff exactly on
+	// the t=10min sample; that sample must anchor the rate, not its
+	// neighbors.
+	r, ok := st.RateOver(key, 5*sim.Minute)
+	if !ok {
+		t.Fatal("no rate at exact bin boundary")
+	}
+	if r.From != sim.Time(10*sim.Minute) || r.To != sim.Time(15*sim.Minute) {
+		t.Errorf("window = [%v, %v], want [10m, 15m]", r.From, r.To)
+	}
+	if r.RxBps < 0.99e6 || r.RxBps > 1.01e6 {
+		t.Errorf("RxBps = %v, want ~1e6", r.RxBps)
+	}
+	// A window wider than the series clamps at the first sample.
+	r, ok = st.RateOver(key, sim.Hour)
+	if !ok || r.From != 0 {
+		t.Errorf("wide window From = %v ok=%v, want 0 true", r.From, ok)
+	}
+	// Two samples at the same instant have no measurable window.
+	st2 := NewStore()
+	st2.Record(key, Sample{Time: sim.Time(sim.Minute)})
+	st2.Record(key, Sample{Time: sim.Time(sim.Minute)})
+	if _, ok := st2.LatestRate(key); ok {
+		t.Error("zero-width sample pair should not produce a rate")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/units"
 )
@@ -86,11 +87,46 @@ func (s *Site) AddOutage(from, to sim.Time) {
 	s.outages = append(s.outages, outage{from, to})
 }
 
+// failureCause labels an allocation error for the obs counters.
+func failureCause(err error) string {
+	switch {
+	case errors.Is(err, ErrBackendTransient):
+		return "backend-transient"
+	case errors.Is(err, ErrNoDedicatedNICs):
+		return "no-dedicated-nics"
+	case errors.Is(err, ErrNoFPGA):
+		return "no-fpga"
+	case errors.Is(err, ErrNoStorage):
+		return "no-storage"
+	case errors.Is(err, ErrNoCores):
+		return "no-cores"
+	case errors.Is(err, ErrNoRAM):
+		return "no-ram"
+	default:
+		return "other"
+	}
+}
+
+// noteAllocFailure counts a failed allocation check by cause.
+func (s *Site) noteAllocFailure(err error) {
+	if s.obsReg == nil || err == nil {
+		return
+	}
+	s.obsReg.Counter("testbed_alloc_failures_total",
+		obs.L("site", s.Spec.Name), obs.L("cause", failureCause(err))).Inc()
+}
+
 // CanAllocate performs the paper's "allocation simulation": it checks
 // whether the request would succeed right now without committing
 // resources (Patchwork runs this to avoid burdening the testbed's
 // allocator with doomed large requests).
 func (s *Site) CanAllocate(now sim.Time, req SliceRequest) error {
+	err := s.canAllocate(now, req)
+	s.noteAllocFailure(err)
+	return err
+}
+
+func (s *Site) canAllocate(now sim.Time, req SliceRequest) error {
 	for _, o := range s.outages {
 		if now >= o.from && now < o.to {
 			return fmt.Errorf("site %s: %w", s.Spec.Name, ErrBackendTransient)
@@ -118,9 +154,12 @@ func (s *Site) CanAllocate(now sim.Time, req SliceRequest) error {
 }
 
 // Allocate grants the request or returns one of the package's sentinel
-// errors (wrapped with context).
+// errors (wrapped with context). Failures are counted internally via
+// canAllocate so a pre-flight CanAllocate plus the Allocate it gates
+// count a doomed request once, not twice.
 func (s *Site) Allocate(now sim.Time, req SliceRequest) (*Sliver, error) {
-	if err := s.CanAllocate(now, req); err != nil {
+	if err := s.canAllocate(now, req); err != nil {
+		s.noteAllocFailure(err)
 		return nil, err
 	}
 	t := req.totals()

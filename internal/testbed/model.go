@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/switchsim"
@@ -85,6 +86,8 @@ type Site struct {
 
 	slivers map[int]*Sliver
 	nextID  int
+
+	obsReg *obs.Registry
 }
 
 type outage struct{ from, to sim.Time }
@@ -131,6 +134,19 @@ func NewFederation(k *sim.Kernel, specs []SiteSpec) (*Federation, error) {
 		f.byName[spec.Name] = s
 	}
 	return f, nil
+}
+
+// SetObs attaches a metrics registry to every site (allocation-failure
+// counters) and every site switch (mirror counters). Nil is the default
+// and disables platform observability.
+func (f *Federation) SetObs(reg *obs.Registry) {
+	if reg != nil {
+		reg.Help("testbed_alloc_failures_total", "slice allocation failures by site and cause")
+	}
+	for _, s := range f.sites {
+		s.obsReg = reg
+		s.Switch.SetObs(reg)
+	}
 }
 
 // Sites returns all sites in declaration order.

@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# CI gate: build, vet, race-enabled tests, and a benchmark smoke pass
+# (one iteration per benchmark, no test re-runs) to catch bit-rotted
+# bench code without paying for real measurements.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
+go test -bench=. -benchtime=1x -run='^$' .
