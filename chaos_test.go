@@ -1,0 +1,177 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	patchwork "repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+	"repro/internal/trafficgen"
+	"repro/internal/units"
+)
+
+// hostilePlan exercises every fault kind at once: a flaky allocator and
+// corrupted mirror table at SITEA, a hard outage plus slow storage at
+// SITEB, and a flapping port plus capture-core stalls at SITEC.
+const hostilePlan = `{
+  "name": "hostile",
+  "allocator_transients": [{"site": "SITEA", "rate": 0.4, "from_sec": 0, "to_sec": 30}],
+  "site_outages":         [{"site": "SITEB", "from_sec": 1, "to_sec": 8}],
+  "port_flaps":           [{"site": "SITEC", "port": "P1", "at_sec": 5, "down_sec": 3, "repeat": 2, "every_sec": 10}],
+  "mirror_corruptions":   [{"site": "SITEA", "rate": 0.05}],
+  "storage_slowdowns":    [{"site": "SITEB", "factor": 3}],
+  "capture_stalls":       [{"site": "SITEC", "rate": 0.1, "stall_sec": 0.002}]
+}`
+
+// chaosRun executes one full profiling campaign under the hostile plan
+// and returns the profile, the exported metrics, and the injection
+// summary. Everything — kernel, federation, traffic, registry — is
+// rebuilt from scratch so consecutive calls share no state.
+func chaosRun(t *testing.T, seed uint64) (*patchwork.Profile, []byte, string) {
+	t.Helper()
+	k := sim.NewKernel()
+	specs := make([]testbed.SiteSpec, 3)
+	for i := range specs {
+		specs[i] = testbed.SiteSpec{
+			Name: "SITE" + string(rune('A'+i)), Uplinks: 2, Downlinks: 10,
+			DedicatedNICs: 3, Cores: 64, RAM: 256 * units.GB, Storage: 2 * units.TB,
+		}
+	}
+	fed, err := testbed.NewFederation(k, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewKernelRegistry(k)
+	fed.SetObs(reg)
+
+	plan, err := faults.Parse([]byte(hostilePlan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := faults.NewEngine(k, seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetObs(reg)
+	if err := eng.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+
+	store := telemetry.NewStore()
+	poller := telemetry.NewPoller(k, store, 15*sim.Second)
+	profiles := trafficgen.MakeSiteProfiles(seed, len(fed.Sites()))
+	var drivers []*patchwork.TrafficDriver
+	for i, s := range fed.Sites() {
+		poller.Watch(s.Switch)
+		gen := trafficgen.NewGenerator(profiles[i], seed+uint64(i))
+		d := patchwork.NewTrafficDriver(k, s, gen, nil)
+		d.WindowFrames = 120
+		drivers = append(drivers, d)
+		d.Start()
+	}
+	poller.Start()
+
+	cfg := patchwork.Config{
+		Mode:            patchwork.AllExperiment,
+		SampleDuration:  2 * sim.Second,
+		SampleInterval:  4 * sim.Second,
+		SamplesPerRun:   2,
+		Runs:            3,
+		InstancesWanted: 1,
+		Seed:            seed,
+		Obs:             reg,
+		Faults:          eng,
+	}
+	coord, err := patchwork.NewCoordinator(fed, store, poller, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := coord.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range drivers {
+		d.Stop()
+	}
+	poller.Stop()
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return prof, buf.Bytes(), eng.Summary()
+}
+
+// TestChaosExperimentSurvivesHostilePlan: a full experiment under the
+// hostile plan must still complete, with every site accounted for and
+// data loss bounded — adversity costs samples, not the campaign.
+func TestChaosExperimentSurvivesHostilePlan(t *testing.T) {
+	prof, _, summary := chaosRun(t, 11)
+	if len(prof.Bundles) != 3 {
+		t.Fatalf("bundles = %d, want 3", len(prof.Bundles))
+	}
+	var captured, dropped int64
+	sitesWithData := 0
+	for _, b := range prof.Bundles {
+		t.Logf("%s: %v granted=%d/%d pcaps=%d (%s)",
+			b.Site, b.Outcome, b.InstancesGranted, b.InstancesRequested,
+			len(b.CompressedPcaps), b.FailureReason)
+		// The watchdog outcome would mean the platform itself crashed; the
+		// plan must only be able to cost resources, never crash the run.
+		if b.Outcome == patchwork.OutcomeIncomplete {
+			t.Errorf("%s: hostile plan crashed the run: %s", b.Site, b.FailureReason)
+		}
+		if len(b.CompressedPcaps) > 0 {
+			sitesWithData++
+		}
+		for _, s := range b.Samples {
+			captured += s.Frames
+			dropped += s.DroppedAtNIC + int64(s.CloneDrops)
+		}
+	}
+	if sitesWithData < 2 {
+		t.Errorf("only %d/3 sites produced captures under the plan", sitesWithData)
+	}
+	if captured == 0 {
+		t.Fatal("no frames captured under the hostile plan")
+	}
+	// Bounded data loss: the plan's drop faults (mirror corruption, port
+	// flaps, stalls) must not cost more than half the offered frames.
+	if dropped > captured {
+		t.Errorf("unbounded loss: %d dropped vs %d captured", dropped, captured)
+	}
+	// The outage at SITEB overlaps its setup; the retry loop must have
+	// carried it through rather than failing the site.
+	for _, b := range prof.Bundles {
+		if b.Site == "SITEB" && b.Outcome == patchwork.OutcomeFailed {
+			t.Errorf("SITEB failed despite a recoverable 7s outage: %s", b.FailureReason)
+		}
+	}
+	if summary == "" {
+		t.Error("engine injected nothing under the hostile plan")
+	}
+	t.Logf("faults injected: %s", summary)
+}
+
+// TestChaosDeterminism: the fault plan is part of the experiment's
+// replayable input — two runs with the same seed must export
+// byte-identical metrics and identical injection summaries, and a
+// different seed must diverge.
+func TestChaosDeterminism(t *testing.T) {
+	_, m1, s1 := chaosRun(t, 11)
+	_, m2, s2 := chaosRun(t, 11)
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("same seed, different metrics (lens %d vs %d)", len(m1), len(m2))
+	}
+	if s1 != s2 {
+		t.Errorf("same seed, different injections: %q vs %q", s1, s2)
+	}
+	_, m3, _ := chaosRun(t, 12)
+	if bytes.Equal(m1, m3) {
+		t.Error("different seeds produced identical metrics — faults not seed-driven")
+	}
+}

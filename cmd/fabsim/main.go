@@ -5,21 +5,24 @@
 //
 // Usage:
 //
-//	fabsim -seed 1 [-slices]
+//	fabsim -seed 1 [-slices] [-faults plan.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
 
 func main() {
 	var (
-		seed   = flag.Uint64("seed", 1, "deterministic seed")
-		slices = flag.Bool("slices", false, "summarize a year of slice activity")
+		seed      = flag.Uint64("seed", 1, "deterministic seed")
+		slices    = flag.Bool("slices", false, "summarize a year of slice activity")
+		faultPlan = flag.String("faults", "", "validate a JSON fault plan against the federation and report its entries")
 	)
 	flag.Parse()
 
@@ -33,6 +36,37 @@ func main() {
 		fmt.Printf("%-8s %9d %7d %8d %6d %6d %8v %8v\n",
 			sp.Name, sp.Downlinks, sp.Uplinks, sp.DedicatedNICs, sp.FPGANICs,
 			sp.Cores, sp.RAM, sp.Storage)
+	}
+
+	if *faultPlan != "" {
+		plan, err := faults.Load(*faultPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			os.Exit(1)
+		}
+		// Arming against the federation is the dry run: it catches plans
+		// naming unknown sites or ports before an experiment spends a
+		// campaign on them.
+		eng, err := faults.NewEngine(k, *seed, plan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			os.Exit(1)
+		}
+		if err := eng.Arm(fed); err != nil {
+			fmt.Fprintln(os.Stderr, "fabsim:", err)
+			os.Exit(1)
+		}
+		name := plan.Name
+		if name == "" {
+			name = "(unnamed)"
+		}
+		fmt.Printf("\nfault plan %s: valid\n", name)
+		fmt.Printf("  allocator transients: %d\n", len(plan.AllocatorTransients))
+		fmt.Printf("  site outages:         %d\n", len(plan.SiteOutages))
+		fmt.Printf("  port flaps:           %d\n", len(plan.PortFlaps))
+		fmt.Printf("  mirror corruptions:   %d\n", len(plan.MirrorCorruptions))
+		fmt.Printf("  storage slowdowns:    %d\n", len(plan.StorageSlowdowns))
+		fmt.Printf("  capture stalls:       %d\n", len(plan.CaptureStalls))
 	}
 
 	if *slices {

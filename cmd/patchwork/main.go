@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/capture"
 	patchwork "repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -41,6 +42,7 @@ func main() {
 		nice      = flag.Bool("nice", false, "enable runtime footprint scaling (the nice-factor extension)")
 		metrics   = flag.String("metrics", "", "write platform metrics to this file (.prom, .jsonl, or .csv by extension)")
 		trace     = flag.String("trace", "", "write span trace JSONL to this file")
+		faultPlan = flag.String("faults", "", "JSON fault plan to inject during the run (see internal/faults)")
 	)
 	flag.Parse()
 
@@ -94,6 +96,26 @@ func main() {
 		tracer = obs.NewKernelTracer(k)
 	}
 
+	// Fault injection: the plan is part of the experiment's replayable
+	// input — same plan + same seed reproduces the run byte-for-byte.
+	var injector *faults.Engine
+	if *faultPlan != "" {
+		plan, err := faults.Load(*faultPlan)
+		if err != nil {
+			fatal(err)
+		}
+		injector, err = faults.NewEngine(k, *seed, plan)
+		if err != nil {
+			fatal(err)
+		}
+		if reg != nil {
+			injector.SetObs(reg)
+		}
+		if err := injector.Arm(fed); err != nil {
+			fatal(err)
+		}
+	}
+
 	store := telemetry.NewStore()
 	poller := telemetry.NewPoller(k, store, 30*sim.Second)
 	profiles := trafficgen.MakeSiteProfiles(*seed, len(fed.Sites()))
@@ -124,6 +146,7 @@ func main() {
 		Seed:           *seed,
 		Obs:            reg,
 		Tracer:         tracer,
+		Faults:         injector,
 	}
 	if *nice {
 		cfg.Nice = &patchwork.NicePolicy{ScaleDownFreeNICs: 0, ScaleUpFreeNICs: 1}
@@ -155,6 +178,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d spans)\n", *trace, tracer.Len())
+	}
+	if injector != nil {
+		fmt.Printf("faults injected: %s\n", injector.Summary())
 	}
 	fmt.Printf("profile complete: %d sites in %v of virtual time\n",
 		len(prof.Bundles), prof.Finished-prof.Started)

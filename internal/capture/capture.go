@@ -113,6 +113,12 @@ type Config struct {
 	// SampleEvery keeps only every Nth frame when > 1 (sampling
 	// offload).
 	SampleEvery int
+	// Stall, when set, is consulted once per captured frame and may
+	// return extra time the processing core loses before the frame
+	// completes — the capture-core stall injection point
+	// (internal/faults). Zero means no stall; with Stall nil the hot path
+	// pays a single branch.
+	Stall func(now sim.Time) sim.Duration
 	// Obs receives capture metrics when non-nil. Instruments are
 	// resolved once at engine construction, so with Obs nil (the
 	// default) the per-frame cost of observability is a nil check.
@@ -156,6 +162,8 @@ type Stats struct {
 	Captured int64
 	// StoredBytes counts stored (truncated) bytes.
 	StoredBytes int64
+	// Stalls counts injected capture-core stalls (Config.Stall).
+	Stalls int64
 }
 
 // LossPercent is dropped / (received - filtered).
@@ -329,6 +337,12 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		start = now
 	}
 	done := start + e.perFrameCost(stored, f.Size)
+	if e.cfg.Stall != nil {
+		if extra := e.cfg.Stall(now); extra > 0 {
+			e.Stats.Stalls++
+			done += extra
+		}
+	}
 	core.busyUntil = done
 
 	// Batch the pcap write: one writev per 128 frames, charged to the

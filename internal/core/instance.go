@@ -131,6 +131,10 @@ type siteInstance struct {
 	poller *telemetry.Poller
 	kernel *sim.Kernel
 	r      *rng.Source
+	// retryR feeds back-off jitter. A dedicated split keeps the retry
+	// schedule from perturbing port-selection draws: with or without
+	// faults, si.r produces the same sequence.
+	retryR *rng.Source
 
 	slivers []*testbed.Sliver // one per listener (VM + dedicated NIC)
 
@@ -152,15 +156,27 @@ type siteInstance struct {
 
 	done func(Bundle)
 
+	// Setup-phase state: the retry loop is event-driven (scheduled on the
+	// kernel) so back-off delays consume sim time like everything else.
+	setupSpan     *obs.Span
+	setupDeadline sim.Time
+	setupWant     int
+	// stallFn, when non-nil, injects capture-core stalls (resolved once
+	// from cfg.Faults and shared by every per-cycle engine).
+	stallFn func(sim.Time) sim.Duration
+
 	// Observability state (all nil/no-op when cfg.Obs and cfg.Tracer are
 	// unset — the default).
-	parentSpan *obs.Span // the coordinator's experiment span
-	siteSpan   *obs.Span
-	cycleSpan  *obs.Span
-	mBackoffs  *obs.Counter
-	mMirrored  *obs.Counter
-	mCongested *obs.Counter
-	mLogs      [3]*obs.Counter // indexed by Level
+	parentSpan  *obs.Span // the coordinator's experiment span
+	siteSpan    *obs.Span
+	cycleSpan   *obs.Span
+	mBackoffs   *obs.Counter
+	mRetries    *obs.Counter
+	mDowngrades *obs.Counter
+	mTimeouts   *obs.Counter
+	mMirrored   *obs.Counter
+	mCongested  *obs.Counter
+	mLogs       [3]*obs.Counter // indexed by Level
 }
 
 // instrument resolves the instance's obs instruments. Called once at
@@ -173,11 +189,17 @@ func (si *siteInstance) instrument() {
 	}
 	site := obs.L("site", si.site.Spec.Name)
 	reg.Help("patchwork_setup_backoffs_total", "listener requests abandoned during iterative back-off")
+	reg.Help("patchwork_setup_retries_total", "transient allocation failures retried with back-off")
+	reg.Help("patchwork_setup_downgrades_total", "sites degraded to fewer listeners after exhausting retries")
+	reg.Help("patchwork_setup_timeouts_total", "setup phases cut short by the per-phase deadline")
 	reg.Help("patchwork_ports_mirrored_total", "mirror sessions established by port cycling")
 	reg.Help("patchwork_congestion_events_total", "suspected incomplete samples (mirror egress overload)")
 	reg.Help("patchwork_log_events_total", "run-log events by level")
 	reg.Help("patchwork_runs_total", "site runs by outcome")
 	si.mBackoffs = reg.Counter("patchwork_setup_backoffs_total", site)
+	si.mRetries = reg.Counter("patchwork_setup_retries_total", site)
+	si.mDowngrades = reg.Counter("patchwork_setup_downgrades_total", site)
+	si.mTimeouts = reg.Counter("patchwork_setup_timeouts_total", site)
 	si.mMirrored = reg.Counter("patchwork_ports_mirrored_total", site)
 	si.mCongested = reg.Counter("patchwork_congestion_events_total", site)
 	for l := LevelInfo; l <= LevelError; l++ {
@@ -216,9 +238,12 @@ func (si *siteInstance) logf(level Level, format string, args ...any) {
 	}
 }
 
-// setup performs discovery, request formulation, and iterative back-off
-// (Section 6.2.1). It returns false when the site run failed.
-func (si *siteInstance) setup() bool {
+// beginSetup performs discovery and request formulation (Section 6.2.1),
+// then enters the event-driven allocation loop. Transient back-end
+// failures are retried with jittered exponential back-off under a
+// per-phase deadline; exhausting either degrades the site to the
+// listeners it already holds rather than aborting the experiment.
+func (si *siteInstance) beginSetup() {
 	want := si.cfg.InstancesWanted
 	free := si.site.FreeDedicatedNICs()
 	if free < want {
@@ -229,49 +254,104 @@ func (si *siteInstance) setup() bool {
 		si.bundle.Outcome = OutcomeFailed
 		si.bundle.FailureReason = "no dedicated NICs available"
 		si.logf(LevelError, "setup: site has no free dedicated NICs")
-		return false
+		si.endSetup(false)
+		return
 	}
-	// Iterative back-off: each listener (VM + NIC) is a separate small
-	// slice — the testbed's allocator handles small slices better than
-	// large ones, and per-listener slivers let the nice-factor controller
-	// scale the footprint at runtime.
-	for n := 0; n < want; n++ {
-		req := defaultRequest(fmt.Sprintf("patchwork-%s-%d", si.site.Spec.Name, n), 1)
-		// Patchwork runs its own allocation simulation first so the
-		// testbed's allocator is not burdened with doomed requests.
-		if err := si.site.CanAllocate(si.kernel.Now(), req); err != nil {
-			if testbed.IsResourceExhaustion(err) {
-				si.mBackoffs.Inc()
-				si.logf(LevelWarn, "setup: backing off at %d instances: %v", n, err)
-				break
-			}
-			si.bundle.Outcome = OutcomeFailed
-			si.bundle.FailureReason = fmt.Sprintf("backend: %v", err)
-			si.logf(LevelError, "setup: backend failure: %v", err)
-			si.releaseAll()
-			return false
-		}
-		sliver, err := si.site.Allocate(si.kernel.Now(), req)
-		if err != nil {
-			si.mBackoffs.Inc()
-			si.logf(LevelWarn, "setup: allocation raced: %v", err)
-			break
-		}
+	si.setupWant = want
+	si.allocateListener(0, 0)
+}
+
+// allocateListener tries to allocate listener n (0-based); attempt
+// counts prior tries for this same listener. Iterative back-off: each
+// listener (VM + NIC) is a separate small slice — the testbed's
+// allocator handles small slices better than large ones, and
+// per-listener slivers let the nice-factor controller scale the
+// footprint at runtime.
+func (si *siteInstance) allocateListener(n, attempt int) {
+	if n >= si.setupWant {
+		si.settleSetup()
+		return
+	}
+	now := si.kernel.Now()
+	req := defaultRequest(fmt.Sprintf("patchwork-%s-%d", si.site.Spec.Name, n), 1)
+	// Patchwork runs its own allocation simulation first so the
+	// testbed's allocator is not burdened with doomed requests.
+	err := si.site.CanAllocate(now, req)
+	var sliver *testbed.Sliver
+	if err == nil {
+		sliver, err = si.site.Allocate(now, req)
+	}
+	switch {
+	case err == nil:
 		si.slivers = append(si.slivers, sliver)
+		si.allocateListener(n+1, 0)
+	case testbed.IsResourceExhaustion(err):
+		// A genuine shortage is not worth retrying: stop asking for more
+		// listeners and run with what we hold.
+		si.mBackoffs.Inc()
+		si.logf(LevelWarn, "setup: backing off at %d instances: %v", n, err)
+		si.settleSetup()
+	default:
+		si.retryOrDegrade(n, attempt, err)
 	}
-	if len(si.slivers) == 0 {
+}
+
+// retryOrDegrade handles a transient back-end failure for listener n.
+// While the retry budget and the setup deadline allow, the request is
+// rescheduled after a jittered back-off; otherwise the site degrades to
+// the listeners already held, or fails when it holds none.
+func (si *siteInstance) retryOrDegrade(n, attempt int, err error) {
+	pol := si.cfg.Retry
+	if !pol.Exhausted(attempt + 1) {
+		delay := pol.Delay(attempt, si.retryR)
+		if si.kernel.Now()+sim.Time(delay) <= si.setupDeadline {
+			si.mRetries.Inc()
+			si.logf(LevelWarn, "setup: transient failure for listener %d (attempt %d): %v; retrying in %v",
+				n, attempt+1, err, delay)
+			si.kernel.After(delay, func() { si.allocateListener(n, attempt+1) })
+			return
+		}
+		si.mTimeouts.Inc()
+		si.logf(LevelError, "setup: phase deadline reached after %d attempts for listener %d: %v",
+			attempt+1, n, err)
+	} else {
+		si.logf(LevelError, "setup: retries exhausted for listener %d: %v", n, err)
+	}
+	if si.granted() > 0 {
+		// Graceful degradation: a flaky back end costs listeners, not the
+		// whole site run.
+		si.mDowngrades.Inc()
+		si.logf(LevelWarn, "setup: degrading to %d/%d listeners", si.granted(), si.cfg.InstancesWanted)
+		si.settleSetup()
+		return
+	}
+	si.bundle.Outcome = OutcomeFailed
+	si.bundle.FailureReason = fmt.Sprintf("backend: %v", err)
+	si.logf(LevelError, "setup: backend failure: %v", err)
+	si.releaseAll()
+	si.endSetup(false)
+}
+
+// settleSetup closes the allocation loop with whatever was granted.
+func (si *siteInstance) settleSetup() {
+	if si.granted() == 0 {
 		si.bundle.Outcome = OutcomeFailed
 		si.bundle.FailureReason = "resources exhausted after back-off"
 		si.logf(LevelError, "setup: could not allocate even one instance")
-		return false
+		si.endSetup(false)
+		return
 	}
 	si.bundle.InstancesGranted = si.granted()
 	si.logf(LevelInfo, "setup: %d/%d instances allocated", si.granted(), si.cfg.InstancesWanted)
+	si.reservePorts()
+	si.endSetup(true)
+}
 
-	// Reserve the tail downlink ports as the listeners' NIC attachment
-	// points (mirror egresses); everything else is a candidate. The
-	// reservation covers the configured maximum so runtime scale-up has
-	// ports to grow into.
+// reservePorts picks the tail downlink ports as the listeners' NIC
+// attachment points (mirror egresses); everything else is a candidate.
+// The reservation covers the configured maximum so runtime scale-up has
+// ports to grow into.
+func (si *siteInstance) reservePorts() {
 	egressCount := si.cfg.InstancesWanted * testbed.PortsPerNIC
 	names := si.site.Switch.PortNames()
 	var downlinks []string
@@ -294,19 +374,14 @@ func (si *siteInstance) setup() bool {
 		}
 	}
 	si.history = make(map[string]int)
-	return true
 }
 
-// run executes the sampling phase and schedules completion. done is
-// invoked exactly once with the final bundle.
-func (si *siteInstance) run(done func(Bundle)) {
-	si.done = done
-	si.instrument()
-	si.siteSpan = si.parentSpan.Child("site", obs.L("site", si.site.Spec.Name))
-	setupSpan := si.siteSpan.Child("setup")
-	ok := si.setup()
-	setupSpan.Annotate("granted", fmt.Sprintf("%d", si.granted()))
-	setupSpan.End()
+// endSetup closes the setup span and either finishes the failed run or
+// moves into the sampling phase.
+func (si *siteInstance) endSetup(ok bool) {
+	si.setupSpan.Annotate("granted", fmt.Sprintf("%d", si.granted()))
+	si.setupSpan.End()
+	si.setupSpan = nil
 	if !ok {
 		si.finish()
 		return
@@ -317,6 +392,21 @@ func (si *siteInstance) run(done func(Bundle)) {
 		si.crashed = true
 	}
 	si.cycle(0)
+}
+
+// run executes the sampling phase and schedules completion. done is
+// invoked exactly once with the final bundle.
+func (si *siteInstance) run(done func(Bundle)) {
+	si.done = done
+	si.instrument()
+	si.retryR = si.r.Split()
+	if si.cfg.Faults != nil {
+		si.stallFn = si.cfg.Faults.CaptureStallFn(si.site.Spec.Name)
+	}
+	si.siteSpan = si.parentSpan.Child("site", obs.L("site", si.site.Spec.Name))
+	si.setupSpan = si.siteSpan.Child("setup")
+	si.setupDeadline = si.kernel.Now() + sim.Time(si.cfg.SetupTimeout)
+	si.beginSetup()
 }
 
 // cycle starts run r: select ports, set up mirrors and engines, take
@@ -395,6 +485,7 @@ func (si *siteInstance) cycle(runIdx int) {
 			SnapLen:   si.cfg.TruncateBytes,
 			Cores:     si.cfg.CaptureCores,
 			Writer:    w,
+			Stall:     si.stallFn,
 			Obs:       si.cfg.Obs,
 			ObsLabels: []obs.Label{obs.L("site", si.site.Spec.Name)},
 		})

@@ -16,7 +16,9 @@ import (
 	"fmt"
 
 	"repro/internal/capture"
+	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/retry"
 	"repro/internal/sim"
 	"repro/internal/testbed"
 )
@@ -95,6 +97,19 @@ type Config struct {
 	// Tracer receives spans for the experiment/site/cycle/sample
 	// hierarchy. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Retry shapes the jittered-exponential back-off applied to transient
+	// allocator failures during setup. Zero fields take the defaults of
+	// retry.DefaultPolicy (first retry ~2 s, doubling to a 2-minute cap,
+	// half jitter, 6 attempts).
+	Retry retry.Policy
+	// SetupTimeout bounds the setup phase per site. When it expires the
+	// site stops retrying and degrades to the listeners it already holds
+	// (or fails when it holds none). Default 10 minutes.
+	SetupTimeout sim.Duration
+	// Faults optionally injects scheduled adversity (see internal/faults).
+	// The engine must be armed on the federation before the run starts;
+	// site instances pull their capture-stall hooks from it.
+	Faults *faults.Engine
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +143,10 @@ func (c Config) withDefaults() Config {
 	if c.StorageLimitBytes == 0 {
 		c.StorageLimitBytes = 100 << 30
 	}
+	c.Retry = c.Retry.WithDefaults()
+	if c.SetupTimeout == 0 {
+		c.SetupTimeout = 10 * sim.Minute
+	}
 	return c
 }
 
@@ -146,6 +165,14 @@ func (c Config) Validate() error {
 		if err := c.Nice.Validate(); err != nil {
 			return err
 		}
+	}
+	// Zero Retry fields mean "use the defaults", so validate the policy
+	// as withDefaults will shape it.
+	if err := c.Retry.WithDefaults().Validate(); err != nil {
+		return err
+	}
+	if c.SetupTimeout < 0 {
+		return fmt.Errorf("patchwork: negative setup timeout %v", c.SetupTimeout)
 	}
 	return nil
 }

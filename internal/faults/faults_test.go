@@ -1,0 +1,311 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/switchsim"
+	"repro/internal/testbed"
+	"repro/internal/units"
+)
+
+func testFed(t *testing.T, k *sim.Kernel, names ...string) *testbed.Federation {
+	t.Helper()
+	specs := make([]testbed.SiteSpec, len(names))
+	for i, n := range names {
+		specs[i] = testbed.SiteSpec{
+			Name: n, Uplinks: 1, Downlinks: 4,
+			DedicatedNICs: 3, Cores: 64, RAM: 256 * units.GB, Storage: units.TB,
+		}
+	}
+	fed, err := testbed.NewFederation(k, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+func TestParseValidRejectsBadPlans(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		ok   bool
+	}{
+		{"empty", `{}`, true},
+		{"full", `{
+			"name": "hostile",
+			"allocator_transients": [{"rate": 0.3, "to_sec": 60}],
+			"site_outages": [{"site": "STAR", "from_sec": 5, "to_sec": 20}],
+			"port_flaps": [{"site": "STAR", "port": "P1", "at_sec": 10, "down_sec": 3, "repeat": 2, "every_sec": 8}],
+			"mirror_corruptions": [{"rate": 0.01}],
+			"storage_slowdowns": [{"factor": 8, "from_sec": 1, "to_sec": 2}],
+			"capture_stalls": [{"rate": 0.05, "stall_sec": 0.002}]
+		}`, true},
+		{"unknown field", `{"allocator_transient": []}`, false},
+		{"rate zero", `{"allocator_transients": [{"rate": 0}]}`, false},
+		{"rate above one", `{"mirror_corruptions": [{"rate": 1.5}]}`, false},
+		{"outage without site", `{"site_outages": [{"from_sec": 1, "to_sec": 2}]}`, false},
+		{"outage open-ended", `{"site_outages": [{"site": "A", "from_sec": 1}]}`, false},
+		{"empty window", `{"allocator_transients": [{"rate": 0.5, "from_sec": 5, "to_sec": 5}]}`, false},
+		{"flap missing port", `{"port_flaps": [{"site": "A", "at_sec": 1, "down_sec": 1}]}`, false},
+		{"flap repeat overlap", `{"port_flaps": [{"site": "A", "port": "P1", "at_sec": 1, "down_sec": 5, "repeat": 1, "every_sec": 2}]}`, false},
+		{"slowdown below one", `{"storage_slowdowns": [{"factor": 0.5}]}`, false},
+		{"stall no duration", `{"capture_stalls": [{"rate": 0.5}]}`, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.json))
+			if (err == nil) != c.ok {
+				t.Errorf("Parse: err=%v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestAllocatorTransientInjection(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR", "TACC")
+	plan := Plan{AllocatorTransients: []AllocatorTransient{
+		{Site: "STAR", Rate: 1, Window: Window{ToSec: 60}},
+	}}
+	e, err := NewEngine(k, 7, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	req := testbed.SliceRequest{Name: "x", VMs: []testbed.VMRequest{testbed.DefaultListenerVM()}}
+	if _, err := fed.Site("STAR").Allocate(0, req); !errors.Is(err, testbed.ErrBackendTransient) {
+		t.Errorf("STAR inside window: err = %v, want transient", err)
+	}
+	// Rate-1 faults stop when the window closes.
+	if _, err := fed.Site("STAR").Allocate(61*sim.Second, req); err != nil {
+		t.Errorf("STAR after window: err = %v, want success", err)
+	}
+	// The untargeted site is unaffected.
+	if _, err := fed.Site("TACC").Allocate(0, req); err != nil {
+		t.Errorf("TACC: err = %v, want success", err)
+	}
+	if got := e.Injected()[KindAllocatorTransient]; got != 1 {
+		t.Errorf("injected allocator-transient = %d, want 1", got)
+	}
+}
+
+func TestSiteOutageSchedulesWindows(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR")
+	plan := Plan{SiteOutages: []SiteOutage{{Site: "STAR", Window: Window{FromSec: 10, ToSec: 20}}}}
+	e, err := NewEngine(k, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	req := testbed.SliceRequest{Name: "x", VMs: []testbed.VMRequest{testbed.DefaultListenerVM()}}
+	if err := fed.Site("STAR").CanAllocate(15*sim.Second, req); !errors.Is(err, testbed.ErrBackendTransient) {
+		t.Errorf("during outage: err = %v, want transient", err)
+	}
+	if err := fed.Site("STAR").CanAllocate(25*sim.Second, req); err != nil {
+		t.Errorf("after outage: err = %v", err)
+	}
+}
+
+func TestPortFlapDropsTraffic(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR")
+	plan := Plan{PortFlaps: []PortFlap{
+		{Site: "STAR", Port: "P1", AtSec: 1, DownSec: 2, Repeat: 1, EverySec: 5},
+	}}
+	e, err := NewEngine(k, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	sw := fed.Site("STAR").Switch
+	frame := switchsim.Frame{Size: 1000}
+	transitAt := func(at sim.Time) {
+		k.At(at, func() { _ = sw.Transit("P1", switchsim.DirRx, frame) })
+	}
+	transitAt(500 * sim.Millisecond)  // up
+	transitAt(1500 * sim.Millisecond) // down (first flap)
+	transitAt(3500 * sim.Millisecond) // up again
+	transitAt(6500 * sim.Millisecond) // down (second flap at 6s)
+	k.Run()
+	c := sw.Port("P1").Counters()
+	if c.RxFrames != 2 {
+		t.Errorf("RxFrames = %d, want 2", c.RxFrames)
+	}
+	if c.DownDrops != 2 {
+		t.Errorf("DownDrops = %d, want 2", c.DownDrops)
+	}
+	if got := e.Injected()[KindPortFlap]; got != 2 {
+		t.Errorf("injected port-flap = %d, want 2", got)
+	}
+}
+
+func TestMirrorCorruptionDropsClones(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR")
+	plan := Plan{MirrorCorruptions: []MirrorCorruption{{Site: "STAR", Rate: 1}}}
+	e, err := NewEngine(k, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	sw := fed.Site("STAR").Switch
+	sess, err := sw.StartMirror("P1", switchsim.DirBoth, "P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		_ = sw.Transit("P1", switchsim.DirRx, switchsim.Frame{Size: 100})
+	}
+	if sess.FaultDrops != 10 || sess.Cloned != 0 {
+		t.Errorf("FaultDrops=%d Cloned=%d, want 10/0", sess.FaultDrops, sess.Cloned)
+	}
+	// Original traffic is unaffected.
+	if c := sw.Port("P1").Counters(); c.RxFrames != 10 {
+		t.Errorf("RxFrames = %d, want 10", c.RxFrames)
+	}
+}
+
+func TestCaptureStallAndStorageFns(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR", "TACC")
+	plan := Plan{
+		CaptureStalls:    []CaptureStall{{Site: "STAR", Rate: 1, StallSec: 0.5}},
+		StorageSlowdowns: []StorageSlowdown{{Site: "STAR", Factor: 4}},
+	}
+	e, err := NewEngine(k, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	if fn := e.CaptureStallFn("TACC"); fn != nil {
+		t.Error("TACC should have no stall fn")
+	}
+	fn := e.CaptureStallFn("STAR")
+	if fn == nil {
+		t.Fatal("STAR should have a stall fn")
+	}
+	if got := fn(0); got != 500*sim.Millisecond {
+		t.Errorf("stall = %v, want 500ms", got)
+	}
+	sf := e.StorageFaultFn("STAR")
+	if sf == nil {
+		t.Fatal("STAR should have a storage fault fn")
+	}
+	if got := sf(0, 1024, sim.Microsecond); got != 4*sim.Microsecond {
+		t.Errorf("storage fault latency = %v, want 4us", got)
+	}
+	if e.StorageFaultFn("TACC") != nil {
+		t.Error("TACC should have no storage fault fn")
+	}
+}
+
+func TestEngineDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed uint64) []int64 {
+		k := sim.NewKernel()
+		fed := testFed(t, k, "STAR")
+		plan := Plan{AllocatorTransients: []AllocatorTransient{{Rate: 0.5}}}
+		e, err := NewEngine(k, seed, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Arm(fed); err != nil {
+			t.Fatal(err)
+		}
+		req := testbed.SliceRequest{Name: "x", VMs: []testbed.VMRequest{{Cores: 1, RAM: units.GB, Storage: units.GB}}}
+		out := make([]int64, 0, 40)
+		for i := 0; i < 40; i++ {
+			if err := fed.Site("STAR").CanAllocate(sim.Time(i)*sim.Second, req); err != nil {
+				out = append(out, int64(i))
+			}
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+	if len(a) == 0 || len(a) == 40 {
+		t.Fatalf("rate-0.5 fault injected %d/40 times; expected a mix", len(a))
+	}
+	c := run(12)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestArmErrors(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR")
+	e, err := NewEngine(k, 1, Plan{SiteOutages: []SiteOutage{{Site: "NOPE", Window: Window{ToSec: 1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err == nil || !strings.Contains(err.Error(), "unknown site") {
+		t.Errorf("Arm with unknown site: err = %v", err)
+	}
+	e2, err := NewEngine(k, 1, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Arm(fed); err == nil {
+		t.Error("second Arm should fail")
+	}
+	e3, err := NewEngine(k, 1, Plan{PortFlaps: []PortFlap{{Site: "STAR", Port: "P99", AtSec: 0, DownSec: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.Arm(fed); err == nil || !strings.Contains(err.Error(), "unknown port") {
+		t.Errorf("Arm with unknown port: err = %v", err)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	k := sim.NewKernel()
+	e, err := NewEngine(k, 1, Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Summary(); got != "no faults injected" {
+		t.Errorf("empty Summary = %q", got)
+	}
+	e.note(KindPortFlap)
+	e.note(KindPortFlap)
+	e.note(KindAllocatorTransient)
+	if got := e.Summary(); got != "allocator-transient=1 port-flap=2" {
+		t.Errorf("Summary = %q", got)
+	}
+	if e.InjectedTotal() != 3 {
+		t.Errorf("InjectedTotal = %d", e.InjectedTotal())
+	}
+}

@@ -103,6 +103,20 @@ type Host struct {
 	mThrottleEnter, mThrottleExit *obs.Counter
 	mBlocked                     *obs.Counter
 	inThrottle                   bool
+
+	// writeFault, when set, can inflate a writev's latency — the
+	// slow/failing-storage injection point (internal/faults). It receives
+	// the call time, the byte count, and the latency the model computed,
+	// and returns the latency to charge instead.
+	writeFault func(now sim.Time, n int, lat sim.Duration) sim.Duration
+}
+
+// SetWriteFault installs (or, with nil, removes) a hook that rewrites
+// each writev call's latency, modeling a degraded or intermittently
+// failing storage device. The returned latency is clamped below at the
+// model's own value: faults can only slow storage down.
+func (h *Host) SetWriteFault(f func(now sim.Time, n int, lat sim.Duration) sim.Duration) {
+	h.writeFault = f
 }
 
 // Instrument republishes the host's storage-path telemetry into an obs
@@ -129,6 +143,9 @@ type Stats struct {
 	BytesWritten   int64
 	ThrottledCalls int64 // calls slowed between midpoint and dirty_ratio
 	BlockedCalls   int64 // calls blocked at/above dirty_ratio
+	// FaultSlowedCalls counts calls whose latency an injected storage
+	// fault inflated (SetWriteFault).
+	FaultSlowedCalls int64
 }
 
 // New builds a host from cfg (zero fields defaulted).
@@ -233,6 +250,12 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 		h.advanceFlusher(now + lat)
 		if h.dirty > h.hardBytes {
 			h.dirty = h.hardBytes
+		}
+	}
+	if h.writeFault != nil {
+		if faulted := h.writeFault(now, n, lat); faulted > lat {
+			h.Stats.FaultSlowedCalls++
+			lat = faulted
 		}
 	}
 	h.WritevHist.Record(int64(lat))

@@ -1,0 +1,132 @@
+// Package retry provides a reusable jittered-exponential-backoff policy
+// for the transient failures a federated testbed throws at its users:
+// allocator hiccups, short back-end outages, control-plane races. The
+// policy is pure arithmetic over virtual time — all randomness flows
+// through a caller-supplied rng.Source, so two runs with the same seed
+// produce the same retry schedule nanosecond for nanosecond.
+package retry
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Policy shapes a retry schedule. The zero value is not usable directly;
+// call WithDefaults (Config plumbing in internal/core does this for you).
+type Policy struct {
+	// Base is the delay before the first retry (default 2 s).
+	Base sim.Duration
+	// Cap bounds each delay after exponential growth (default 2 min).
+	Cap sim.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in [0, 1].
+	// With Jitter = 0.5 a delay d becomes uniform in [d/2, d]. Jitter
+	// decorrelates retry storms across sites while staying deterministic
+	// for a fixed seed (default 0.5).
+	Jitter float64
+	// MaxAttempts is the total number of tries, including the first
+	// (default 6). Delay is consulted at most MaxAttempts-1 times.
+	MaxAttempts int
+}
+
+// DefaultPolicy matches the deployed system's setup loop: first retry
+// after ~2 s, doubling to a 2-minute ceiling, half-jittered, giving up
+// after 6 attempts (~1 minute of cumulative waiting).
+func DefaultPolicy() Policy {
+	return Policy{
+		Base:        2 * sim.Second,
+		Cap:         2 * sim.Minute,
+		Multiplier:  2,
+		Jitter:      0.5,
+		MaxAttempts: 6,
+	}
+}
+
+// WithDefaults fills zero fields from DefaultPolicy. A fully zero Policy
+// becomes DefaultPolicy.
+func (p Policy) WithDefaults() Policy {
+	d := DefaultPolicy()
+	if p.Base == 0 {
+		p.Base = d.Base
+	}
+	if p.Cap == 0 {
+		p.Cap = d.Cap
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter == 0 {
+		p.Jitter = d.Jitter
+	}
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	return p
+}
+
+// Validate rejects nonsensical policies.
+func (p Policy) Validate() error {
+	switch {
+	case p.Base <= 0:
+		return fmt.Errorf("retry: base delay %v must be positive", p.Base)
+	case p.Cap < p.Base:
+		return fmt.Errorf("retry: cap %v below base %v", p.Cap, p.Base)
+	case p.Multiplier < 1:
+		return fmt.Errorf("retry: multiplier %v must be >= 1", p.Multiplier)
+	case p.Jitter < 0 || p.Jitter > 1:
+		return fmt.Errorf("retry: jitter %v outside [0, 1]", p.Jitter)
+	case p.MaxAttempts < 1:
+		return fmt.Errorf("retry: max attempts %d must be >= 1", p.MaxAttempts)
+	}
+	return nil
+}
+
+// Exhausted reports whether a 0-based attempt counter has used up the
+// policy's budget: attempt n is the (n+1)-th try.
+func (p Policy) Exhausted(attempt int) bool { return attempt >= p.MaxAttempts }
+
+// Delay returns the back-off before retry number `retry` (0-based: the
+// delay between the first and second attempts is Delay(0, r)). The raw
+// delay is Base*Multiplier^retry capped at Cap; the final Jitter fraction
+// of it is then drawn uniformly from r. The result never exceeds Cap and
+// is always at least 1 ns.
+func (p Policy) Delay(retry int, r *rng.Source) sim.Duration {
+	if retry < 0 {
+		retry = 0
+	}
+	raw := float64(p.Base)
+	for i := 0; i < retry; i++ {
+		raw *= p.Multiplier
+		if raw >= float64(p.Cap) {
+			break
+		}
+	}
+	if raw > float64(p.Cap) {
+		raw = float64(p.Cap)
+	}
+	d := sim.Duration(raw)
+	if p.Jitter > 0 && r != nil {
+		span := sim.Duration(raw * p.Jitter)
+		if span > 0 {
+			d = d - span + sim.Duration(r.Int63n(int64(span)+1))
+		}
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// TotalBudget sums the maximum (un-jittered) delays across all retries —
+// an upper bound on how long a caller can spend backing off. Useful for
+// sizing phase timeouts.
+func (p Policy) TotalBudget() sim.Duration {
+	var total sim.Duration
+	for i := 0; i < p.MaxAttempts-1; i++ {
+		total += p.Delay(i, nil)
+	}
+	return total
+}

@@ -1,0 +1,117 @@
+package retry
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		ok   bool
+	}{
+		{"defaults", DefaultPolicy(), true},
+		{"zero-filled", Policy{}.WithDefaults(), true},
+		{"zero base", Policy{Cap: sim.Second, Multiplier: 2, MaxAttempts: 3}, false},
+		{"cap below base", Policy{Base: sim.Minute, Cap: sim.Second, Multiplier: 2, MaxAttempts: 3}, false},
+		{"multiplier below one", Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 0.5, MaxAttempts: 3}, false},
+		{"negative jitter", Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 2, Jitter: -0.1, MaxAttempts: 3}, false},
+		{"jitter above one", Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 2, Jitter: 1.5, MaxAttempts: 3}, false},
+		{"no attempts", Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 2, MaxAttempts: 0}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.p.Validate()
+			if (err == nil) != c.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestDelayGrowthAndCap(t *testing.T) {
+	// No jitter: delays are exactly Base*Multiplier^n, clamped at Cap.
+	p := Policy{Base: sim.Second, Cap: 10 * sim.Second, Multiplier: 2, Jitter: 0, MaxAttempts: 10}
+	want := []sim.Duration{
+		1 * sim.Second, 2 * sim.Second, 4 * sim.Second, 8 * sim.Second,
+		10 * sim.Second, 10 * sim.Second, 10 * sim.Second,
+	}
+	for i, w := range want {
+		if got := p.Delay(i, nil); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Negative retry indices clamp to the base delay.
+	if got := p.Delay(-3, nil); got != sim.Second {
+		t.Errorf("Delay(-3) = %v, want %v", got, sim.Second)
+	}
+}
+
+func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
+	p := Policy{Base: 4 * sim.Second, Cap: sim.Minute, Multiplier: 2, Jitter: 0.5, MaxAttempts: 8}
+	cases := []struct {
+		seed uint64
+	}{{1}, {2}, {42}, {0xdeadbeef}}
+	for _, c := range cases {
+		a, b := rng.New(c.seed), rng.New(c.seed)
+		other := rng.New(c.seed + 1)
+		var divergent bool
+		for i := 0; i < 6; i++ {
+			da, db := p.Delay(i, a), p.Delay(i, b)
+			if da != db {
+				t.Fatalf("seed %d retry %d: same seed diverged: %v vs %v", c.seed, i, da, db)
+			}
+			if do := p.Delay(i, other); do != da {
+				divergent = true
+			}
+			raw := p.Delay(i, nil) // un-jittered value = upper bound
+			if da > raw || da < raw-sim.Duration(float64(raw)*p.Jitter) {
+				t.Errorf("seed %d retry %d: jittered delay %v outside [%v, %v]",
+					c.seed, i, da, raw-sim.Duration(float64(raw)*p.Jitter), raw)
+			}
+			if da > p.Cap {
+				t.Errorf("seed %d retry %d: delay %v exceeds cap %v", c.seed, i, da, p.Cap)
+			}
+		}
+		if !divergent {
+			t.Errorf("seed %d: different seeds produced identical jitter sequences", c.seed)
+		}
+	}
+}
+
+func TestExhaustedGiveUp(t *testing.T) {
+	cases := []struct {
+		max     int
+		attempt int
+		want    bool
+	}{
+		{1, 0, false}, // the single allowed try is attempt 0
+		{1, 1, true},
+		{3, 2, false},
+		{3, 3, true},
+		{6, 5, false},
+		{6, 6, true},
+		{6, 100, true},
+	}
+	for _, c := range cases {
+		p := Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 2, MaxAttempts: c.max}
+		if got := p.Exhausted(c.attempt); got != c.want {
+			t.Errorf("MaxAttempts=%d Exhausted(%d) = %v, want %v", c.max, c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestTotalBudget(t *testing.T) {
+	p := Policy{Base: sim.Second, Cap: 4 * sim.Second, Multiplier: 2, Jitter: 0.5, MaxAttempts: 4}
+	// Un-jittered delays: 1s + 2s + 4s = 7s.
+	if got := p.TotalBudget(); got != 7*sim.Second {
+		t.Errorf("TotalBudget = %v, want %v", got, 7*sim.Second)
+	}
+	single := Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 2, MaxAttempts: 1}
+	if got := single.TotalBudget(); got != 0 {
+		t.Errorf("TotalBudget with 1 attempt = %v, want 0", got)
+	}
+}

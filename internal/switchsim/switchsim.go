@@ -81,6 +81,9 @@ type Counters struct {
 	// TxDrops counts frames dropped at this port's egress queue; mirror
 	// overflow shows up here.
 	TxDrops uint64
+	// DownDrops counts frames that arrived while the port was
+	// administratively or fault-injection down (link flap).
+	DownDrops uint64
 }
 
 // Receiver consumes frames delivered out of a switch port's Tx channel
@@ -109,6 +112,17 @@ type Port struct {
 	queueFree sim.Time // virtual time at which the queue drains empty
 	receiver  Receiver
 	sw        *Switch
+
+	// down marks a flapped link: frames transiting (either direction) are
+	// dropped, as are mirror clones destined for it.
+	down bool
+}
+
+// Down reports whether the port's link is currently down.
+func (p *Port) Down() bool {
+	p.sw.mu.Lock()
+	defer p.sw.mu.Unlock()
+	return p.down
 }
 
 // DefaultEgressQueueBytes is the default per-port egress buffer. Shallow
@@ -140,6 +154,35 @@ type Switch struct {
 	order   []string // deterministic iteration order
 	mirrors map[string]*MirrorSession
 	obsReg  *obs.Registry
+
+	// cloneFault, when set, drops a mirror clone whenever it returns true
+	// — the mirror-table corruption injection point (internal/faults).
+	cloneFault func(now sim.Time) bool
+}
+
+// SetCloneFault installs (or, with nil, removes) a per-clone fault hook:
+// returning true silently discards that mirrored copy, modeling a
+// corrupted mirror-table entry. Original traffic is unaffected.
+func (s *Switch) SetCloneFault(f func(now sim.Time) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cloneFault = f
+}
+
+// SetPortDown flaps the named port's link state. While down, frames
+// transiting the port in either direction are dropped (counted in
+// DownDrops), and mirror clones destined for it are counted as clone
+// drops. Mirror sessions survive a flap, as on a real switch: the
+// configuration persists, the traffic does not.
+func (s *Switch) SetPortDown(name string, down bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[name]
+	if !ok {
+		return fmt.Errorf("switchsim: no port %q on %q", name, s.Name)
+	}
+	p.down = down
+	return nil
 }
 
 // SetObs attaches a metrics registry. Mirror sessions started afterwards
@@ -152,6 +195,7 @@ func (s *Switch) SetObs(reg *obs.Registry) {
 	if reg != nil {
 		reg.Help("switchsim_mirror_cloned_total", "mirrored frames enqueued on the egress channel")
 		reg.Help("switchsim_mirror_clone_drops_total", "mirrored frames dropped to egress-queue overflow")
+		reg.Help("switchsim_mirror_fault_drops_total", "mirrored frames dropped to injected mirror-table corruption")
 	}
 }
 
@@ -214,11 +258,14 @@ type MirrorSession struct {
 	// CloneDrops counts mirrored frames lost to egress overflow — the
 	// incomplete-sample signal Patchwork detects via telemetry.
 	CloneDrops uint64
+	// FaultDrops counts mirrored frames lost to injected mirror-table
+	// corruption (SetCloneFault).
+	FaultDrops uint64
 	// Cloned counts mirrored frames successfully enqueued.
 	Cloned uint64
 
 	// Obs counters, resolved at StartMirror (nil without a registry).
-	clonedC, dropsC *obs.Counter
+	clonedC, dropsC, faultDropsC *obs.Counter
 }
 
 // ErrMirrorConflict is returned when a port is already mirrored or when
@@ -258,6 +305,7 @@ func (s *Switch) StartMirror(mirrored string, dirs Direction, egress string) (*M
 		}
 		m.clonedC = s.obsReg.Counter("switchsim_mirror_cloned_total", labels...)
 		m.dropsC = s.obsReg.Counter("switchsim_mirror_clone_drops_total", labels...)
+		m.faultDropsC = s.obsReg.Counter("switchsim_mirror_fault_drops_total", labels...)
 	}
 	s.mirrors[mirrored] = m
 	return m, nil
@@ -300,6 +348,10 @@ func (s *Switch) Transit(port string, dir Direction, f Frame) error {
 		return fmt.Errorf("switchsim: no port %q on %q", port, s.Name)
 	}
 	now := s.kernel.Now()
+	if p.down {
+		p.counters.DownDrops++
+		return nil
+	}
 	if dir&DirRx != 0 {
 		p.counters.RxBytes += uint64(f.Size)
 		p.counters.RxFrames++
@@ -317,7 +369,18 @@ func (s *Switch) Transit(port string, dir Direction, f Frame) error {
 // cloneLocked enqueues a mirrored copy on the egress port's Tx channel,
 // dropping on queue overflow. Must hold s.mu.
 func (s *Switch) cloneLocked(now sim.Time, m *MirrorSession, f Frame) {
+	if s.cloneFault != nil && s.cloneFault(now) {
+		m.FaultDrops++
+		m.faultDropsC.Inc()
+		return
+	}
 	eg := s.ports[m.Egress]
+	if eg.down {
+		m.CloneDrops++
+		m.dropsC.Inc()
+		eg.counters.TxDrops++
+		return
+	}
 	// Queue backlog in virtual time: how long until the egress channel
 	// drains what is already queued.
 	if eg.queueFree < now {

@@ -87,6 +87,13 @@ func (s *Site) AddOutage(from, to sim.Time) {
 	s.outages = append(s.outages, outage{from, to})
 }
 
+// SetAllocFault installs (or, with nil, removes) a hook consulted before
+// every allocation check. A non-nil error from the hook fails the
+// attempt; wrap ErrBackendTransient for retryable faults or one of the
+// shortage sentinels to exercise the scale-down path. The fault engine in
+// internal/faults uses this for rate-based transient allocator errors.
+func (s *Site) SetAllocFault(f func(now sim.Time) error) { s.allocFault = f }
+
 // failureCause labels an allocation error for the obs counters.
 func failureCause(err error) string {
 	switch {
@@ -127,6 +134,11 @@ func (s *Site) CanAllocate(now sim.Time, req SliceRequest) error {
 }
 
 func (s *Site) canAllocate(now sim.Time, req SliceRequest) error {
+	if s.allocFault != nil {
+		if err := s.allocFault(now); err != nil {
+			return fmt.Errorf("site %s: %w", s.Spec.Name, err)
+		}
+	}
 	for _, o := range s.outages {
 		if now >= o.from && now < o.to {
 			return fmt.Errorf("site %s: %w", s.Spec.Name, ErrBackendTransient)
@@ -174,12 +186,20 @@ func (s *Site) Allocate(now sim.Time, req SliceRequest) (*Sliver, error) {
 	return sl, nil
 }
 
-// Release returns a sliver's resources. Releasing twice is an error.
+// Release returns a sliver's resources. Releasing twice, releasing at
+// the wrong site, or releasing a sliver the site never granted is an
+// error, and none of them touch the free-resource accounting.
 func (s *Site) Release(sl *Sliver) error {
+	if sl == nil {
+		return fmt.Errorf("testbed: release of nil sliver at %s", s.Spec.Name)
+	}
 	if sl.released {
 		return fmt.Errorf("testbed: sliver %d at %s already released", sl.ID, sl.Site)
 	}
-	if _, ok := s.slivers[sl.ID]; !ok {
+	if sl.Site != s.Spec.Name {
+		return fmt.Errorf("testbed: sliver %d belongs to %s, not %s", sl.ID, sl.Site, s.Spec.Name)
+	}
+	if got, ok := s.slivers[sl.ID]; !ok || got != sl {
 		return fmt.Errorf("testbed: sliver %d unknown at %s", sl.ID, sl.Site)
 	}
 	t := sl.Request.totals()

@@ -1,0 +1,204 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestOutageOverlapsAllocation walks an allocation sequence across an
+// outage window: grants before the window, transient failures inside it
+// (half-open, so the right edge is allocatable again), and composition
+// of overlapping windows.
+func TestOutageOverlapsAllocation(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("STAR")
+	s.AddOutage(10*sim.Minute, 20*sim.Minute)
+	s.AddOutage(18*sim.Minute, 25*sim.Minute)
+	req := SliceRequest{VMs: []VMRequest{DefaultListenerVM()}}
+
+	steps := []struct {
+		at      sim.Time
+		wantErr bool
+	}{
+		{0, false},
+		{10*sim.Minute - 1, false},
+		{10 * sim.Minute, true},  // first window opens
+		{19 * sim.Minute, true},  // overlap of both windows
+		{22 * sim.Minute, true},  // second window only
+		{25 * sim.Minute, false}, // half-open: right edge is clear
+	}
+	var held []*Sliver
+	for _, st := range steps {
+		sl, err := s.Allocate(st.at, req)
+		if st.wantErr {
+			if !errors.Is(err, ErrBackendTransient) {
+				t.Errorf("Allocate(t=%v) err = %v, want ErrBackendTransient", st.at, err)
+			}
+			if IsResourceExhaustion(err) {
+				t.Errorf("outage at t=%v misclassified as resource exhaustion", st.at)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Allocate(t=%v): %v", st.at, err)
+		}
+		held = append(held, sl)
+	}
+	if s.ActiveSlivers() != len(held) {
+		t.Errorf("active slivers = %d, want %d", s.ActiveSlivers(), len(held))
+	}
+}
+
+// TestIsResourceExhaustionClassification pins the retry/scale-down
+// decision table: shortages (wrapped or bare) scale down, back-end
+// faults and unknown errors do not.
+func TestIsResourceExhaustionClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"nics", ErrNoDedicatedNICs, true},
+		{"storage", ErrNoStorage, true},
+		{"cores", ErrNoCores, true},
+		{"ram", ErrNoRAM, true},
+		{"fpga", ErrNoFPGA, true},
+		{"wrapped-nics", fmt.Errorf("site X: %w", ErrNoDedicatedNICs), true},
+		{"double-wrapped", fmt.Errorf("retry: %w", fmt.Errorf("site X: %w", ErrNoCores)), true},
+		{"transient", ErrBackendTransient, false},
+		{"wrapped-transient", fmt.Errorf("site X: %w", ErrBackendTransient), false},
+		{"unknown", errors.New("disk on fire"), false},
+	}
+	for _, c := range cases {
+		if got := IsResourceExhaustion(c.err); got != c.want {
+			t.Errorf("%s: IsResourceExhaustion(%v) = %v, want %v", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestReleaseDuringOutageRestoresCapacity: an outage blocks new
+// allocations but must not block releases, and the freed capacity must
+// be allocatable the moment the outage lifts.
+func TestReleaseDuringOutageRestoresCapacity(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("TACC") // 2 dedicated NICs
+	req := SliceRequest{VMs: []VMRequest{DefaultListenerVM(), DefaultListenerVM()}}
+	sl, err := s.Allocate(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeDedicatedNICs() != 0 {
+		t.Fatalf("free NICs = %d, want 0", s.FreeDedicatedNICs())
+	}
+	s.AddOutage(sim.Minute, sim.Hour)
+	if err := s.Release(sl); err != nil {
+		t.Fatalf("release during outage: %v", err)
+	}
+	if s.FreeDedicatedNICs() != 2 || s.ActiveSlivers() != 0 {
+		t.Errorf("after release: free NICs = %d active = %d", s.FreeDedicatedNICs(), s.ActiveSlivers())
+	}
+	if _, err := s.Allocate(30*sim.Minute, req); !errors.Is(err, ErrBackendTransient) {
+		t.Errorf("during outage err = %v, want transient", err)
+	}
+	if _, err := s.Allocate(sim.Hour, req); err != nil {
+		t.Errorf("after outage: %v", err)
+	}
+}
+
+// TestReleaseRejectsForeignAndReplayedSlivers is the regression test for
+// the double-release accounting bug: a second Release of the same
+// sliver, a release at the wrong site, and a forged sliver with a
+// colliding ID must all fail without touching the free-resource books.
+func TestReleaseRejectsForeignAndReplayedSlivers(t *testing.T) {
+	f := twoSiteFederation(t)
+	star, tacc := f.Site("STAR"), f.Site("TACC")
+	req := SliceRequest{Name: "pw", VMs: []VMRequest{DefaultListenerVM()}}
+
+	slStar, err := star.Allocate(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slTacc, err := tacc.Allocate(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeNICs, freeCores := star.FreeDedicatedNICs(), star.FreeCores()
+
+	if err := star.Release(nil); err == nil {
+		t.Error("release of nil sliver should fail")
+	}
+	// Wrong site: TACC's sliver 1 collides with STAR's sliver 1 by ID.
+	if err := star.Release(slTacc); err == nil {
+		t.Error("cross-site release should fail")
+	}
+	// Forged sliver carrying a valid (site, ID) pair but not the granted
+	// object: pointer identity must be enforced.
+	forged := &Sliver{ID: slStar.ID, Site: "STAR", Request: req}
+	if err := star.Release(forged); err == nil {
+		t.Error("release of forged sliver should fail")
+	}
+	if star.FreeDedicatedNICs() != freeNICs || star.FreeCores() != freeCores {
+		t.Fatalf("failed releases changed accounting: NICs %d->%d cores %d->%d",
+			freeNICs, star.FreeDedicatedNICs(), freeCores, star.FreeCores())
+	}
+
+	if err := star.Release(slStar); err != nil {
+		t.Fatalf("legitimate release: %v", err)
+	}
+	if err := star.Release(slStar); err == nil {
+		t.Error("double release should fail")
+	}
+	if star.FreeDedicatedNICs() != freeNICs+1 {
+		t.Errorf("free NICs = %d, want %d", star.FreeDedicatedNICs(), freeNICs+1)
+	}
+}
+
+// TestAllocReleaseAccountingInvariant hammers a site with a randomized
+// allocate/release interleaving and checks the books balance at every
+// step and return to the initial state at the end.
+func TestAllocReleaseAccountingInvariant(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("STAR")
+	initNICs, initCores := s.FreeDedicatedNICs(), s.FreeCores()
+	r := rng.New(7)
+	var held []*Sliver
+	for step := 0; step < 500; step++ {
+		if len(held) > 0 && r.Bool(0.5) {
+			i := int(r.Int63n(int64(len(held))))
+			if err := s.Release(held[i]); err != nil {
+				t.Fatalf("step %d: release: %v", step, err)
+			}
+			held = append(held[:i], held[i+1:]...)
+		} else {
+			req := SliceRequest{Name: fmt.Sprintf("s%d", step), VMs: []VMRequest{DefaultListenerVM()}}
+			sl, err := s.Allocate(sim.Time(step)*sim.Second, req)
+			if err != nil {
+				if !IsResourceExhaustion(err) {
+					t.Fatalf("step %d: unexpected error class: %v", step, err)
+				}
+				continue
+			}
+			held = append(held, sl)
+		}
+		if got := s.FreeDedicatedNICs(); got != initNICs-len(held) {
+			t.Fatalf("step %d: free NICs = %d, want %d", step, got, initNICs-len(held))
+		}
+		if s.ActiveSlivers() != len(held) {
+			t.Fatalf("step %d: active = %d, held = %d", step, s.ActiveSlivers(), len(held))
+		}
+	}
+	for _, sl := range held {
+		if err := s.Release(sl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FreeDedicatedNICs() != initNICs || s.FreeCores() != initCores {
+		t.Errorf("final books: NICs %d/%d cores %d/%d",
+			s.FreeDedicatedNICs(), initNICs, s.FreeCores(), initCores)
+	}
+}

@@ -83,6 +83,11 @@ type Site struct {
 
 	// outages holds injected transient back-end failure windows.
 	outages []outage
+	// allocFault, when set, can veto any allocation attempt with an
+	// error before capacity checks run. It is the probabilistic
+	// injection point used by internal/faults; outages cover the
+	// deterministic scheduled kind.
+	allocFault func(now sim.Time) error
 
 	slivers map[int]*Sliver
 	nextID  int

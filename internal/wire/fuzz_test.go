@@ -1,0 +1,132 @@
+package wire
+
+import (
+	"testing"
+)
+
+// FuzzParsePacket feeds arbitrary bytes to the full eager decoder. The
+// parser sits directly behind captured traffic — any byte sequence a
+// switch can mirror must decode without panicking, and the decoded
+// layers must stay consistent with each other.
+func FuzzParsePacket(f *testing.F) {
+	f.Add(fabricFrame(f))
+	f.Add(buildFrame(f,
+		&Ethernet{DstMAC: testDstMAC, SrcMAC: testSrcMAC, EthernetType: EthernetTypeIPv4},
+		&IPv4{TTL: 64, Protocol: IPProtocolUDP, SrcIP: testSrcIP4, DstIP: testDstIP4},
+		&UDP{SrcPort: 53, DstPort: 5353},
+	))
+	f.Add(buildFrame(f,
+		&Ethernet{DstMAC: testDstMAC, SrcMAC: testSrcMAC, EthernetType: EthernetTypeDot1Q},
+		&Dot1Q{VLANID: 7, EthernetType: EthernetTypeIPv4},
+		&IPv4{TTL: 1, Protocol: IPProtocolTCP, SrcIP: testSrcIP4, DstIP: testDstIP4},
+		&TCP{SrcPort: 80, DstPort: 1024, DataOffset: 5, Flags: TCPSyn},
+	))
+	// Truncated and degenerate inputs: the capture path truncates frames
+	// to the snap length, so partial headers are the common case.
+	full := fabricFrame(f)
+	for _, n := range []int{0, 1, 13, 14, 17, 40, 60} {
+		if n <= len(full) {
+			f.Add(full[:n])
+		}
+	}
+	f.Add([]byte{0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewPacket(data, LayerTypeEthernet, Default)
+		layers := p.Layers()
+		types := p.LayerTypes()
+		if len(types) != len(layers) {
+			t.Fatalf("LayerTypes len %d != Layers len %d", len(types), len(layers))
+		}
+		for i, l := range layers {
+			if l.LayerType() != types[i] {
+				t.Fatalf("layer %d type mismatch: %v vs %v", i, l.LayerType(), types[i])
+			}
+			// Contents and payload must be views into (a copy of) the input,
+			// never longer than what was offered.
+			if len(l.LayerContents())+len(l.LayerPayload()) > len(data) {
+				t.Fatalf("layer %d contents+payload %d+%d exceed input %d",
+					i, len(l.LayerContents()), len(l.LayerPayload()), len(data))
+			}
+		}
+		// Accessors must agree with the layer list on the failure layer.
+		if p.ErrorLayer() != nil && len(layers) == 0 && len(data) > 0 {
+			// A failed first layer still surfaces the error; that's fine.
+			_ = p.ErrorLayer().Error()
+		}
+		_ = p.String()
+	})
+}
+
+// FuzzTCPOptions feeds arbitrary bytes to the TCP options walker and its
+// typed accessors. Parsed options must round out of the input without
+// panics, and every accepted option must lie within the input bytes.
+func FuzzTCPOptions(f *testing.F) {
+	mss, err := BuildOptions(
+		TCPOption{Kind: TCPOptionMSS, Data: []byte{0x05, 0xb4}},
+		TCPOption{Kind: TCPOptionWindowScale, Data: []byte{7}},
+		TCPOption{Kind: TCPOptionSACKPermitted},
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mss)
+	sack, err := BuildOptions(TCPOption{Kind: TCPOptionSACK, Data: []byte{
+		0, 0, 0, 1, 0, 0, 0, 9,
+		0, 0, 1, 0, 0, 0, 2, 0,
+	}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sack)
+	ts, err := BuildOptions(TCPOption{Kind: TCPOptionTimestamps, Data: make([]byte, 8)})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ts)
+	// Malformed shapes: zero length, length past the buffer, bare kinds.
+	f.Add([]byte{2, 0})
+	f.Add([]byte{5, 250, 1, 2})
+	f.Add([]byte{1, 1, 1, 0})
+	f.Add([]byte{8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tcp := &TCP{Options: data}
+		opts, err := tcp.ParseOptions()
+		total := 0
+		for _, o := range opts {
+			if len(o.Data) > len(data) {
+				t.Fatalf("option %v data %d bytes exceeds input %d", o.Kind, len(o.Data), len(data))
+			}
+			total += 2 + len(o.Data)
+		}
+		if total > len(data) {
+			t.Fatalf("options consumed %d bytes of %d", total, len(data))
+		}
+		if err == nil {
+			// A clean parse must survive rebuild + reparse with the same
+			// option list (NOP/EOL padding aside).
+			rebuilt, berr := BuildOptions(opts...)
+			if berr != nil {
+				t.Fatalf("BuildOptions on parsed options: %v", berr)
+			}
+			tcp2 := &TCP{Options: rebuilt}
+			opts2, rerr := tcp2.ParseOptions()
+			if rerr != nil {
+				t.Fatalf("reparse of rebuilt options: %v", rerr)
+			}
+			if len(opts2) != len(opts) {
+				t.Fatalf("round trip changed option count: %d -> %d", len(opts), len(opts2))
+			}
+			for i := range opts {
+				if opts2[i].Kind != opts[i].Kind || string(opts2[i].Data) != string(opts[i].Data) {
+					t.Fatalf("round trip changed option %d: %+v -> %+v", i, opts[i], opts2[i])
+				}
+			}
+		}
+		// Typed accessors must never panic regardless of parse outcome.
+		_, _ = tcp.MSS()
+		_, _ = tcp.WindowScale()
+		_, _ = tcp.SACKBlocks()
+	})
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
-# CI gate: build, vet, race-enabled tests, and a benchmark smoke pass
+# CI gate: build, vet, race-enabled tests, a benchmark smoke pass
 # (one iteration per benchmark, no test re-runs) to catch bit-rotted
-# bench code without paying for real measurements.
+# bench code without paying for real measurements, and a short fuzz
+# smoke over the wire-format parsers (seed corpus plus a few seconds of
+# mutation — enough to catch regressions in the option/length walkers).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -9,3 +11,5 @@ go build ./...
 go vet ./...
 go test -race ./...
 go test -bench=. -benchtime=1x -run='^$' .
+go test -run='^$' -fuzz='^FuzzParsePacket$' -fuzztime=5s ./internal/wire
+go test -run='^$' -fuzz='^FuzzTCPOptions$' -fuzztime=5s ./internal/wire
