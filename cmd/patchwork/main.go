@@ -20,6 +20,8 @@ import (
 	"repro/internal/capture"
 	patchwork "repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/hostsim"
 	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -29,20 +31,24 @@ import (
 
 func main() {
 	var (
-		mode      = flag.String("mode", "all", `"all" (all-experiment) or "single" (single-experiment)`)
-		sitesFlag = flag.String("sites", "", "comma-separated site list (required for -mode single)")
-		runs      = flag.Int("runs", 3, "port-cycling runs per site")
-		samples   = flag.Int("samples", 2, "samples per run")
-		sampleSec = flag.Int("sample-sec", 5, "sample duration in (virtual) seconds")
-		method    = flag.String("method", "tcpdump", "capture method: tcpdump|dpdk|fpga")
-		trunc     = flag.Int("truncate", 200, "stored snap length in bytes")
-		seed      = flag.Uint64("seed", 1, "deterministic seed")
-		out       = flag.String("out", "patchwork-out", "output directory")
-		nSites    = flag.Int("federation-sites", 6, "number of sites in the simulated federation")
-		nice      = flag.Bool("nice", false, "enable runtime footprint scaling (the nice-factor extension)")
-		metrics   = flag.String("metrics", "", "write platform metrics to this file (.prom, .jsonl, or .csv by extension)")
-		trace     = flag.String("trace", "", "write span trace JSONL to this file")
-		faultPlan = flag.String("faults", "", "JSON fault plan to inject during the run (see internal/faults)")
+		mode        = flag.String("mode", "all", `"all" (all-experiment) or "single" (single-experiment)`)
+		sitesFlag   = flag.String("sites", "", "comma-separated site list (required for -mode single)")
+		runs        = flag.Int("runs", 3, "port-cycling runs per site")
+		samples     = flag.Int("samples", 2, "samples per run")
+		sampleSec   = flag.Int("sample-sec", 5, "sample duration in (virtual) seconds")
+		method      = flag.String("method", "tcpdump", "capture method: tcpdump|dpdk|fpga")
+		trunc       = flag.Int("truncate", 200, "stored snap length in bytes")
+		seed        = flag.Uint64("seed", 1, "deterministic seed")
+		out         = flag.String("out", "patchwork-out", "output directory")
+		nSites      = flag.Int("federation-sites", 6, "number of sites in the simulated federation")
+		nice        = flag.Bool("nice", false, "enable runtime footprint scaling (the nice-factor extension)")
+		metrics     = flag.String("metrics", "", "write platform metrics to this file (.prom, .jsonl, or .csv by extension)")
+		trace       = flag.String("trace", "", "write span trace JSONL to this file")
+		faultPlan   = flag.String("faults", "", "JSON fault plan to inject during the run (see internal/faults)")
+		watch       = flag.Bool("watch", false, "run the health monitor and print the live per-site status table during the run")
+		watchSec    = flag.Int("watch-sec", 60, "status table cadence in (virtual) seconds with -watch")
+		healthRules = flag.String("health-rules", "", "alert rule JSON for -watch (default: bundled rules)")
+		storage     = flag.Bool("storage", false, "model each listener VM's storage stack (implied by -watch)")
 	)
 	flag.Parse()
 
@@ -87,12 +93,12 @@ func main() {
 	// two runs with the same seed emit byte-identical files.
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metrics != "" {
+	if *metrics != "" || *watch {
 		reg = obs.NewKernelRegistry(k)
 		obs.CollectKernel(reg, k)
 		fed.SetObs(reg)
 	}
-	if *trace != "" {
+	if *trace != "" || *watch {
 		tracer = obs.NewKernelTracer(k)
 	}
 
@@ -114,6 +120,34 @@ func main() {
 		if err := injector.Arm(fed); err != nil {
 			fatal(err)
 		}
+	}
+
+	// Health monitoring: sliding windows, alert rules, and the flight
+	// recorder all run inside the kernel, so the "live" view advances in
+	// sim time and stays deterministic for a fixed seed.
+	var monitor *health.Monitor
+	if *watch {
+		rules := health.DefaultRules()
+		if *healthRules != "" {
+			data, err := os.ReadFile(*healthRules)
+			if err != nil {
+				fatal(err)
+			}
+			if rules, err = health.ParseBytes(data); err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		monitor, err = health.NewMonitor(k, reg, tracer, health.Config{Rules: rules})
+		if err != nil {
+			fatal(err)
+		}
+		monitor.Start()
+		k.Every(sim.Duration(*watchSec)*sim.Second, func(sim.Time) {
+			if err := monitor.WriteStatus(os.Stdout); err != nil {
+				fatal(err)
+			}
+		})
 	}
 
 	store := telemetry.NewStore()
@@ -148,6 +182,12 @@ func main() {
 		Tracer:         tracer,
 		Faults:         injector,
 	}
+	if *storage || *watch {
+		cfg.Storage = &hostsim.Config{}
+	}
+	if monitor != nil {
+		cfg.LogSink = monitor
+	}
 	if *nice {
 		cfg.Nice = &patchwork.NicePolicy{ScaleDownFreeNICs: 0, ScaleUpFreeNICs: 1}
 	}
@@ -178,6 +218,16 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("trace written to %s (%d spans)\n", *trace, tracer.Len())
+	}
+	if monitor != nil {
+		monitor.Stop()
+		fmt.Println("final health status:")
+		if err := monitor.WriteStatus(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if err := writeHealthArtifacts(*out, monitor); err != nil {
+			fatal(err)
+		}
 	}
 	if injector != nil {
 		fmt.Printf("faults injected: %s\n", injector.Summary())
@@ -250,6 +300,34 @@ func writeMetrics(path string, reg *obs.Registry) error {
 		err = cerr
 	}
 	return err
+}
+
+// writeHealthArtifacts persists the alert log and every flight-recorder
+// dump under <out>/health/.
+func writeHealthArtifacts(dir string, m *health.Monitor) error {
+	healthDir := filepath.Join(dir, "health")
+	if err := os.MkdirAll(healthDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(healthDir, "alerts.jsonl"))
+	if err != nil {
+		return err
+	}
+	err = m.WriteAlertLog(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	for _, d := range m.Dumps() {
+		if err := os.WriteFile(filepath.Join(healthDir, d.Name+".jsonl"), d.Data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("health artifacts written to %s (%d alerts, %d dumps)\n",
+		healthDir, len(m.Events()), len(m.Dumps()))
+	return nil
 }
 
 // writeTrace exports the span tree as JSONL.

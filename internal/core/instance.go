@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/capture"
+	"repro/internal/hostsim"
 	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/rng"
@@ -164,6 +165,10 @@ type siteInstance struct {
 	// stallFn, when non-nil, injects capture-core stalls (resolved once
 	// from cfg.Faults and shared by every per-cycle engine).
 	stallFn func(sim.Time) sim.Duration
+	// host models the listener VM's storage stack when cfg.Storage is
+	// set; capture engines write through it and storage-slowdown faults
+	// apply to it. Nil keeps the zero-latency write path.
+	host *hostsim.Host
 
 	// Observability state (all nil/no-op when cfg.Obs and cfg.Tracer are
 	// unset — the default).
@@ -177,6 +182,7 @@ type siteInstance struct {
 	mMirrored   *obs.Counter
 	mCongested  *obs.Counter
 	mLogs       [3]*obs.Counter // indexed by Level
+	mFreeBytes  *obs.Gauge
 }
 
 // instrument resolves the instance's obs instruments. Called once at
@@ -196,6 +202,7 @@ func (si *siteInstance) instrument() {
 	reg.Help("patchwork_congestion_events_total", "suspected incomplete samples (mirror egress overload)")
 	reg.Help("patchwork_log_events_total", "run-log events by level")
 	reg.Help("patchwork_runs_total", "site runs by outcome")
+	reg.Help("patchwork_storage_free_bytes", "capture storage remaining before the watchdog limit")
 	si.mBackoffs = reg.Counter("patchwork_setup_backoffs_total", site)
 	si.mRetries = reg.Counter("patchwork_setup_retries_total", site)
 	si.mDowngrades = reg.Counter("patchwork_setup_downgrades_total", site)
@@ -205,6 +212,8 @@ func (si *siteInstance) instrument() {
 	for l := LevelInfo; l <= LevelError; l++ {
 		si.mLogs[l] = reg.Counter("patchwork_log_events_total", site, obs.L("level", l.String()))
 	}
+	si.mFreeBytes = reg.Gauge("patchwork_storage_free_bytes", site)
+	si.mFreeBytes.Set(float64(si.cfg.StorageLimitBytes))
 }
 
 // granted reports the current listener count.
@@ -230,11 +239,15 @@ func (si *siteInstance) releaseAll() {
 }
 
 func (si *siteInstance) logf(level Level, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
 	si.bundle.Logs = append(si.bundle.Logs, LogEvent{
-		At: si.kernel.Now(), Level: level, Message: fmt.Sprintf(format, args...),
+		At: si.kernel.Now(), Level: level, Message: msg,
 	})
 	if int(level) < len(si.mLogs) {
 		si.mLogs[level].Inc()
+	}
+	if si.cfg.LogSink != nil {
+		si.cfg.LogSink.Logf(si.site.Spec.Name, level.String(), "%s", msg)
 	}
 }
 
@@ -403,6 +416,22 @@ func (si *siteInstance) run(done func(Bundle)) {
 	if si.cfg.Faults != nil {
 		si.stallFn = si.cfg.Faults.CaptureStallFn(si.site.Spec.Name)
 	}
+	if si.cfg.Storage != nil {
+		host, err := hostsim.New(*si.cfg.Storage)
+		if err != nil {
+			si.logf(LevelError, "setup: storage model: %v; continuing without one", err)
+		} else {
+			si.host = host
+			if si.cfg.Obs != nil {
+				host.Instrument(si.cfg.Obs, obs.L("site", si.site.Spec.Name))
+			}
+			if si.cfg.Faults != nil {
+				if f := si.cfg.Faults.StorageFaultFn(si.site.Spec.Name); f != nil {
+					host.SetWriteFault(f)
+				}
+			}
+		}
+	}
 	si.siteSpan = si.parentSpan.Child("site", obs.L("site", si.site.Spec.Name))
 	si.setupSpan = si.siteSpan.Child("setup")
 	si.setupDeadline = si.kernel.Now() + sim.Time(si.cfg.SetupTimeout)
@@ -484,6 +513,7 @@ func (si *siteInstance) cycle(runIdx int) {
 			Method:    si.cfg.Method,
 			SnapLen:   si.cfg.TruncateBytes,
 			Cores:     si.cfg.CaptureCores,
+			Host:      si.host,
 			Writer:    w,
 			Stall:     si.stallFn,
 			Obs:       si.cfg.Obs,
@@ -588,6 +618,11 @@ func (si *siteInstance) checkStorage() {
 	for _, eng := range si.engines {
 		stored += eng.Stats.StoredBytes
 	}
+	free := si.cfg.StorageLimitBytes - (si.totalStored + stored)
+	if free < 0 {
+		free = 0
+	}
+	si.mFreeBytes.Set(float64(free))
 	if si.totalStored+stored > si.cfg.StorageLimitBytes {
 		si.logf(LevelError, "watchdog: VM storage exhausted (%d bytes captured)", si.totalStored+stored)
 		si.bundle.Outcome = OutcomeIncomplete

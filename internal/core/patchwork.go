@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/faults"
+	"repro/internal/hostsim"
 	"repro/internal/obs"
 	"repro/internal/retry"
 	"repro/internal/sim"
@@ -108,8 +109,26 @@ type Config struct {
 	SetupTimeout sim.Duration
 	// Faults optionally injects scheduled adversity (see internal/faults).
 	// The engine must be armed on the federation before the run starts;
-	// site instances pull their capture-stall hooks from it.
+	// site instances pull their capture-stall and storage-slowdown hooks
+	// from it.
 	Faults *faults.Engine
+	// Storage, when set, models each listener VM's storage stack: every
+	// site instance gets a hostsim.Host built from this config, capture
+	// engines write through its page-cache/writev model, and the faults
+	// engine's storage slowdowns apply to it. Nil — the default — keeps
+	// the free (zero-latency) write path.
+	Storage *hostsim.Config
+	// LogSink, when set, receives a copy of every run-log line as it is
+	// appended to a site bundle. The health monitor's flight recorder
+	// implements this; anything else with the same shape works too.
+	LogSink LogSink
+}
+
+// LogSink receives copies of run-log lines for live consumers (the
+// health monitor's flight recorder). Implementations must tolerate
+// calls from any sim-time context.
+type LogSink interface {
+	Logf(source, level, format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {

@@ -117,9 +117,9 @@ func Fig10(seed uint64) (*Result, error) {
 	}
 
 	res := &Result{
-		ID:     "fig10",
-		Title:  "Behavior of Patchwork across scheduled runs (outcome mix)",
-		Header: []string{"outcome", "site_runs", "percent"},
+		ID:      "fig10",
+		Title:   "Behavior of Patchwork across scheduled runs (outcome mix)",
+		Header:  []string{"outcome", "site_runs", "percent"},
 		Metrics: reg, Trace: tracer,
 	}
 	for _, o := range []patchwork.Outcome{

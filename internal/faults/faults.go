@@ -61,14 +61,14 @@ type AllocatorTransient struct {
 	// Site restricts the fault to one site; empty applies to every site.
 	Site string `json:"site,omitempty"`
 	// Rate is the per-attempt failure probability in (0, 1].
-	Rate   float64 `json:"rate"`
+	Rate float64 `json:"rate"`
 	Window
 }
 
 // SiteOutage takes a site's allocator hard down for the window: every
 // attempt fails, deterministically.
 type SiteOutage struct {
-	Site   string `json:"site"`
+	Site string `json:"site"`
 	Window
 }
 
@@ -90,8 +90,8 @@ type PortFlap struct {
 // MirrorCorruption silently discards mirror clones at the given rate
 // while the window is open, modeling a corrupted mirror-table entry.
 type MirrorCorruption struct {
-	Site   string  `json:"site,omitempty"`
-	Rate   float64 `json:"rate"`
+	Site string  `json:"site,omitempty"`
+	Rate float64 `json:"rate"`
 	Window
 }
 

@@ -1,0 +1,175 @@
+package health
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// RecorderConfig bounds the flight recorder's rings.
+type RecorderConfig struct {
+	// MetricDepth is how many recent registry snapshots to keep
+	// (default 8 — with a 1 s tick, the last 8 sim-seconds).
+	MetricDepth int
+	// LogDepth is how many recent log lines to keep (default 256).
+	LogDepth int
+	// SpanTail is how many of the most recent spans to include in a
+	// dump (default 64).
+	SpanTail int
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.MetricDepth <= 0 {
+		c.MetricDepth = 8
+	}
+	if c.LogDepth <= 0 {
+		c.LogDepth = 256
+	}
+	if c.SpanTail <= 0 {
+		c.SpanTail = 64
+	}
+	return c
+}
+
+// metricSnap is one retained registry snapshot.
+type metricSnap struct {
+	at     sim.Time
+	points []obs.MetricPoint
+}
+
+// logLine is one retained log record.
+type logLine struct {
+	at            sim.Time
+	source, level string
+	msg           string
+}
+
+// recorder keeps bounded rings of recent context — metric snapshots and
+// log lines — and can freeze them, together with the tail of the span
+// trace, into a JSONL dump when an alert fires. It records continuously
+// and cheaply; the expensive serialization happens only at dump time.
+type recorder struct {
+	cfg RecorderConfig
+
+	snaps     []metricSnap
+	snapHead  int
+	snapCount int
+
+	logs     []logLine
+	logHead  int
+	logCount int
+}
+
+func newRecorder(cfg RecorderConfig) *recorder {
+	cfg = cfg.withDefaults()
+	return &recorder{
+		cfg:   cfg,
+		snaps: make([]metricSnap, cfg.MetricDepth),
+		logs:  make([]logLine, cfg.LogDepth),
+	}
+}
+
+func (r *recorder) snapshot(at sim.Time, points []obs.MetricPoint) {
+	s := metricSnap{at: at, points: points}
+	if r.snapCount < len(r.snaps) {
+		r.snaps[(r.snapHead+r.snapCount)%len(r.snaps)] = s
+		r.snapCount++
+		return
+	}
+	r.snaps[r.snapHead] = s
+	r.snapHead = (r.snapHead + 1) % len(r.snaps)
+}
+
+func (r *recorder) log(at sim.Time, source, level, msg string) {
+	l := logLine{at: at, source: source, level: level, msg: msg}
+	if r.logCount < len(r.logs) {
+		r.logs[(r.logHead+r.logCount)%len(r.logs)] = l
+		r.logCount++
+		return
+	}
+	r.logs[r.logHead] = l
+	r.logHead = (r.logHead + 1) % len(r.logs)
+}
+
+// jsonString marshals a string; the error return keeps call sites
+// honest but marshaling a string cannot fail.
+func jsonString(s string) (string, error) {
+	b, err := json.Marshal(s)
+	return string(b), err
+}
+
+// dump freezes the recorder into a JSONL document: an alert header,
+// then the retained metric snapshots (oldest first), the tail of the
+// span trace, and the retained log lines (oldest first). The window
+// header fields state the sim-time range the dump covers, so a reader
+// can check an injection or incident window falls inside it.
+func (r *recorder) dump(ev AlertEvent, tracer *obs.Tracer) []byte {
+	var buf bytes.Buffer
+
+	from := ev.At
+	if r.snapCount > 0 {
+		from = r.snaps[r.snapHead].at
+	}
+	if r.logCount > 0 && r.logs[r.logHead].at < from {
+		from = r.logs[r.logHead].at
+	}
+	inst, _ := jsonString(ev.Instance)
+	fmt.Fprintf(&buf,
+		`{"type":"alert","rule":%q,"severity":%q,"instance":%s,"fired_ns":%d,"value":%s,"window_from_ns":%d,"window_to_ns":%d}`+"\n",
+		ev.Rule, ev.Severity, inst, int64(ev.At), jsonNumber(ev.Value), int64(from), int64(ev.At))
+
+	for i := 0; i < r.snapCount; i++ {
+		s := r.snaps[(r.snapHead+i)%len(r.snaps)]
+		fmt.Fprintf(&buf, `{"type":"metrics","sim_ns":%d,"points":[`, int64(s.at))
+		for j, mp := range s.points {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			name, _ := jsonString(mp.Name)
+			id, _ := jsonString(labelID(mp.Labels))
+			fmt.Fprintf(&buf, `{"m":%s,"l":%s,"v":%s`, name, id, jsonNumber(mp.Value))
+			if mp.Kind == obs.KindHistogram {
+				fmt.Fprintf(&buf, `,"sum":%d`, mp.Sum)
+			}
+			buf.WriteByte('}')
+		}
+		buf.WriteString("]}\n")
+	}
+
+	recs := tracer.Records()
+	if len(recs) > r.cfg.SpanTail {
+		recs = recs[len(recs)-r.cfg.SpanTail:]
+	}
+	for _, sp := range recs {
+		name, _ := jsonString(sp.Name)
+		fmt.Fprintf(&buf, `{"type":"span","span":%d,"parent":%d,"name":%s,"start_ns":%d`,
+			sp.ID, sp.Parent, name, int64(sp.Start))
+		if sp.Ended {
+			fmt.Fprintf(&buf, `,"end_ns":%d`, int64(sp.End))
+		}
+		if len(sp.Attrs) > 0 {
+			buf.WriteString(`,"attrs":{`)
+			for i, a := range sp.Attrs {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				k, _ := jsonString(a.Key)
+				v, _ := jsonString(a.Value)
+				fmt.Fprintf(&buf, `%s:%s`, k, v)
+			}
+			buf.WriteByte('}')
+		}
+		buf.WriteString("}\n")
+	}
+
+	for i := 0; i < r.logCount; i++ {
+		l := r.logs[(r.logHead+i)%len(r.logs)]
+		msg, _ := jsonString(l.msg)
+		fmt.Fprintf(&buf, `{"type":"log","sim_ns":%d,"source":%q,"level":%q,"msg":%s}`+"\n",
+			int64(l.at), l.source, l.level, msg)
+	}
+	return buf.Bytes()
+}

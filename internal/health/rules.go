@@ -1,0 +1,355 @@
+package health
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Severity ranks an alert rule. The zero value is SeverityWarning so
+// rules that omit "severity" get a sensible default.
+type Severity int
+
+const (
+	SeverityWarning Severity = iota
+	SeverityInfo
+	SeverityCritical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SeverityInfo:
+		return "info"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return "warning"
+	}
+}
+
+// rank orders severities for "worst of" comparisons.
+func (s Severity) rank() int {
+	switch s {
+	case SeverityInfo:
+		return 0
+	case SeverityCritical:
+		return 2
+	default:
+		return 1
+	}
+}
+
+func parseSeverity(s string) (Severity, error) {
+	switch s {
+	case "", "warning":
+		return SeverityWarning, nil
+	case "info":
+		return SeverityInfo, nil
+	case "critical":
+		return SeverityCritical, nil
+	}
+	return 0, fmt.Errorf("unknown severity %q (want info, warning, or critical)", s)
+}
+
+// Aggregation names accepted in Expr.Agg.
+const (
+	AggValue = "value" // latest sampled value
+	AggRate  = "rate"  // per-second change over the window
+	AggDelta = "delta" // absolute change over the window
+	AggEWMA  = "ewma"  // exponentially weighted moving average
+	AggMax   = "max"   // maximum sample in the window
+	AggMin   = "min"   // minimum sample in the window
+	AggMean  = "mean"  // histogram mean: delta(sum)/delta(count)
+)
+
+// Expr selects instrument instances by metric name and a label subset,
+// and reduces each instance's sliding window with an aggregation. An
+// optional divisor turns the result into a ratio (for example dropped
+// rate over received rate); the divisor is evaluated against the
+// instance with the same label identity as the numerator.
+type Expr struct {
+	Metric    string            `json:"metric"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Agg       string            `json:"agg,omitempty"`
+	WindowSec float64           `json:"window_sec,omitempty"`
+	Alpha     float64           `json:"alpha,omitempty"`
+	Divisor   *Expr             `json:"divisor,omitempty"`
+}
+
+func (e *Expr) window() sim.Duration {
+	return sim.Duration(e.WindowSec * float64(sim.Second))
+}
+
+func (e *Expr) validate(where string) error {
+	if e.Metric == "" {
+		return fmt.Errorf("%s: expr is missing \"metric\"", where)
+	}
+	switch e.Agg {
+	case "", AggValue:
+	case AggRate, AggDelta, AggMax, AggMin, AggMean:
+		if e.WindowSec <= 0 {
+			return fmt.Errorf("%s: agg %q needs a positive \"window_sec\"", where, e.Agg)
+		}
+	case AggEWMA:
+		if e.WindowSec <= 0 {
+			return fmt.Errorf("%s: agg %q needs a positive \"window_sec\"", where, e.Agg)
+		}
+		if e.Alpha <= 0 || e.Alpha > 1 {
+			return fmt.Errorf("%s: agg \"ewma\" needs \"alpha\" in (0, 1], got %v", where, e.Alpha)
+		}
+	default:
+		return fmt.Errorf("%s: unknown agg %q", where, e.Agg)
+	}
+	if e.Divisor != nil {
+		if e.Divisor.Divisor != nil {
+			return fmt.Errorf("%s: divisors do not nest", where)
+		}
+		if err := e.Divisor.validate(where + " divisor"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// matches reports whether the expression's label constraints are a
+// subset of the instance's labels.
+func (e *Expr) matches(labels map[string]string) bool {
+	for k, want := range e.Labels {
+		if labels[k] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Signal is a named derived series: the expression is evaluated for
+// every matching instance on each tick and published back into the
+// registry as a gauge carrying the instance's labels, so derived
+// quantities like capture_drop_ratio_30s are first-class metrics that
+// every exporter and alert rule can see.
+type Signal struct {
+	Name string `json:"name"`
+	Help string `json:"help,omitempty"`
+	Expr Expr   `json:"expr"`
+}
+
+// ThresholdCond is true when the expression's value compares against
+// the bound.
+type ThresholdCond struct {
+	Expr  Expr    `json:"expr"`
+	Op    string  `json:"op"`
+	Value float64 `json:"value"`
+}
+
+func (c *ThresholdCond) holds(v float64) bool {
+	switch c.Op {
+	case ">":
+		return v > c.Value
+	case ">=":
+		return v >= c.Value
+	case "<":
+		return v < c.Value
+	case "<=":
+		return v <= c.Value
+	case "==":
+		return v == c.Value
+	case "!=":
+		return v != c.Value
+	}
+	return false
+}
+
+// AbsenceCond is true when a matching instrument has not recorded an
+// observation for at least StaleSec sim-seconds — the "listener went
+// quiet" class of failure that value thresholds cannot see.
+type AbsenceCond struct {
+	Metric   string            `json:"metric"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	StaleSec float64           `json:"stale_sec"`
+}
+
+// BurnRateCond is true when the expression's observed per-hour rate
+// exceeds MaxBurn times the hourly budget — the SLO burn-rate idiom.
+type BurnRateCond struct {
+	Expr          Expr    `json:"expr"`
+	BudgetPerHour float64 `json:"budget_per_hour"`
+	MaxBurn       float64 `json:"max_burn"`
+}
+
+// Rule is one alert definition. Exactly one of Threshold, Absence, or
+// BurnRate must be set. The condition must hold continuously for ForSec
+// sim-seconds before the alert transitions from pending to firing; it
+// resolves as soon as the condition stops holding.
+type Rule struct {
+	Name     string  `json:"name"`
+	Severity string  `json:"severity,omitempty"`
+	ForSec   float64 `json:"for_sec,omitempty"`
+
+	Threshold *ThresholdCond `json:"threshold,omitempty"`
+	Absence   *AbsenceCond   `json:"absence,omitempty"`
+	BurnRate  *BurnRateCond  `json:"burn_rate,omitempty"`
+
+	severity Severity
+}
+
+func (r *Rule) holdFor() sim.Duration {
+	return sim.Duration(r.ForSec * float64(sim.Second))
+}
+
+// RuleSet is the top-level document: derived signals plus alert rules.
+type RuleSet struct {
+	Name    string   `json:"name,omitempty"`
+	Signals []Signal `json:"signals,omitempty"`
+	Rules   []Rule   `json:"rules,omitempty"`
+}
+
+// Parse decodes and validates a rule set. Unknown JSON fields are
+// rejected so a typo in a rule file fails loudly instead of silently
+// disabling an alert.
+func Parse(r io.Reader) (RuleSet, error) {
+	var rs RuleSet
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rs); err != nil {
+		return RuleSet{}, fmt.Errorf("health: parse rules: %w", err)
+	}
+	if err := rs.Validate(); err != nil {
+		return RuleSet{}, err
+	}
+	return rs, nil
+}
+
+// ParseBytes decodes and validates a rule set from a byte slice.
+func ParseBytes(data []byte) (RuleSet, error) { return Parse(bytes.NewReader(data)) }
+
+// Validate checks every signal and rule, naming the offending entry in
+// any error. It also resolves severity strings, so a validated rule set
+// is ready for evaluation.
+func (rs *RuleSet) Validate() error {
+	seen := make(map[string]bool)
+	for i := range rs.Signals {
+		sg := &rs.Signals[i]
+		if sg.Name == "" {
+			return fmt.Errorf("health: signal %d has no name", i)
+		}
+		if seen[sg.Name] {
+			return fmt.Errorf("health: duplicate signal %q", sg.Name)
+		}
+		seen[sg.Name] = true
+		if err := sg.Expr.validate(fmt.Sprintf("signal %q", sg.Name)); err != nil {
+			return fmt.Errorf("health: %w", err)
+		}
+	}
+	names := make(map[string]bool)
+	for i := range rs.Rules {
+		r := &rs.Rules[i]
+		if r.Name == "" {
+			return fmt.Errorf("health: rule %d has no name", i)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("health: duplicate rule %q", r.Name)
+		}
+		names[r.Name] = true
+		sev, err := parseSeverity(r.Severity)
+		if err != nil {
+			return fmt.Errorf("health: rule %q: %w", r.Name, err)
+		}
+		r.severity = sev
+		if r.ForSec < 0 {
+			return fmt.Errorf("health: rule %q: negative for_sec", r.Name)
+		}
+		conds := 0
+		if r.Threshold != nil {
+			conds++
+			switch r.Threshold.Op {
+			case ">", ">=", "<", "<=", "==", "!=":
+			default:
+				return fmt.Errorf("health: rule %q: unknown op %q", r.Name, r.Threshold.Op)
+			}
+			if err := r.Threshold.Expr.validate(fmt.Sprintf("rule %q", r.Name)); err != nil {
+				return fmt.Errorf("health: %w", err)
+			}
+		}
+		if r.Absence != nil {
+			conds++
+			if r.Absence.Metric == "" {
+				return fmt.Errorf("health: rule %q: absence condition is missing \"metric\"", r.Name)
+			}
+			if r.Absence.StaleSec <= 0 {
+				return fmt.Errorf("health: rule %q: absence condition needs a positive \"stale_sec\"", r.Name)
+			}
+		}
+		if r.BurnRate != nil {
+			conds++
+			if r.BurnRate.BudgetPerHour <= 0 {
+				return fmt.Errorf("health: rule %q: burn_rate needs a positive \"budget_per_hour\"", r.Name)
+			}
+			if r.BurnRate.MaxBurn <= 0 {
+				return fmt.Errorf("health: rule %q: burn_rate needs a positive \"max_burn\"", r.Name)
+			}
+			if err := r.BurnRate.Expr.validate(fmt.Sprintf("rule %q", r.Name)); err != nil {
+				return fmt.Errorf("health: %w", err)
+			}
+			if r.BurnRate.Expr.Agg != "" && r.BurnRate.Expr.Agg != AggRate {
+				return fmt.Errorf("health: rule %q: burn_rate expr agg must be \"rate\"", r.Name)
+			}
+			if r.BurnRate.Expr.WindowSec <= 0 {
+				return fmt.Errorf("health: rule %q: burn_rate expr needs a positive \"window_sec\"", r.Name)
+			}
+		}
+		if conds != 1 {
+			return fmt.Errorf("health: rule %q: want exactly one of threshold, absence, burn_rate; got %d", r.Name, conds)
+		}
+	}
+	return nil
+}
+
+//go:embed rules_default.json
+var defaultRulesJSON []byte
+
+// DefaultRules returns the bundled rule set covering the platform's
+// built-in instrumentation: capture and mirror loss ratios, listener
+// staleness, storage write latency, and allocator failure burn rate.
+func DefaultRules() RuleSet {
+	rs, err := ParseBytes(defaultRulesJSON)
+	if err != nil {
+		panic("health: embedded default rules are invalid: " + err.Error())
+	}
+	return rs
+}
+
+// labelMap converts a sorted label slice into a lookup map.
+func labelMap(labels []obs.Label) map[string]string {
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// describeExpr renders an expression compactly for logs and dumps.
+func describeExpr(e *Expr) string {
+	var sb strings.Builder
+	agg := e.Agg
+	if agg == "" {
+		agg = AggValue
+	}
+	sb.WriteString(agg)
+	sb.WriteByte('(')
+	sb.WriteString(e.Metric)
+	if e.WindowSec > 0 {
+		fmt.Fprintf(&sb, ", %gs", e.WindowSec)
+	}
+	sb.WriteByte(')')
+	if e.Divisor != nil {
+		sb.WriteString(" / ")
+		sb.WriteString(describeExpr(e.Divisor))
+	}
+	return sb.String()
+}

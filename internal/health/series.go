@@ -1,0 +1,211 @@
+// Package health is the platform's monitoring subsystem: it watches an
+// obs.Registry from inside the simulation kernel, maintains sliding
+// windows over every instrument, evaluates declarative alert rules
+// (threshold, staleness, burn-rate) with firing/resolved lifecycle, and
+// freezes a flight-recorder dump of recent context whenever a rule
+// fires. Everything is stamped in virtual sim.Time and every data
+// structure iterates in a deterministic order, so for a fixed (plan,
+// seed) two runs produce byte-identical alert logs and dumps — the same
+// reproducibility contract the rest of the platform honors.
+package health
+
+import (
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Point is one sampled observation of an instrument.
+type Point struct {
+	// T is the sampling tick's time.
+	T sim.Time
+	// V is the counter/gauge value; for histograms the observation count.
+	V float64
+	// Sum is the histogram sum (zero for other kinds).
+	Sum float64
+	// At is the instrument's own last-update stamp, used for staleness.
+	At sim.Time
+}
+
+// Series is a fixed-capacity ring of Points for one instrument,
+// oldest-first. The zero value is not usable; monitors build them.
+type Series struct {
+	Name   string
+	Labels []obs.Label
+	Kind   obs.Kind
+
+	buf  []Point
+	head int // index of the oldest point
+	n    int
+}
+
+func newSeries(name string, kind obs.Kind, labels []obs.Label, depth int) *Series {
+	return &Series{Name: name, Kind: kind, Labels: labels, buf: make([]Point, depth)}
+}
+
+// push appends a point, evicting the oldest at capacity.
+func (s *Series) push(p Point) {
+	if s.n < len(s.buf) {
+		s.buf[(s.head+s.n)%len(s.buf)] = p
+		s.n++
+		return
+	}
+	s.buf[s.head] = p
+	s.head = (s.head + 1) % len(s.buf)
+}
+
+// Len reports how many points the ring holds.
+func (s *Series) Len() int { return s.n }
+
+// at returns the i-th point, oldest first.
+func (s *Series) at(i int) Point { return s.buf[(s.head+i)%len(s.buf)] }
+
+// Latest returns the most recent point.
+func (s *Series) Latest() (Point, bool) {
+	if s.n == 0 {
+		return Point{}, false
+	}
+	return s.at(s.n - 1), true
+}
+
+// anchor returns the point that opens a trailing window of the given
+// width: the newest point at or before latest.T - window, or the oldest
+// point when the ring does not reach back that far (mirroring
+// telemetry.Store.RateOver's bin-boundary behaviour).
+func (s *Series) anchor(window sim.Duration) (Point, bool) {
+	if s.n < 2 {
+		return Point{}, false
+	}
+	cutoff := s.at(s.n-1).T - window
+	first := s.at(0)
+	for i := s.n - 2; i >= 0; i-- {
+		first = s.at(i)
+		if s.at(i).T <= cutoff {
+			break
+		}
+	}
+	return first, true
+}
+
+// Delta returns latest.V - anchor.V over the trailing window. For
+// counters this is the increase; for gauges the net change.
+func (s *Series) Delta(window sim.Duration) (float64, bool) {
+	last, ok := s.Latest()
+	if !ok {
+		return 0, false
+	}
+	first, ok := s.anchor(window)
+	if !ok {
+		return 0, false
+	}
+	return last.V - first.V, true
+}
+
+// RateOver returns the per-second change over the trailing window,
+// using the actual time spanned by the chosen samples. For a gauge this
+// is its trend (slope); for a counter its event rate.
+func (s *Series) RateOver(window sim.Duration) (float64, bool) {
+	last, ok := s.Latest()
+	if !ok {
+		return 0, false
+	}
+	first, ok := s.anchor(window)
+	if !ok {
+		return 0, false
+	}
+	dt := last.T - first.T
+	if dt <= 0 {
+		return 0, false
+	}
+	return (last.V - first.V) / (float64(dt) / float64(sim.Second)), true
+}
+
+// MaxOver returns the maximum sampled value inside the trailing window
+// (inclusive of the anchoring sample).
+func (s *Series) MaxOver(window sim.Duration) (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	cutoff := s.at(s.n-1).T - window
+	max := math.Inf(-1)
+	for i := s.n - 1; i >= 0; i-- {
+		p := s.at(i)
+		if p.V > max {
+			max = p.V
+		}
+		if p.T <= cutoff {
+			break
+		}
+	}
+	return max, true
+}
+
+// MinOver returns the minimum sampled value inside the trailing window.
+func (s *Series) MinOver(window sim.Duration) (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	cutoff := s.at(s.n-1).T - window
+	min := math.Inf(+1)
+	for i := s.n - 1; i >= 0; i-- {
+		p := s.at(i)
+		if p.V < min {
+			min = p.V
+		}
+		if p.T <= cutoff {
+			break
+		}
+	}
+	return min, true
+}
+
+// EWMA folds an exponentially weighted moving average (newest weighted
+// alpha) over the samples in the trailing window, oldest first.
+func (s *Series) EWMA(window sim.Duration, alpha float64) (float64, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	cutoff := s.at(s.n-1).T - window
+	start := 0
+	for i := s.n - 1; i >= 0; i-- {
+		start = i
+		if s.at(i).T <= cutoff {
+			break
+		}
+	}
+	ewma := s.at(start).V
+	for i := start + 1; i < s.n; i++ {
+		ewma = alpha*s.at(i).V + (1-alpha)*ewma
+	}
+	return ewma, true
+}
+
+// MeanOver returns the mean observed value of a histogram over the
+// trailing window: delta(sum) / delta(count). It returns false when no
+// observations landed in the window.
+func (s *Series) MeanOver(window sim.Duration) (float64, bool) {
+	last, ok := s.Latest()
+	if !ok {
+		return 0, false
+	}
+	first, ok := s.anchor(window)
+	if !ok {
+		return 0, false
+	}
+	dc := last.V - first.V
+	if dc <= 0 {
+		return 0, false
+	}
+	return (last.Sum - first.Sum) / dc, true
+}
+
+// Staleness reports how long ago (relative to now) the underlying
+// instrument last recorded an observation.
+func (s *Series) Staleness(now sim.Time) (sim.Duration, bool) {
+	last, ok := s.Latest()
+	if !ok {
+		return 0, false
+	}
+	return now - last.At, true
+}

@@ -1,0 +1,166 @@
+package health
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// SiteStatus is the digested health of one site: worst active alert,
+// headline capture/mirror loss ratios, queue pressure, and storage.
+type SiteStatus struct {
+	Site           string
+	Alerts         int
+	Worst          Severity
+	HasAlerts      bool
+	DropRatio      float64 // capture drops / received, lifetime
+	MirrorLoss     float64 // mirror fault drops / cloned, lifetime
+	QueueHighwater float64
+	FreeBytes      float64 // NaN when storage is not modeled
+	WritevMeanNs   float64 // NaN when no host is attached
+}
+
+// Status digests the monitor's current windows and alert states into
+// per-site rows, sorted by site name. Sites are discovered from the
+// instruments themselves: any instance carrying a "site" label, or a
+// "switch" label (the platform names each site's switch after the
+// site).
+func (m *Monitor) Status() []SiteStatus {
+	if m == nil {
+		return nil
+	}
+	rows := make(map[string]*SiteStatus)
+	row := func(site string) *SiteStatus {
+		r := rows[site]
+		if r == nil {
+			r = &SiteStatus{Site: site, FreeBytes: math.NaN(), WritevMeanNs: math.NaN()}
+			rows[site] = r
+		}
+		return r
+	}
+	siteOf := func(inst *instance) string {
+		if s := inst.labels["site"]; s != "" {
+			return s
+		}
+		return inst.labels["switch"]
+	}
+	accumulate := func(metric string) map[string]float64 {
+		acc := make(map[string]float64)
+		for _, inst := range m.byMetric[metric] {
+			site := siteOf(inst)
+			if site == "" {
+				continue
+			}
+			if p, ok := inst.s.Latest(); ok {
+				row(site) // ensure the site appears even with zero counts
+				acc[site] += p.V
+			}
+		}
+		return acc
+	}
+	received := accumulate("capture_frames_received_total")
+	dropped := accumulate("capture_frames_dropped_total")
+	cloned := accumulate("switchsim_mirror_cloned_total")
+	faultDropped := accumulate("switchsim_mirror_fault_drops_total")
+	for site, r := range rows {
+		if rx := received[site]; rx > 0 {
+			r.DropRatio = dropped[site] / rx
+		}
+		if cl := cloned[site]; cl > 0 {
+			r.MirrorLoss = faultDropped[site] / cl
+		}
+	}
+	for _, inst := range m.byMetric["capture_core_queue_highwater"] {
+		site := siteOf(inst)
+		if site == "" {
+			continue
+		}
+		if p, ok := inst.s.Latest(); ok {
+			if r := row(site); p.V > r.QueueHighwater {
+				r.QueueHighwater = p.V
+			}
+		}
+	}
+	for _, inst := range m.byMetric["patchwork_storage_free_bytes"] {
+		site := siteOf(inst)
+		if site == "" {
+			continue
+		}
+		if p, ok := inst.s.Latest(); ok {
+			row(site).FreeBytes = p.V
+		}
+	}
+	for _, inst := range m.byMetric["hostsim_writev_latency_ns"] {
+		site := siteOf(inst)
+		if site == "" {
+			continue
+		}
+		if p, ok := inst.s.Latest(); ok && p.V > 0 {
+			row(site).WritevMeanNs = p.Sum / p.V
+		}
+	}
+	for _, a := range m.ActiveAlerts() {
+		site := ""
+		for _, kv := range strings.Split(a.Instance, ",") {
+			k, v, _ := strings.Cut(kv, "=")
+			if k == "site" || k == "switch" {
+				site = v
+				break
+			}
+		}
+		if site == "" {
+			continue
+		}
+		r := row(site)
+		r.Alerts++
+		if !r.HasAlerts || a.Severity.rank() > r.Worst.rank() {
+			r.Worst = a.Severity
+		}
+		r.HasAlerts = true
+	}
+	out := make([]SiteStatus, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}
+
+// WriteStatus renders the live status table: a header with the sim
+// clock and alert totals, one row per site, and any active alerts. The
+// output is deterministic for a deterministic simulation.
+func (m *Monitor) WriteStatus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	now := m.k.Now()
+	active := m.ActiveAlerts()
+	fmt.Fprintf(bw, "patchwork health @ t=%s  alerts: %d active, %d transitions\n",
+		now, len(active), len(m.events))
+	fmt.Fprintf(bw, "%-10s %-8s %9s %9s %7s %10s %10s\n",
+		"SITE", "STATE", "DROP%", "MIRLOSS%", "QHW", "FREE", "WRITEV")
+	for _, r := range m.Status() {
+		state := "ok"
+		if r.HasAlerts {
+			state = r.Worst.String()
+		}
+		free := "-"
+		if !math.IsNaN(r.FreeBytes) {
+			free = units.ByteSize(r.FreeBytes).String()
+		}
+		writev := "-"
+		if !math.IsNaN(r.WritevMeanNs) {
+			writev = fmt.Sprintf("%.0fns", r.WritevMeanNs)
+		}
+		fmt.Fprintf(bw, "%-10s %-8s %8.2f%% %8.2f%% %7.0f %10s %10s\n",
+			r.Site, state, 100*r.DropRatio, 100*r.MirrorLoss, r.QueueHighwater, free, writev)
+	}
+	for _, a := range active {
+		fmt.Fprintf(bw, "  ! %s [%s] %s since t=%s\n",
+			a.Rule, a.Severity, a.Instance, a.Since)
+	}
+	return bw.Flush()
+}

@@ -99,10 +99,10 @@ type Host struct {
 
 	// Obs instruments (nil unless Instrument was called). inThrottle
 	// tracks dirty-page throttle state for the entry/exit counters.
-	mWritevLat                   *obs.Histogram
+	mWritevLat                    *obs.Histogram
 	mThrottleEnter, mThrottleExit *obs.Counter
-	mBlocked                     *obs.Counter
-	inThrottle                   bool
+	mBlocked                      *obs.Counter
+	inThrottle                    bool
 
 	// writeFault, when set, can inflate a writev's latency — the
 	// slow/failing-storage injection point (internal/faults). It receives

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -42,7 +43,18 @@ func promLabels(labels []Label, extra ...Label) string {
 	return sb.String()
 }
 
+// promValue renders a sample value, pinning the non-finite cases to the
+// Prometheus text-format spellings rather than trusting the formatter's
+// defaults (a regression here would corrupt every scrape of the file).
 func promValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
@@ -89,6 +101,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			if _, err := fmt.Fprintf(bw, "%s_count%s %d %d\n", mp.Name, promLabels(mp.Labels), int64(mp.Value), ts); err != nil {
 				return err
+			}
+			for _, pq := range [...]struct {
+				suffix string
+				q      float64
+			}{{"_p50", 0.5}, {"_p99", 0.99}} {
+				if _, err := fmt.Fprintf(bw, "%s%s%s %s %d\n", mp.Name, pq.suffix,
+					promLabels(mp.Labels), promValue(BucketQuantile(pq.q, mp.Buckets)), ts); err != nil {
+					return err
+				}
 			}
 		default:
 			if _, err := fmt.Fprintf(bw, "%s%s %s %d\n", mp.Name, promLabels(mp.Labels), promValue(mp.Value), ts); err != nil {
@@ -142,11 +163,12 @@ func (r *Registry) WriteMetricsJSONL(w io.Writer) error {
 }
 
 // WriteCSV emits a summary table: metric, kind, labels (k=v;k=v),
-// value, sum, count, sim_ns. Counters and gauges leave sum/count empty;
-// histograms put the observation count in count.
+// value, sum, count, p50, p99, sim_ns. Counters and gauges leave
+// sum/count and the quantile columns empty; histograms put the
+// observation count in count and interpolated quantiles in p50/p99.
 func (r *Registry) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"metric", "kind", "labels", "value", "sum", "count", "sim_ns"}); err != nil {
+	if err := cw.Write([]string{"metric", "kind", "labels", "value", "sum", "count", "p50", "p99", "sim_ns"}); err != nil {
 		return err
 	}
 	for _, mp := range r.Snapshot() {
@@ -157,9 +179,10 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 		row := []string{mp.Name, mp.Kind.String(), strings.Join(parts, ";")}
 		switch mp.Kind {
 		case KindHistogram:
-			row = append(row, "", strconv.FormatInt(mp.Sum, 10), strconv.FormatInt(int64(mp.Value), 10))
+			row = append(row, "", strconv.FormatInt(mp.Sum, 10), strconv.FormatInt(int64(mp.Value), 10),
+				promValue(BucketQuantile(0.5, mp.Buckets)), promValue(BucketQuantile(0.99, mp.Buckets)))
 		default:
-			row = append(row, promValue(mp.Value), "", "")
+			row = append(row, promValue(mp.Value), "", "", "", "")
 		}
 		row = append(row, strconv.FormatInt(int64(mp.At), 10))
 		if err := cw.Write(row); err != nil {

@@ -365,6 +365,60 @@ func (h *Histogram) LastUpdate() sim.Time {
 	return sim.Time(h.at.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the log2 bucket containing the target rank, the
+// same scheme Prometheus applies to its histograms. Returns NaN on an
+// empty (or nil) histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	var bs []BucketCount
+	for i := 0; i < histBuckets; i++ {
+		if c := h.buckets[i].Load(); c > 0 {
+			bs = append(bs, BucketCount{UpperBound: 1 << uint(i+1), Count: c})
+		}
+	}
+	return BucketQuantile(q, bs)
+}
+
+// BucketQuantile interpolates the q-quantile from a slice of non-empty
+// log2 buckets (as found in MetricPoint.Buckets). A bucket with upper
+// bound u covers [u/2, u), except the first bucket (u = 2), which also
+// absorbs sub-1 observations and therefore covers [0, 2). Returns NaN
+// when no observations exist.
+func BucketQuantile(q float64, buckets []BucketCount) float64 {
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for _, b := range buckets {
+		if float64(cum)+float64(b.Count) >= rank {
+			hi := float64(b.UpperBound)
+			lo := hi / 2
+			if b.UpperBound <= 2 {
+				lo = 0
+			}
+			within := (rank - float64(cum)) / float64(b.Count)
+			return lo + within*(hi-lo)
+		}
+		cum += b.Count
+	}
+	// Unreachable: rank <= total and the loop covers every observation.
+	return float64(buckets[len(buckets)-1].UpperBound)
+}
+
 // BucketCount is one non-empty histogram bucket in a snapshot.
 type BucketCount struct {
 	// UpperBound is the bucket's exclusive upper bound (2^(i+1)).

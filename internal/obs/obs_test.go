@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -190,11 +191,114 @@ func TestJSONLAndCSVExport(t *testing.T) {
 		t.Fatal(err)
 	}
 	csvOut := cs.String()
-	if !strings.HasPrefix(csvOut, "metric,kind,labels,value,sum,count,sim_ns") {
+	if !strings.HasPrefix(csvOut, "metric,kind,labels,value,sum,count,p50,p99,sim_ns") {
 		t.Errorf("csv header wrong:\n%s", csvOut)
 	}
 	if !strings.Contains(csvOut, "c_total,counter") || !strings.Contains(csvOut, "h,histogram") {
 		t.Errorf("csv rows missing:\n%s", csvOut)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		observe []int64
+		q       float64
+		lo, hi  float64 // acceptable interpolation range
+	}{
+		{"empty", nil, 0.5, math.NaN(), math.NaN()},
+		{"single-bucket-median", []int64{5, 5, 5, 5}, 0.5, 4, 8},
+		{"single-observation", []int64{100}, 0.99, 64, 128},
+		{"sub-one-lands-in-first-bucket", []int64{0, 0, 0}, 0.5, 0, 2},
+		{"two-buckets-p50-in-first", []int64{2, 2, 2, 1000}, 0.5, 2, 4},
+		{"two-buckets-p99-in-last", []int64{2, 2, 2, 1000}, 0.99, 512, 1024},
+		{"q-clamped-low", []int64{5}, -1, 4, 8},
+		{"q-clamped-high", []int64{5}, 2, 4, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry(nil)
+			h := r.Histogram("q")
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			got := h.Quantile(tc.q)
+			if math.IsNaN(tc.lo) {
+				if !math.IsNaN(got) {
+					t.Fatalf("Quantile(%v) = %v, want NaN", tc.q, got)
+				}
+				return
+			}
+			if got < tc.lo || got > tc.hi {
+				t.Errorf("Quantile(%v) = %v, want in [%v, %v]", tc.q, got, tc.lo, tc.hi)
+			}
+		})
+	}
+	// Interpolation is monotone in q within one bucket.
+	r := NewRegistry(nil)
+	h := r.Histogram("mono")
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if p25, p75 := h.Quantile(0.25), h.Quantile(0.75); p25 >= p75 {
+		t.Errorf("quantiles not monotone: p25=%v p75=%v", p25, p75)
+	}
+	// A nil histogram reports NaN rather than panicking.
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile should be NaN")
+	}
+}
+
+func TestPrometheusHistogramQuantiles(t *testing.T) {
+	r := NewRegistry(nil)
+	h := r.Histogram("lat", L("site", "STAR"))
+	for i := 0; i < 100; i++ {
+		h.Observe(5) // bucket [4,8)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `lat_p50{site="STAR"} 6 0`) {
+		t.Errorf("missing p50 sample:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_p99{site="STAR"} `) {
+		t.Errorf("missing p99 sample:\n%s", out)
+	}
+	var cs bytes.Buffer
+	if err := r.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cs.String(), ",6,") {
+		t.Errorf("csv missing interpolated p50:\n%s", cs.String())
+	}
+}
+
+func TestPromValueNonFinite(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Gauge("nan").Set(math.NaN())
+	r.Gauge("ninf").Set(math.Inf(-1))
+	r.Gauge("pinf").Set(math.Inf(+1))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"nan NaN 0\n", "ninf -Inf 0\n", "pinf +Inf 0\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The exact canonical spellings, nothing formatter-dependent.
+	for _, v := range []struct {
+		in   float64
+		want string
+	}{{math.NaN(), "NaN"}, {math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"}, {3.5, "3.5"}} {
+		if got := promValue(v.in); got != v.want {
+			t.Errorf("promValue(%v) = %q, want %q", v.in, got, v.want)
+		}
 	}
 }
 

@@ -117,6 +117,38 @@ func (s *Span) End() {
 	s.ended = true
 }
 
+// SpanRecord is an exported snapshot of one span, for consumers that
+// iterate the trace (the health flight recorder, the Chrome exporter).
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  sim.Time
+	End    sim.Time
+	Ended  bool
+	Attrs  []Label
+}
+
+// Records returns a snapshot of every span in start order. Attribute
+// slices are copied, so callers may hold the result across further
+// tracing.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	for i, sp := range t.spans {
+		out[i] = SpanRecord{
+			ID: sp.id, Parent: sp.parent, Name: sp.name,
+			Start: sp.start, End: sp.end, Ended: sp.ended,
+			Attrs: append([]Label(nil), sp.attrs...),
+		}
+	}
+	return out
+}
+
 // WriteJSONL emits one JSON object per span, in start order (which is
 // deterministic because the simulation is). Unended spans omit end_ns.
 // Attribute order is preserved from the instrumentation site, so output
@@ -133,6 +165,93 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 		if err := writeSpanJSON(bw, sp); err != nil {
 			return err
 		}
+	}
+	return bw.Flush()
+}
+
+// chromeMicros renders a sim time as Chrome trace microseconds with
+// nanosecond precision preserved in the fraction.
+func chromeMicros(t sim.Time) string {
+	return fmt.Sprintf("%d.%03d", int64(t)/1000, int64(t)%1000)
+}
+
+// WriteChromeTrace emits the span tree in the Chrome trace-event JSON
+// array format, so a dump opens directly in about://tracing or Perfetto.
+// Ended spans become complete ("X") events; still-open spans become
+// begin ("B") events. Each root span and each of its direct children get
+// their own track (tid), so concurrent per-site subtrees render side by
+// side instead of interleaving; deeper descendants inherit their
+// subtree's track and nest by timing. Output is deterministic for a
+// deterministic simulation.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	recs := t.Records()
+	byID := make(map[uint64]SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[r.ID] = r
+	}
+	// track resolves the tid: the span itself when it is a root or a
+	// direct child of a root, otherwise its closest such ancestor.
+	var track func(r SpanRecord) uint64
+	track = func(r SpanRecord) uint64 {
+		if r.Parent == 0 {
+			return r.ID
+		}
+		parent, ok := byID[r.Parent]
+		if !ok || parent.Parent == 0 {
+			return r.ID
+		}
+		return track(parent)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, r := range recs {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		name, err := json.Marshal(r.Name)
+		if err != nil {
+			return err
+		}
+		ph := "B"
+		if r.Ended {
+			ph = "X"
+		}
+		if _, err := fmt.Fprintf(bw, `{"name":%s,"cat":"sim","ph":%q,"ts":%s,`,
+			name, ph, chromeMicros(r.Start)); err != nil {
+			return err
+		}
+		if r.Ended {
+			if _, err := fmt.Fprintf(bw, `"dur":%s,`, chromeMicros(r.End-r.Start)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, `"pid":1,"tid":%d,"args":{"span":%d,"parent":%d`,
+			track(r), r.ID, r.Parent); err != nil {
+			return err
+		}
+		for _, a := range r.Attrs {
+			k, err := json.Marshal(a.Key)
+			if err != nil {
+				return err
+			}
+			v, err := json.Marshal(a.Value)
+			if err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(bw, ",%s:%s", k, v); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("}}"); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
 	}
 	return bw.Flush()
 }

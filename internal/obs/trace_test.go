@@ -92,6 +92,82 @@ func TestSpanTreeJSONL(t *testing.T) {
 	}
 }
 
+func TestWriteChromeTrace(t *testing.T) {
+	now := sim.Time(0)
+	tr := NewTracer(func() sim.Time { return now })
+	root := tr.Start("experiment", L("mode", "all"))
+	now = 1500 // 1.5 us
+	site := root.Child("site", L("site", "STAR"))
+	now = 2000
+	cyc := site.Child("cycle")
+	now = 4500
+	cyc.End()
+	now = 6000
+	site.End()
+	// root stays open: it must serialize as a "B" event.
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type event struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  int            `json:"pid"`
+		Tid  uint64         `json:"tid"`
+		Args map[string]any `json:"args"`
+	}
+	var events []event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3:\n%s", len(events), buf.String())
+	}
+	if events[0].Name != "experiment" || events[0].Ph != "B" || events[0].Dur != nil {
+		t.Errorf("open root should be a B event: %+v", events[0])
+	}
+	if events[1].Ph != "X" || events[1].Ts != 1.5 || *events[1].Dur != 4.5 {
+		t.Errorf("site event wrong (want ts=1.5us dur=4.5us): %+v", events[1])
+	}
+	if events[2].Ph != "X" || events[2].Ts != 2 || *events[2].Dur != 2.5 {
+		t.Errorf("cycle event wrong: %+v", events[2])
+	}
+	// Track layout: the root owns its own track; the site subtree (site +
+	// its cycle child) shares a separate one.
+	if events[0].Tid == events[1].Tid {
+		t.Errorf("root and site share tid %d", events[0].Tid)
+	}
+	if events[1].Tid != events[2].Tid {
+		t.Errorf("site tid %d != cycle tid %d (subtree must share a track)", events[1].Tid, events[2].Tid)
+	}
+	if events[1].Args["site"] != "STAR" {
+		t.Errorf("attrs not round-tripped: %+v", events[1].Args)
+	}
+	if events[2].Args["parent"] != float64(site.ID()) {
+		t.Errorf("parent id not preserved: %+v", events[2].Args)
+	}
+
+	// Records: the iteration hook sees the same tree.
+	recs := tr.Records()
+	if len(recs) != 3 || recs[2].Parent != recs[1].ID || !recs[1].Ended || recs[0].Ended {
+		t.Errorf("Records() inconsistent: %+v", recs)
+	}
+
+	// Nil tracer emits an empty, still-valid array.
+	var nilTr *Tracer
+	buf.Reset()
+	if err := nilTr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var empty []event
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Errorf("nil tracer chrome trace = %q (err %v), want empty array", buf.String(), err)
+	}
+}
+
 func TestTracerDeterminism(t *testing.T) {
 	build := func() string {
 		k := sim.NewKernel()

@@ -180,6 +180,50 @@ func TestRateOverWindow(t *testing.T) {
 	}
 }
 
+func TestRateOverSpansPollerGap(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.AddGap(7*sim.Minute, 23*sim.Minute) // swallows the 10/15/20-minute polls
+	p.Start()
+	drive(k, sw, "P2", switchsim.DirRx, 1_000_000, 30*sim.Minute)
+	k.RunUntil(31 * sim.Minute)
+	key := PortKey{"STAR", "P2"}
+	// The 10-minute window's cutoff (t=20) falls inside the gap. RateOver
+	// must anchor on the nearest sample at or before the cutoff (t=5)
+	// rather than report no data, and average over the real 25-minute
+	// span so the gap does not inflate the rate.
+	r, ok := st.RateOver(key, 10*sim.Minute)
+	if !ok {
+		t.Fatal("RateOver failed across the gap")
+	}
+	if r.From != 5*sim.Minute || r.To != 30*sim.Minute {
+		t.Errorf("window [%v,%v], want [5m,30m] spanning the gap", r.From, r.To)
+	}
+	if r.RxBps < 0.9e6 || r.RxBps > 1.1e6 {
+		t.Errorf("RxBps = %v, want ~1e6 averaged over the real span", r.RxBps)
+	}
+}
+
+func TestWeeklyUtilizationSeriesEndOnBoundary(t *testing.T) {
+	k, sw, st, p := setup(t)
+	p.Start()
+	drive(k, sw, "P2", switchsim.DirRx, 1_000_000, 2*sim.Day)
+	k.RunUntil(2 * sim.Week)
+	p.Stop()
+	// end falling exactly on a week boundary must not grow a phantom
+	// third week, and a sample landing exactly at t=end belongs to the
+	// out-of-range week 2 and is dropped, not misfiled or panicking.
+	series := st.WeeklyUtilizationSeries(2 * sim.Week)
+	if len(series) != 2 {
+		t.Fatalf("weeks = %d, want exactly 2 for end on the boundary", len(series))
+	}
+	if series[0].SumBps <= 0 || series[0].Missing {
+		t.Error("week 0 should show the driven traffic")
+	}
+	if series[1].Missing {
+		t.Error("week 1 was polled (idle), not missing")
+	}
+}
+
 func TestPollNow(t *testing.T) {
 	k, _, st, p := setup(t)
 	p.PollNow()

@@ -1,11 +1,20 @@
 #!/usr/bin/env sh
-# CI gate: build, vet, race-enabled tests, a benchmark smoke pass
-# (one iteration per benchmark, no test re-runs) to catch bit-rotted
-# bench code without paying for real measurements, and a short fuzz
-# smoke over the wire-format parsers (seed corpus plus a few seconds of
-# mutation — enough to catch regressions in the option/length walkers).
+# CI gate: formatting, build, vet, race-enabled tests, a benchmark smoke
+# pass (one iteration per benchmark, no test re-runs) to catch
+# bit-rotted bench code without paying for real measurements, a short
+# fuzz smoke over the wire-format parsers (seed corpus plus a few
+# seconds of mutation — enough to catch regressions in the option/length
+# walkers), and a validate-only dry run of every health-alert rule file
+# (the embedded defaults always, plus any rules/*.json).
 set -eu
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 go build ./...
 go vet ./...
@@ -13,3 +22,8 @@ go test -race ./...
 go test -bench=. -benchtime=1x -run='^$' .
 go test -run='^$' -fuzz='^FuzzParsePacket$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzTCPOptions$' -fuzztime=5s ./internal/wire
+
+go run ./cmd/pwhealth -validate
+if ls rules/*.json >/dev/null 2>&1; then
+    go run ./cmd/pwhealth -validate rules/*.json
+fi
