@@ -334,3 +334,35 @@ func dumpNameFor(ev health.AlertEvent) string {
 	}
 	return fmt.Sprintf("%s--%s--%d", ev.Rule, sb.String(), int64(ev.At))
 }
+
+// TestChaosParallelCampaigns runs two full chaos campaigns concurrently
+// — each building its own kernel, federation, fault engine, registry,
+// and monitor — and requires both to be byte-identical to a serial run
+// of the same seed. Under `go test -race` this permanently gates the
+// parallel experiment harness's core assumption: simulations sharing a
+// process share no mutable package-level state.
+func TestChaosParallelCampaigns(t *testing.T) {
+	_, want := chaosRun(t, 11)
+	arts := make([]chaosArtifacts, 2)
+	t.Run("concurrent", func(t *testing.T) {
+		for i := range arts {
+			i := i
+			t.Run(fmt.Sprintf("campaign%d", i), func(t *testing.T) {
+				t.Parallel()
+				_, arts[i] = chaosRun(t, 11)
+			})
+		}
+	})
+	for i, art := range arts {
+		if !bytes.Equal(art.metrics, want.metrics) {
+			t.Errorf("campaign %d: metrics differ from serial run (lens %d vs %d)",
+				i, len(art.metrics), len(want.metrics))
+		}
+		if art.summary != want.summary {
+			t.Errorf("campaign %d: injection summary differs: %q vs %q", i, art.summary, want.summary)
+		}
+		if !bytes.Equal(art.alertLog, want.alertLog) {
+			t.Errorf("campaign %d: alert log differs from serial run", i)
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 //	pwexperiments -list
 //	pwexperiments -id fig12 [-seed 7] [-csv]
-//	pwexperiments -all [-out results/]
+//	pwexperiments -all [-parallel N] [-out results/]
 package main
 
 import (
@@ -24,6 +24,7 @@ func main() {
 		all   = flag.Bool("all", false, "run every experiment")
 		seed  = flag.Uint64("seed", 1, "deterministic seed")
 		asCSV = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		par   = flag.Int("parallel", 0, "worker count for -all (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (with -all)")
 		obsD  = flag.String("obs", "", "directory to write per-experiment metrics (.prom) and traces (.jsonl) for experiments that support observability")
 	)
@@ -51,7 +52,7 @@ func main() {
 			fatal(err)
 		}
 	case *all:
-		results, err := experiments.RunAll(*seed)
+		results, err := experiments.RunMany(experiments.IDs(), *seed, *par)
 		if err != nil {
 			fatal(err)
 		}

@@ -175,6 +175,18 @@ func (s Stats) LossPercent() units.Percent {
 	return units.PercentOf(s.Dropped, eligible)
 }
 
+// frameDone is a pooled completion record for one in-flight frame: the
+// state its kernel event needs, carried through AtArg instead of a
+// per-frame closure. Records recycle through Engine.doneFree, so the
+// steady-state per-frame path allocates nothing.
+type frameDone struct {
+	core   *coreState
+	frame  switchsim.Frame
+	stored int
+	slot   int64
+	next   *frameDone
+}
+
 type coreState struct {
 	queued      int
 	queuedBytes int64
@@ -203,6 +215,12 @@ type Engine struct {
 	// Stats is exported state; read freely between events.
 	Stats Stats
 
+	// Completion-event pool: free list of frameDone records plus the
+	// method value dispatched through sim.Kernel.AtArg (bound once here
+	// so the per-frame path does not allocate a closure).
+	doneFree *frameDone
+	doneFn   func(any)
+
 	// Pre-resolved obs instruments (all nil when Config.Obs is nil).
 	mReceived, mFiltered, mDropped, mCaptured, mStoredBytes *obs.Counter
 }
@@ -221,6 +239,7 @@ func NewEngine(k *sim.Kernel, cfg Config) (*Engine, error) {
 		kernel: k,
 		cores:  make([]coreState, cfg.Cores),
 	}
+	e.doneFn = e.frameDone
 	if reg := cfg.Obs; reg != nil {
 		labels := append(append([]obs.Label(nil), cfg.ObsLabels...),
 			obs.L("method", cfg.Method.String()))
@@ -360,27 +379,43 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		core.batchBytes = 0
 	}
 
-	frame := f
-	storedLen := stored
-	slot := slotBytes
-	c := core
-	e.kernel.At(done, func() {
-		c.queued--
-		c.queuedBytes -= slot
-		e.Stats.Captured++
-		e.Stats.StoredBytes += int64(storedLen)
-		e.mCaptured.Inc()
-		e.mStoredBytes.Add(int64(storedLen))
-		if e.cfg.Writer != nil {
-			data := frame.Data
-			if data == nil {
-				data = make([]byte, storedLen)
-			} else if len(data) > storedLen {
-				data = data[:storedLen]
-			}
-			_ = e.cfg.Writer.WriteRecord(int64(e.kernel.Now()), data, frame.Size)
+	fd := e.doneFree
+	if fd == nil {
+		fd = new(frameDone)
+	} else {
+		e.doneFree = fd.next
+	}
+	fd.core = core
+	fd.frame = f
+	fd.stored = stored
+	fd.slot = slotBytes
+	e.kernel.AtArg(done, e.doneFn, fd)
+}
+
+// frameDone completes one captured frame (the AtArg callback) and
+// returns the record to the pool.
+func (e *Engine) frameDone(a any) {
+	fd := a.(*frameDone)
+	c := fd.core
+	c.queued--
+	c.queuedBytes -= fd.slot
+	e.Stats.Captured++
+	e.Stats.StoredBytes += int64(fd.stored)
+	e.mCaptured.Inc()
+	e.mStoredBytes.Add(int64(fd.stored))
+	if e.cfg.Writer != nil {
+		data := fd.frame.Data
+		if data == nil {
+			data = make([]byte, fd.stored)
+		} else if len(data) > fd.stored {
+			data = data[:fd.stored]
 		}
-	})
+		_ = e.cfg.Writer.WriteRecord(int64(e.kernel.Now()), data, fd.frame.Size)
+	}
+	fd.core = nil
+	fd.frame = switchsim.Frame{} // drop the data reference before pooling
+	fd.next = e.doneFree
+	e.doneFree = fd
 }
 
 // Flush finalizes any partial writev batch (end of a sampling window).
@@ -413,6 +448,27 @@ func maxTime(a, b sim.Time) sim.Time {
 	return b
 }
 
+// loadDriver emits one frame per firing and reschedules itself through
+// the kernel's arg-carrying fast path — one driver allocation for the
+// whole offered load instead of one closure per frame.
+type loadDriver struct {
+	k         *sim.Kernel
+	e         *Engine
+	frameSize int
+	interval  sim.Duration
+	next      sim.Time
+	end       sim.Time
+}
+
+func loadStep(a any) {
+	d := a.(*loadDriver)
+	d.e.DeliverFrame(d.next, switchsim.Frame{Size: d.frameSize})
+	d.next += d.interval
+	if d.next < d.end {
+		d.k.AtArg(d.next, loadStep, d)
+	}
+}
+
 // OfferLoad is a convenience harness for the performance experiments: it
 // offers frames of the given wire size at the given rate for the given
 // duration (deterministic spacing), runs the kernel, flushes, and returns
@@ -423,16 +479,11 @@ func OfferLoad(k *sim.Kernel, e *Engine, frameSize int, rate units.BitRate, dur 
 	if interval < 1 {
 		interval = 1
 	}
-	end := k.Now() + dur
-	var schedule func(t sim.Time)
-	schedule = func(t sim.Time) {
-		if t >= end {
-			return
-		}
-		e.DeliverFrame(t, switchsim.Frame{Size: frameSize})
-		k.At(t+interval, func() { schedule(t + interval) })
+	d := &loadDriver{k: k, e: e, frameSize: frameSize, interval: interval,
+		next: k.Now(), end: k.Now() + dur}
+	if d.next < d.end {
+		k.AtArg(d.next, loadStep, d)
 	}
-	k.At(k.Now(), func() { schedule(k.Now()) })
 	k.Run()
 	e.Flush()
 	k.Run()

@@ -292,3 +292,26 @@ func TestCoreSnapshotsBalanced(t *testing.T) {
 		}
 	}
 }
+
+// TestDeliverFrameAllocFree pins the per-frame fast path at zero
+// steady-state allocations: completion records recycle through the
+// engine's pool and kernel events through the arena, so once both are
+// warm, delivering and completing a frame must not touch the heap.
+func TestDeliverFrameAllocFree(t *testing.T) {
+	k, e := newEngine(t, Config{Method: MethodDPDK, SnapLen: 200, Cores: 4})
+	now := sim.Time(0)
+	deliver := func(n int) {
+		for i := 0; i < n; i++ {
+			e.DeliverFrame(now, switchsim.Frame{Size: 1514})
+			now += 200 * sim.Nanosecond
+			k.RunUntil(now)
+		}
+	}
+	deliver(4096) // warm the pools to the schedule's high-water mark
+	allocs := testing.AllocsPerRun(10, func() { deliver(512) })
+	perFrame := allocs / 512
+	if perFrame > 0.01 {
+		t.Errorf("DeliverFrame allocates %.4f objects/frame, want ~0", perFrame)
+	}
+	k.Run()
+}

@@ -14,8 +14,11 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -24,6 +27,8 @@ import (
 // it: they attach an obs.Registry (and, where a kernel drives the run, a
 // tracer) to their substrates and publish both on the Result. Off by
 // default — observability must not perturb the benchmarked hot paths.
+// Set it before calling Run/RunMany/RunAll and leave it fixed while
+// experiments are in flight: workers read it concurrently.
 var Observe bool
 
 // Result is one regenerated table or figure.
@@ -171,15 +176,58 @@ func Run(id string, seed uint64) (*Result, error) {
 	return fn(seed)
 }
 
-// RunAll executes every experiment in id order.
+// RunAll executes every experiment, fanning out across up to
+// GOMAXPROCS workers, and returns results in id order. Output is
+// byte-identical to a serial run: every experiment builds its own
+// kernel, RNG stream, and (with Observe) obs registry from the seed, so
+// worker scheduling cannot leak into results.
 func RunAll(seed uint64) ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		r, err := Run(id, seed)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", id, err)
-		}
-		out = append(out, r)
+	return RunMany(IDs(), seed, 0)
+}
+
+// RunMany executes the given experiments on a bounded worker pool
+// (parallel <= 0 means GOMAXPROCS; 1 means strictly serial) and returns
+// their results in the order ids were given. Determinism contract: the
+// result slice — and every byte of every Result — depends only on (ids,
+// seed), never on worker interleaving. On failure it returns the results
+// that precede the first (in ids order) failing experiment, exactly as a
+// serial run that stopped there would.
+func RunMany(ids []string, seed uint64, parallel int) ([]*Result, error) {
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
 	}
-	return out, nil
+	if parallel > len(ids) {
+		parallel = len(ids)
+	}
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	if parallel <= 1 {
+		for i, id := range ids {
+			results[i], errs[i] = Run(id, seed)
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for w := 0; w < parallel; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(ids) {
+						return
+					}
+					results[i], errs[i] = Run(ids[i], seed)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results[:i], fmt.Errorf("experiments: %s: %w", ids[i], err)
+		}
+	}
+	return results, nil
 }

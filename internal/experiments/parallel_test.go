@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// cheapIDs is a fast cross-section of the registry (sub-second even on
+// one core) used where the full suite would dominate test time.
+var cheapIDs = []string{
+	"fig2", "fig3", "fig4", "fig5", "fig6",
+	"portutil", "ablation-cycling", "ablation-netflow",
+}
+
+// suiteCSV renders every result as its experiment CSV, prefixed by id —
+// the byte-level artifact the determinism contract is stated over.
+func suiteCSV(t *testing.T, results []*Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		fmt.Fprintf(&buf, "## %s\n", r.ID)
+		if err := r.WriteCSV(&buf); err != nil {
+			t.Fatalf("%s: CSV: %v", r.ID, err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func mustRunMany(t *testing.T, ids []string, seed uint64, parallel int) []byte {
+	t.Helper()
+	results, err := RunMany(ids, seed, parallel)
+	if err != nil {
+		t.Fatalf("RunMany(parallel=%d): %v", parallel, err)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("RunMany(parallel=%d) returned %d results, want %d", parallel, len(results), len(ids))
+	}
+	for i, r := range results {
+		if r.ID != ids[i] {
+			t.Fatalf("result %d id = %q, want %q (order not deterministic)", i, r.ID, ids[i])
+		}
+	}
+	return suiteCSV(t, results)
+}
+
+// TestParallelMatchesSerial is the harness determinism gate: a parallel
+// run must produce byte-identical CSVs to a serial run for every
+// experiment id, and two parallel runs with the same seed must be
+// identical to each other (catching map-iteration order and shared-RNG
+// leaks that a single comparison could miss). Short mode covers a fast
+// cross-section; the full run covers every registered experiment.
+func TestParallelMatchesSerial(t *testing.T) {
+	ids := cheapIDs
+	if !testing.Short() {
+		ids = IDs()
+	}
+	serial := mustRunMany(t, ids, 7, 1)
+	par := mustRunMany(t, ids, 7, 8)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("parallel output differs from serial (lens %d vs %d):\n%s",
+			len(serial), len(par), firstDiff(serial, par))
+	}
+	par2 := mustRunMany(t, ids, 7, 8)
+	if !bytes.Equal(par, par2) {
+		t.Fatalf("two parallel runs with the same seed differ:\n%s", firstDiff(par, par2))
+	}
+}
+
+// TestParallelObserve: with Observe set, every result still carries its
+// own registry/tracer and output stays serial-identical (per-experiment
+// obs must not couple concurrent runs).
+func TestParallelObserve(t *testing.T) {
+	Observe = true
+	defer func() { Observe = false }()
+	serial := mustRunMany(t, cheapIDs, 3, 1)
+	par := mustRunMany(t, cheapIDs, 3, 4)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("observed parallel output differs from serial:\n%s", firstDiff(serial, par))
+	}
+}
+
+// TestRunManyErrorTruncation: a failing id yields the results preceding
+// it in ids order, regardless of worker interleaving.
+func TestRunManyErrorTruncation(t *testing.T) {
+	ids := []string{"fig2", "fig6", "no-such-experiment", "portutil"}
+	results, err := RunMany(ids, 1, 4)
+	if err == nil {
+		t.Fatal("want error for unknown id")
+	}
+	if len(results) != 2 {
+		t.Fatalf("results before failure = %d, want 2", len(results))
+	}
+	for i, want := range []string{"fig2", "fig6"} {
+		if results[i] == nil || results[i].ID != want {
+			t.Fatalf("result %d = %v, want %s", i, results[i], want)
+		}
+	}
+}
+
+// firstDiff locates the first divergent line for a readable failure.
+func firstDiff(a, b []byte) string {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	n := len(al)
+	if len(bl) < n {
+		n = len(bl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return fmt.Sprintf("line %d:\n  serial:   %s\n  parallel: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("one output is a prefix of the other (%d vs %d lines)", len(al), len(bl))
+}

@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGoldenEventOrder pins the exact execution order of a mixed
+// schedule — closures, arg-carrying events, a ticker, and cancellations
+// — so any change to heap layout or arena recycling that perturbs the
+// (time, seq) FIFO contract fails loudly.
+func TestGoldenEventOrder(t *testing.T) {
+	k := NewKernel()
+	var log []string
+	emit := func(s string) { log = append(log, fmt.Sprintf("%d:%s", k.Now(), s)) }
+	emitArg := func(a any) { emit(a.(string)) }
+
+	k.At(10, func() { emit("a") })
+	k.AtArg(10, emitArg, "b")
+	hc := k.At(10, func() { emit("c-cancelled") })
+	k.At(10, func() { emit("d") })
+	k.At(5, func() {
+		emit("early")
+		hc.Cancel()               // cancel a later same-run event
+		k.AtArg(10, emitArg, "e") // lands after d (higher seq)
+		k.At(7, func() { emit("mid") })
+	})
+	tick := k.Every(4, func(now Time) { emit("tick") })
+	k.At(12, func() { tick.Stop(); emit("stop") })
+	k.Run()
+
+	want := []string{
+		"4:tick",
+		"5:early",
+		"7:mid",
+		"8:tick",
+		"10:a", "10:b", "10:d", "10:e",
+		// stop was scheduled during setup (lower seq than the ticker's
+		// t=12 event, which was only scheduled at t=8), so it runs first
+		// and cancels that final firing.
+		"12:stop",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("got %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q\nfull: %v", i, log[i], want[i], log)
+		}
+	}
+	if free, size := k.arenaFree(), k.arenaSize(); free != size {
+		t.Errorf("arena leak: %d free of %d slots", free, size)
+	}
+}
+
+// TestCancelSameTimestampKeepsFIFO is the regression test for the
+// Schedule-during-Pop edge: cancelling an event from inside another
+// event at the same timestamp must neither skew the FIFO order of the
+// survivors nor leak the cancelled arena slot.
+func TestCancelSameTimestampKeepsFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	var hC, hD Handle
+	k.At(100, func() {
+		order = append(order, "A")
+		if !hC.Cancel() {
+			t.Error("C should still be cancellable from inside A")
+		}
+		// Scheduling at the same timestamp from inside the tick must not
+		// reuse C's queued slot or jump the FIFO.
+		k.At(100, func() { order = append(order, "F") })
+	})
+	k.At(100, func() { order = append(order, "B") })
+	hC = k.At(100, func() { order = append(order, "C") })
+	hD = k.At(100, func() { order = append(order, "D") })
+	k.At(100, func() { order = append(order, "E") })
+	k.Run()
+
+	want := "A B D E F"
+	got := ""
+	for i, s := range order {
+		if i > 0 {
+			got += " "
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+	if hD.Cancel() {
+		t.Error("D already ran; Cancel must report false")
+	}
+	if free, size := k.arenaFree(), k.arenaSize(); free != size {
+		t.Errorf("arena leak after cancelled-in-tick: %d free of %d slots", free, size)
+	}
+	if k.Pending() != 0 {
+		t.Errorf("pending = %d after drain", k.Pending())
+	}
+}
+
+// TestStaleHandleAfterSlotReuse: once a slot is recycled, an old Handle
+// (same index, older generation) must not cancel the new occupant.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	k := NewKernel()
+	ran1, ran2 := false, false
+	h1 := k.After(1, func() { ran1 = true })
+	k.Run()
+	if !ran1 {
+		t.Fatal("first event did not run")
+	}
+	// The arena has exactly one slot; this reuses it.
+	h2 := k.After(1, func() { ran2 = true })
+	if h1.Cancel() {
+		t.Error("stale handle cancelled a recycled slot")
+	}
+	k.Run()
+	if !ran2 {
+		t.Error("second event was suppressed by a stale handle")
+	}
+	_ = h2
+}
+
+// TestArenaRecyclesUnderCancellation drains a schedule where a third of
+// the events are cancelled (some before their tick, some from within
+// same-timestamp events) and checks every slot comes back.
+func TestArenaRecyclesUnderCancellation(t *testing.T) {
+	k := NewKernel()
+	const n = 3000
+	handles := make([]Handle, n)
+	ran := 0
+	for i := 0; i < n; i++ {
+		i := i
+		handles[i] = k.At(Time(i%97), func() {
+			ran++
+			// Each running event cancels its +2 neighbour when that
+			// neighbour shares its timestamp (97 and 2 are coprime, so
+			// this only hits occasionally — mixing reaped and live).
+			j := i + 2*97
+			if j < n {
+				handles[j].Cancel()
+			}
+		})
+	}
+	for i := 0; i < n; i += 3 {
+		handles[i].Cancel()
+	}
+	k.Run()
+	if ran == 0 || ran >= n {
+		t.Fatalf("ran = %d, want strictly between 0 and %d", ran, n)
+	}
+	if free, size := k.arenaFree(), k.arenaSize(); free != size {
+		t.Errorf("arena leak: %d free of %d slots", free, size)
+	}
+	if k.Pending() != 0 {
+		t.Errorf("pending = %d", k.Pending())
+	}
+}
+
+// TestRunUntilReapsCancelled: cancelled events at the heap top must not
+// stall RunUntil or leak slots when the deadline lands between events.
+func TestRunUntilReapsCancelled(t *testing.T) {
+	k := NewKernel()
+	h := k.At(10, func() { t.Error("cancelled event ran") })
+	fired := false
+	k.At(20, func() { fired = true })
+	h.Cancel()
+	k.RunUntil(15)
+	if fired {
+		t.Error("t=20 event ran before deadline 15")
+	}
+	if k.Now() != 15 {
+		t.Errorf("clock = %v, want 15", k.Now())
+	}
+	k.Run()
+	if !fired {
+		t.Error("t=20 event lost")
+	}
+	if free, size := k.arenaFree(), k.arenaSize(); free != size {
+		t.Errorf("arena leak: %d free of %d slots", free, size)
+	}
+}
+
+// TestAtArgDelivery: AtArg passes the argument through untouched and
+// interleaves with closure events in seq order.
+func TestAtArgDelivery(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	add := func(a any) { got = append(got, a.(int)) }
+	k.AtArg(5, add, 1)
+	k.At(5, func() { got = append(got, 2) })
+	k.AfterArg(5, add, 3)
+	k.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("got %v, want [1 2 3]", got)
+	}
+}
+
+func TestAfterArgNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative AfterArg should panic")
+		}
+	}()
+	NewKernel().AfterArg(-1, func(any) {}, nil)
+}
+
+// --- micro-benchmarks (BENCH_kernel.json sources) ---
+
+func benchNop(any) {}
+
+// BenchmarkKernelSchedule measures the schedule+drain cycle in batches,
+// the steady-state pattern of a simulation (arena and heap stay warm).
+func BenchmarkKernelSchedule(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	const batch = 1024
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.At(k.Now()+Duration(i&255), fn)
+		if i&(batch-1) == batch-1 {
+			k.Run()
+		}
+	}
+	k.Run()
+}
+
+// BenchmarkKernelRunDense is the headline hot-loop benchmark: bursts of
+// events packed onto few timestamps (the per-frame capture pattern),
+// scheduled through the arg-carrying fast path. Steady-state allocs/op
+// must be ~0; the pre-arena kernel paid one *event plus one closure per
+// schedule.
+func BenchmarkKernelRunDense(b *testing.B) {
+	k := NewKernel()
+	const events = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := k.Now()
+		for j := 0; j < events; j++ {
+			k.AtArg(base+Duration(j&15), benchNop, nil)
+		}
+		k.Run()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*events), "ns/event")
+}
+
+// BenchmarkKernelCancel measures schedule+cancel+reap round trips.
+func BenchmarkKernelCancel(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	const batch = 1024
+	handles := make([]Handle, 0, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles = append(handles, k.At(k.Now()+Duration(1+i&63), fn))
+		if len(handles) == batch {
+			for _, h := range handles {
+				h.Cancel()
+			}
+			handles = handles[:0]
+			k.Run()
+		}
+	}
+	k.Run()
+}

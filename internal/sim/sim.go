@@ -3,12 +3,25 @@
 // capture pipelines, the testbed federation) advances on a shared virtual
 // clock driven by an event queue. Wall-clock time never enters a
 // simulation, which keeps experiment output reproducible.
+//
+// The kernel is allocation-free on its steady-state hot path: scheduled
+// events live in a pooled arena of slots recycled through a free list,
+// and the priority queue is a 4-ary min-heap of small value entries
+// (timestamp, sequence, slot index) rather than a heap of pointers. The
+// argument-carrying schedule variants (AtArg / AfterArg) let callers on
+// per-frame paths schedule without allocating a capturing closure, so a
+// dense simulation runs with zero allocations per event once the arena
+// and heap have grown to the schedule's high-water mark.
+//
+// Determinism contract: events fire in (time, sequence) order, where the
+// sequence number increments on every schedule call. Two events at the
+// same virtual time therefore run in the order they were scheduled
+// (FIFO), regardless of arena slot reuse or heap layout, and a run is a
+// pure function of the schedule — never of memory addresses or map
+// iteration.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a virtual timestamp in nanoseconds since simulation start.
 type Time int64
@@ -36,51 +49,51 @@ func (t Time) String() string {
 // Seconds converts to floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// event is a scheduled callback.
-type event struct {
-	at   Time
-	seq  uint64 // tie-break so same-time events run FIFO (determinism)
-	fn   func()
-	done bool // cancelled
-	idx  int  // heap index
+// Slot lifecycle states.
+const (
+	slotFree uint8 = iota
+	slotPending
+	slotCancelled // cancelled but still referenced by a heap entry
+)
+
+// eventSlot is one arena cell. The ordering key (at, seq) lives in the
+// heap entry, not here; the slot only carries the callback and its
+// lifecycle state. Exactly one of fn and argFn is set.
+type eventSlot struct {
+	fn    func()
+	argFn func(any)
+	arg   any
+	gen   uint32 // bumped on release so stale Handles cannot touch a reused slot
+	state uint8
 }
 
-// eventQueue is a min-heap on (at, seq).
-type eventQueue []*event
+// heapEntry is one priority-queue element. Keeping the comparison key
+// inline (instead of chasing a pointer per comparison) keeps sift
+// operations in cache.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Kernel is the simulation engine. It is not safe for concurrent use; a
-// simulation runs single-threaded by design.
+// simulation runs single-threaded by design. Run one Kernel per
+// goroutine for parallel experiments.
 type Kernel struct {
 	now    Time
-	queue  eventQueue
 	seq    uint64
 	nEvent uint64
+
+	slots []eventSlot
+	free  []int32 // free-list of arena slot indices
+	heap  []heapEntry
 
 	// Introspection counters (metrics sources for the obs layer).
 	queueHighWater int
@@ -102,7 +115,7 @@ func (k *Kernel) EventsProcessed() uint64 { return k.nEvent }
 
 // Pending reports how many events remain scheduled (including cancelled
 // events not yet reaped).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // QueueHighWatermark reports the maximum queue length ever observed —
 // a proxy for how bursty the schedule is and how much heap the kernel
@@ -113,34 +126,93 @@ func (k *Kernel) QueueHighWatermark() int { return k.queueHighWater }
 // single virtual timestamp.
 func (k *Kernel) MaxEventsPerTick() uint64 { return k.maxTickEvents }
 
-// Handle identifies a scheduled event and allows cancellation.
-type Handle struct{ e *event }
+// arenaSize reports the total number of arena slots ever grown (for
+// tests and capacity introspection).
+func (k *Kernel) arenaSize() int { return len(k.slots) }
+
+// arenaFree reports how many arena slots sit on the free list (for leak
+// tests: after a full drain, arenaFree == arenaSize).
+func (k *Kernel) arenaFree() int { return len(k.free) }
+
+// Handle identifies a scheduled event and allows cancellation. The zero
+// Handle is valid and refers to no event.
+type Handle struct {
+	k   *Kernel
+	idx int32
+	gen uint32
+}
 
 // Cancel prevents the event from running. Cancelling an already-run or
 // already-cancelled event is a no-op. It reports whether the event was
-// still pending.
+// still pending. The arena slot is reclaimed lazily when the queue
+// reaches the cancelled entry, so cancellation never perturbs the
+// ordering of other same-timestamp events.
 func (h Handle) Cancel() bool {
-	if h.e == nil || h.e.done {
+	if h.k == nil {
 		return false
 	}
-	h.e.done = true
-	h.e.fn = nil
+	s := &h.k.slots[h.idx]
+	if s.gen != h.gen || s.state != slotPending {
+		return false
+	}
+	s.state = slotCancelled
+	// Drop callback references now so cancelled-but-unreaped events do
+	// not pin memory; the slot itself is recycled on reap.
+	s.fn, s.argFn, s.arg = nil, nil, nil
 	return true
+}
+
+// alloc takes a slot from the free list, growing the arena if empty.
+func (k *Kernel) alloc() int32 {
+	if n := len(k.free); n > 0 {
+		idx := k.free[n-1]
+		k.free = k.free[:n-1]
+		return idx
+	}
+	k.slots = append(k.slots, eventSlot{})
+	return int32(len(k.slots) - 1)
+}
+
+// release returns a slot to the free list and invalidates outstanding
+// handles to it.
+func (k *Kernel) release(idx int32) {
+	s := &k.slots[idx]
+	s.fn, s.argFn, s.arg = nil, nil, nil
+	s.state = slotFree
+	s.gen++
+	k.free = append(k.free, idx)
+}
+
+// schedule is the shared core of At/AtArg.
+func (k *Kernel) schedule(t Time, fn func(), argFn func(any), arg any) Handle {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	idx := k.alloc()
+	s := &k.slots[idx]
+	s.fn, s.argFn, s.arg = fn, argFn, arg
+	s.state = slotPending
+	k.heapPush(heapEntry{at: t, seq: k.seq, idx: idx})
+	k.seq++
+	if len(k.heap) > k.queueHighWater {
+		k.queueHighWater = len(k.heap)
+	}
+	return Handle{k: k, idx: idx, gen: s.gen}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // that is always a logic error in a discrete-event model.
 func (k *Kernel) At(t Time, fn func()) Handle {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
-	}
-	e := &event{at: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, e)
-	if len(k.queue) > k.queueHighWater {
-		k.queueHighWater = len(k.queue)
-	}
-	return Handle{e}
+	return k.schedule(t, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t. It is the zero-allocation
+// variant of At for hot paths: because the argument rides in the event
+// slot, the callback can be a plain function or a pre-bound method value
+// and needs no capturing closure. Pointer-shaped args (e.g. *T) do not
+// allocate when stored.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) Handle {
+	return k.schedule(t, nil, fn, arg)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -149,6 +221,14 @@ func (k *Kernel) After(d Duration, fn func()) Handle {
 		panic("sim: negative delay")
 	}
 	return k.At(k.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) d nanoseconds from now (see AtArg).
+func (k *Kernel) AfterArg(d Duration, fn func(any), arg any) Handle {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return k.AtArg(k.now+d, fn, arg)
 }
 
 // Every schedules fn at now+d, then every d thereafter, until the returned
@@ -171,16 +251,23 @@ type Ticker struct {
 	stopped bool
 }
 
+// tickerFire re-dispatches through the ticker so each firing schedules
+// the next without a fresh closure (one *Ticker serves the whole
+// lifetime).
+func tickerFire(a any) { a.(*Ticker).fire() }
+
 func (t *Ticker) schedule() {
-	t.h = t.k.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn(t.k.now)
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	t.h = t.k.AtArg(t.k.now+t.period, tickerFire, t)
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn(t.k.now)
+	if !t.stopped {
+		t.schedule()
+	}
 }
 
 // Stop cancels the ticker.
@@ -192,15 +279,19 @@ func (t *Ticker) Stop() {
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*event)
-		if e.done {
-			continue // reap cancelled
+	for len(k.heap) > 0 {
+		e := k.heapPop()
+		s := &k.slots[e.idx]
+		if s.state == slotCancelled {
+			k.release(e.idx) // reap
+			continue
 		}
 		k.now = e.at
-		e.done = true
-		fn := e.fn
-		e.fn = nil
+		fn, argFn, arg := s.fn, s.argFn, s.arg
+		// Release before running: the callback may schedule new events
+		// and immediately reuse this slot, and an in-flight event must
+		// no longer be cancellable (gen bump invalidates its Handle).
+		k.release(e.idx)
 		k.nEvent++
 		if e.at != k.lastTick {
 			k.lastTick = e.at
@@ -210,7 +301,11 @@ func (k *Kernel) Step() bool {
 		if k.tickEvents > k.maxTickEvents {
 			k.maxTickEvents = k.tickEvents
 		}
-		fn()
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -226,8 +321,8 @@ func (k *Kernel) Run() {
 // clock to the deadline. Events scheduled beyond the deadline stay queued.
 func (k *Kernel) RunUntil(deadline Time) {
 	for {
-		e := k.peek()
-		if e == nil || e.at > deadline {
+		at, ok := k.peek()
+		if !ok || at > deadline {
 			break
 		}
 		k.Step()
@@ -240,13 +335,84 @@ func (k *Kernel) RunUntil(deadline Time) {
 // RunFor advances the simulation by d.
 func (k *Kernel) RunFor(d Duration) { k.RunUntil(k.now + d) }
 
-func (k *Kernel) peek() *event {
-	for len(k.queue) > 0 {
-		e := k.queue[0]
-		if !e.done {
-			return e
+// peek reports the timestamp of the next live event, reaping cancelled
+// entries it skips over.
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.heap) > 0 {
+		e := k.heap[0]
+		if k.slots[e.idx].state != slotCancelled {
+			return e.at, true
 		}
-		heap.Pop(&k.queue)
+		k.heapPop()
+		k.release(e.idx)
 	}
-	return nil
+	return 0, false
+}
+
+// --- 4-ary min-heap on (at, seq) ---
+//
+// A 4-ary layout halves the tree depth of a binary heap, trading a few
+// extra comparisons per level for far fewer cache lines touched on
+// sift-down — the dominant operation in a drain-heavy event loop.
+
+const heapArity = 4
+
+func (k *Kernel) heapPush(e heapEntry) {
+	k.heap = append(k.heap, e)
+	k.siftUp(len(k.heap) - 1)
+}
+
+func (k *Kernel) heapPop() heapEntry {
+	h := k.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = heapEntry{}
+	k.heap = h[:n]
+	if n > 1 {
+		k.siftDown(0)
+	}
+	return top
+}
+
+func (k *Kernel) siftUp(i int) {
+	h := k.heap
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.less(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+func (k *Kernel) siftDown(i int) {
+	h := k.heap
+	n := len(h)
+	e := h[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		min := first
+		for c := first + 1; c < last; c++ {
+			if h[c].less(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].less(e) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = e
 }

@@ -155,9 +155,24 @@ type Switch struct {
 	mirrors map[string]*MirrorSession
 	obsReg  *obs.Registry
 
+	// Clone-delivery pool: free list of delivery records plus the method
+	// value dispatched through sim.Kernel.AtArg, bound once in New so the
+	// per-clone path allocates no closure.
+	cloneFree *cloneDelivery
+	cloneFn   func(any)
+
 	// cloneFault, when set, drops a mirror clone whenever it returns true
 	// — the mirror-table corruption injection point (internal/faults).
 	cloneFault func(now sim.Time) bool
+}
+
+// cloneDelivery carries one mirrored frame from the egress queue to its
+// receiver. Records recycle through Switch.cloneFree (under mu).
+type cloneDelivery struct {
+	r    Receiver
+	at   sim.Time
+	f    Frame
+	next *cloneDelivery
 }
 
 // SetCloneFault installs (or, with nil, removes) a per-clone fault hook:
@@ -201,12 +216,14 @@ func (s *Switch) SetObs(reg *obs.Registry) {
 
 // New creates a switch bound to a simulation kernel.
 func New(name string, k *sim.Kernel) *Switch {
-	return &Switch{
+	s := &Switch{
 		Name:    name,
 		kernel:  k,
 		ports:   make(map[string]*Port),
 		mirrors: make(map[string]*MirrorSession),
 	}
+	s.cloneFn = s.deliverClone
+	return s
 }
 
 // AddPort creates a port. Adding a duplicate name panics: port layout is
@@ -401,8 +418,26 @@ func (s *Switch) cloneLocked(now sim.Time, m *MirrorSession, f Frame) {
 	eg.counters.TxBytes += uint64(f.Size)
 	eg.counters.TxFrames++
 	if r := eg.receiver; r != nil {
-		deliverAt := eg.queueFree
-		frame := f
-		s.kernel.At(deliverAt, func() { r.DeliverFrame(deliverAt, frame) })
+		cd := s.cloneFree
+		if cd == nil {
+			cd = new(cloneDelivery)
+		} else {
+			s.cloneFree = cd.next
+		}
+		cd.r, cd.at, cd.f = r, eg.queueFree, f
+		s.kernel.AtArg(eg.queueFree, s.cloneFn, cd)
 	}
+}
+
+// deliverClone hands a mirrored frame to its receiver (the AtArg
+// callback) and returns the record to the pool.
+func (s *Switch) deliverClone(a any) {
+	cd := a.(*cloneDelivery)
+	r, at, f := cd.r, cd.at, cd.f
+	s.mu.Lock()
+	cd.r, cd.f = nil, Frame{}
+	cd.next = s.cloneFree
+	s.cloneFree = cd
+	s.mu.Unlock()
+	r.DeliverFrame(at, f)
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env sh
+# bench.sh — refresh the repository's performance trajectory.
+#
+# Runs the kernel micro-benchmarks and the full experiment-suite
+# benchmarks with -benchmem, parses the output through cmd/benchjson,
+# and writes:
+#
+#   BENCH_kernel.json       internal/sim micro-benchmarks
+#   BENCH_experiments.json  paper-experiment benchmarks + RunAll wall
+#                           times (serial vs -parallel 8)
+#
+# Each file keeps the best of -count runs per benchmark. Commit the
+# refreshed files alongside any change that moves them.
+#
+#   scripts/bench.sh            full measurement (minutes)
+#   scripts/bench.sh -smoke     one iteration per benchmark, output to a
+#                               temp dir — a CI gate that bench code and
+#                               the JSON pipeline still work; committed
+#                               BENCH_*.json are left untouched.
+set -eu
+cd "$(dirname "$0")/.."
+
+smoke=0
+if [ "${1:-}" = "-smoke" ]; then
+    smoke=1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+if [ "$smoke" -eq 1 ]; then
+    benchtime=1x
+    count=1
+    kernel_out="$tmp/BENCH_kernel.json"
+    experiments_out="$tmp/BENCH_experiments.json"
+else
+    benchtime=
+    count=3
+    kernel_out=BENCH_kernel.json
+    experiments_out=BENCH_experiments.json
+fi
+
+go build -o "$tmp/benchjson" ./cmd/benchjson
+
+echo "== kernel micro-benchmarks (internal/sim) =="
+go test -run '^$' -bench . -benchmem ${benchtime:+-benchtime $benchtime} \
+    -count "$count" ./internal/sim | tee "$tmp/kernel.txt"
+"$tmp/benchjson" < "$tmp/kernel.txt" > "$kernel_out"
+
+echo "== experiment benchmarks (repro root) =="
+# The figure/table benchmarks regenerate full paper artifacts per
+# iteration (seconds each), so one iteration per count is the
+# measurement; the per-frame micro-benchmarks need real iteration
+# counts, so they run with the default benchtime.
+micro='^Benchmark(WireFastPath|CaptureEngine|HostWritev)$'
+go test -run '^$' -bench . -benchmem -benchtime 1x \
+    -count "$count" . \
+    | grep -Ev '^Benchmark(WireFastPath|CaptureEngine|HostWritev)\b' \
+    | tee "$tmp/experiments.txt"
+go test -run '^$' -bench "$micro" -benchmem ${benchtime:+-benchtime $benchtime} \
+    -count "$count" . | tee -a "$tmp/experiments.txt"
+
+if [ "$smoke" -eq 1 ]; then
+    "$tmp/benchjson" < "$tmp/experiments.txt" > "$experiments_out"
+    echo "smoke ok: $(ls "$tmp"/BENCH_*.json | wc -l) reports generated (discarded)"
+    exit 0
+fi
+
+echo "== RunAll wall time: serial vs parallel =="
+go build -o "$tmp/pwexperiments" ./cmd/pwexperiments
+wall_ms() {
+    start=$(date +%s%N)
+    "$tmp/pwexperiments" -all -parallel "$1" > /dev/null
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 ))
+}
+serial_ms=$(wall_ms 1)
+parallel_ms=$(wall_ms 8)
+echo "RunAll serial: ${serial_ms} ms, -parallel 8: ${parallel_ms} ms"
+
+"$tmp/benchjson" \
+    -add "RunAllWallSerial:ms:$serial_ms" \
+    -add "RunAllWallParallel8:ms:$parallel_ms" \
+    < "$tmp/experiments.txt" > "$experiments_out"
+
+echo "wrote $kernel_out and $experiments_out"

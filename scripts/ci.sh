@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
-# CI gate: formatting, build, vet, race-enabled tests, a benchmark smoke
-# pass (one iteration per benchmark, no test re-runs) to catch
-# bit-rotted bench code without paying for real measurements, a short
-# fuzz smoke over the wire-format parsers (seed corpus plus a few
-# seconds of mutation — enough to catch regressions in the option/length
-# walkers), and a validate-only dry run of every health-alert rule file
-# (the embedded defaults always, plus any rules/*.json).
+# CI gate: formatting, build, vet, race-enabled tests (short mode — the
+# parallel-harness and chaos determinism tests still run their
+# concurrent paths there, so the race detector permanently gates the
+# "parallel simulations share no state" contract), a bench.sh smoke pass
+# (one iteration per benchmark plus the BENCH_*.json pipeline) so CI
+# fails if benchmark code no longer compiles, a short fuzz smoke over
+# the wire-format parsers (seed corpus plus a few seconds of mutation —
+# enough to catch regressions in the option/length walkers), and a
+# validate-only dry run of every health-alert rule file (the embedded
+# defaults always, plus any rules/*.json).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,8 +21,8 @@ fi
 
 go build ./...
 go vet ./...
-go test -race ./...
-go test -bench=. -benchtime=1x -run='^$' .
+go test -race -short ./...
+sh scripts/bench.sh -smoke
 go test -run='^$' -fuzz='^FuzzParsePacket$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzTCPOptions$' -fuzztime=5s ./internal/wire
 
