@@ -8,21 +8,30 @@
 //
 //	patchwork -mode all [-sites STAR,TACC] [-runs 4] [-out profile/]
 //	patchwork -mode single -sites NCSA -out myslice/
+//
+// Self-healing campaign mode (journaled, resumable):
+//
+//	patchwork -remedy -faults plan.json -journal out/journal -out out/
+//	patchwork -resume out/journal -out out/        # after a crash (exit 3)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/capture"
 	patchwork "repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/hostsim"
 	"repro/internal/obs"
+	"repro/internal/remedy"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
@@ -49,8 +58,26 @@ func main() {
 		watchSec    = flag.Int("watch-sec", 60, "status table cadence in (virtual) seconds with -watch")
 		healthRules = flag.String("health-rules", "", "alert rule JSON for -watch (default: bundled rules)")
 		storage     = flag.Bool("storage", false, "model each listener VM's storage stack (implied by -watch)")
+
+		remedyOn   = flag.Bool("remedy", false, "run the self-healing remediation supervisor (journaled campaign mode)")
+		remedyPol  = flag.String("remedy-policy", "", "remediation policy JSON (default: bundled policy; implies -remedy)")
+		journalDir = flag.String("journal", "", "campaign journal directory (default <out>/journal; implies campaign mode)")
+		resume     = flag.String("resume", "", "resume the campaign journaled in this directory")
+		cpSec      = flag.Int("checkpoint-sec", 60, "checkpoint cadence in (virtual) seconds (campaign mode)")
+		noKill     = flag.Bool("no-kill", false, "journal injected crash points without honoring them (baseline run)")
 	)
 	flag.Parse()
+
+	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" {
+		os.Exit(campaignMain(campaignFlags{
+			mode: *mode, sites: *sitesFlag, runs: *runs, samples: *samples,
+			sampleSec: *sampleSec, method: *method, trunc: *trunc, seed: *seed,
+			out: *out, nSites: *nSites, nice: *nice, metrics: *metrics,
+			faultPlan: *faultPlan, healthRules: *healthRules,
+			remedyPolicy: *remedyPol, journalDir: *journalDir, resume: *resume,
+			checkpointSec: *cpSec, noKill: *noKill,
+		}))
+	}
 
 	var m patchwork.Mode
 	switch *mode {
@@ -341,6 +368,168 @@ func writeTrace(path string, tr *obs.Tracer) error {
 		err = cerr
 	}
 	return err
+}
+
+// campaignFlags carries the flag values into campaign mode.
+type campaignFlags struct {
+	mode, sites                      string
+	runs, samples, sampleSec, trunc  int
+	method                           string
+	seed                             uint64
+	out                              string
+	nSites                           int
+	nice                             bool
+	metrics, faultPlan, healthRules  string
+	remedyPolicy, journalDir, resume string
+	checkpointSec                    int
+	noKill                           bool
+}
+
+// campaignMain runs the journaled, self-healing campaign path and
+// returns the process exit code: 0 on completion, 3 on a crash-point
+// abort (resume the journal directory to continue), 1 on error.
+func campaignMain(fl campaignFlags) int {
+	var res *campaign.Result
+	var err error
+	if fl.resume != "" {
+		res, err = campaign.Resume(fl.resume, !fl.noKill)
+	} else {
+		spec, serr := specFromFlags(fl)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "patchwork:", serr)
+			return 1
+		}
+		dir := fl.journalDir
+		if dir == "" {
+			dir = filepath.Join(fl.out, "journal")
+		}
+		res, err = campaign.Run(spec, dir, !fl.noKill)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "patchwork:", err)
+		return 1
+	}
+	if res.Replayed > 0 {
+		fmt.Printf("resume: replayed and verified %d journaled records\n", res.Replayed)
+	}
+	if res.Crashed {
+		fmt.Fprintf(os.Stderr, "patchwork: campaign crashed at t=%v (injected crash point)\n", res.CrashedAt)
+		fmt.Fprintf(os.Stderr, "patchwork: journal preserved in %s — resume with: patchwork -resume %s\n",
+			res.Dir, res.Dir)
+		return 3
+	}
+
+	if err := writeProfile(fl.out, res.Profile); err != nil {
+		fmt.Fprintln(os.Stderr, "patchwork:", err)
+		return 1
+	}
+	if fl.metrics != "" {
+		if err := writeMetrics(fl.metrics, res.Registry); err != nil {
+			fmt.Fprintln(os.Stderr, "patchwork:", err)
+			return 1
+		}
+		fmt.Printf("metrics written to %s\n", fl.metrics)
+	}
+	if err := writeHealthArtifacts(fl.out, res.Monitor); err != nil {
+		fmt.Fprintln(os.Stderr, "patchwork:", err)
+		return 1
+	}
+	if res.Supervisor != nil {
+		if err := writeRemedyArtifacts(fl.out, res.Supervisor); err != nil {
+			fmt.Fprintln(os.Stderr, "patchwork:", err)
+			return 1
+		}
+	}
+	if res.Injector != nil {
+		fmt.Printf("faults injected: %s\n", res.Injector.Summary())
+	}
+	prof := res.Profile
+	fmt.Printf("campaign complete: %d sites in %v of virtual time (journal %s)\n",
+		len(prof.Bundles), prof.Finished-prof.Started, res.Dir)
+	fmt.Printf("success rate: %.0f%%\n", prof.SuccessRate()*100)
+	return 0
+}
+
+// specFromFlags assembles the campaign manifest from the CLI flags.
+func specFromFlags(fl campaignFlags) (campaign.Spec, error) {
+	spec := campaign.Spec{
+		Mode:            fl.mode,
+		Runs:            fl.runs,
+		Samples:         fl.samples,
+		SampleSec:       fl.sampleSec,
+		IntervalSec:     2 * fl.sampleSec,
+		TruncateBytes:   fl.trunc,
+		Method:          fl.method,
+		Seed:            fl.seed,
+		FederationSites: fl.nSites,
+		Nice:            fl.nice,
+		CheckpointSec:   fl.checkpointSec,
+	}
+	if fl.sites != "" {
+		spec.Sites = strings.Split(fl.sites, ",")
+	}
+	if fl.faultPlan != "" {
+		plan, err := faults.Load(fl.faultPlan)
+		if err != nil {
+			return spec, err
+		}
+		spec.Faults = &plan
+	}
+	if fl.healthRules != "" {
+		data, err := os.ReadFile(fl.healthRules)
+		if err != nil {
+			return spec, err
+		}
+		spec.HealthRules = json.RawMessage(data)
+	}
+	pol := remedy.DefaultPolicy()
+	if fl.remedyPolicy != "" {
+		var err error
+		if pol, err = remedy.LoadPolicy(fl.remedyPolicy); err != nil {
+			return spec, err
+		}
+	}
+	spec.Remedy = &pol
+	return spec, nil
+}
+
+// writeRemedyArtifacts persists the remediation action log and a
+// summary under <out>/remedy/.
+func writeRemedyArtifacts(dir string, sup *remedy.Supervisor) error {
+	remedyDir := filepath.Join(dir, "remedy")
+	if err := os.MkdirAll(remedyDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(remedyDir, "actions.jsonl"))
+	if err != nil {
+		return err
+	}
+	err = sup.WriteActionLog(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	var sb strings.Builder
+	outcomes := sup.Outcomes()
+	keys := make([]string, 0, len(outcomes))
+	for k := range outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s %d\n", k, outcomes[k])
+	}
+	for _, site := range sup.Quarantined() {
+		fmt.Fprintf(&sb, "quarantined %s\n", site)
+	}
+	if err := os.WriteFile(filepath.Join(remedyDir, "summary.txt"), []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("remediation artifacts written to %s (%d decisions, %d quarantined)\n",
+		remedyDir, len(sup.Actions()), len(sup.Quarantined()))
+	return nil
 }
 
 func fatal(err error) {

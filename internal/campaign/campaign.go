@@ -1,0 +1,500 @@
+// Package campaign runs a complete, crash-consistent profiling
+// campaign: it builds the simulated federation from a serializable
+// Spec, wires observability, fault injection, health monitoring, and
+// the remediation supervisor around the Patchwork coordinator, and
+// journals every deployment mutation to a write-ahead log with
+// periodic checkpoints (see internal/journal).
+//
+// The Spec is the campaign's entire input: it is written verbatim as
+// the journal manifest, and Resume rebuilds an identical world from it.
+// Because every stochastic decision flows from the Spec's seed and all
+// scheduling happens on the sim kernel, a resumed campaign replays the
+// dead campaign's history deterministically — the journal verifies the
+// replay record-by-record — and then continues to a finish that is
+// byte-identical to a run that never died.
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/capture"
+	patchwork "repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/health"
+	"repro/internal/hostsim"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/remedy"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/testbed"
+	"repro/internal/trafficgen"
+)
+
+// Spec is the serializable campaign input — the journal manifest. Every
+// field that influences the simulation must live here: resume rebuilds
+// the world from the manifest alone, and anything omitted would make
+// replay diverge.
+type Spec struct {
+	// Mode is "all" (all-experiment) or "single" (single-experiment).
+	Mode string `json:"mode"`
+	// Sites restricts profiling to these sites (required for "single").
+	Sites []string `json:"sites,omitempty"`
+	// FederationSites is the number of sites in the simulated federation.
+	FederationSites int `json:"federation_sites"`
+	// Runs, Samples, SampleSec, IntervalSec shape the sampling schedule.
+	Runs        int `json:"runs"`
+	Samples     int `json:"samples"`
+	SampleSec   int `json:"sample_sec"`
+	IntervalSec int `json:"interval_sec"`
+	// TruncateBytes is the stored snap length.
+	TruncateBytes int `json:"truncate_bytes"`
+	// Method is the capture method: "tcpdump", "dpdk", or "fpga".
+	Method string `json:"method"`
+	// Instances is the listener count requested per site (0 = default).
+	Instances int `json:"instances,omitempty"`
+	// Seed drives every stochastic decision in the campaign.
+	Seed uint64 `json:"seed"`
+	// StorageLimitBytes caps captured bytes per instance (0 = default).
+	StorageLimitBytes int64 `json:"storage_limit_bytes,omitempty"`
+	// Nice enables runtime footprint scaling.
+	Nice bool `json:"nice,omitempty"`
+	// HealthRules overrides the bundled alert rules (raw rule JSON).
+	HealthRules json.RawMessage `json:"health_rules,omitempty"`
+	// Faults is the fault plan to inject; nil runs clean.
+	Faults *faults.Plan `json:"faults,omitempty"`
+	// Remedy is the remediation policy; nil runs without the supervisor.
+	Remedy *remedy.Policy `json:"remedy,omitempty"`
+	// CheckpointSec is the checkpoint cadence in sim seconds.
+	CheckpointSec int `json:"checkpoint_sec"`
+}
+
+// WithDefaults fills the zero fields with the CLI defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.Mode == "" {
+		s.Mode = "all"
+	}
+	if s.FederationSites == 0 {
+		s.FederationSites = 6
+	}
+	if s.Runs == 0 {
+		s.Runs = 3
+	}
+	if s.Samples == 0 {
+		s.Samples = 2
+	}
+	if s.SampleSec == 0 {
+		s.SampleSec = 5
+	}
+	if s.IntervalSec == 0 {
+		s.IntervalSec = 2 * s.SampleSec
+	}
+	if s.TruncateBytes == 0 {
+		s.TruncateBytes = 200
+	}
+	if s.Method == "" {
+		s.Method = "tcpdump"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.CheckpointSec == 0 {
+		s.CheckpointSec = 60
+	}
+	return s
+}
+
+// Validate rejects specs that cannot build a world.
+func (s Spec) Validate() error {
+	if s.Mode != "all" && s.Mode != "single" {
+		return fmt.Errorf("campaign: unknown mode %q", s.Mode)
+	}
+	if _, err := s.method(); err != nil {
+		return err
+	}
+	if s.FederationSites < 1 {
+		return fmt.Errorf("campaign: federation needs at least one site")
+	}
+	if s.Runs < 0 || s.Samples < 0 || s.SampleSec < 1 || s.IntervalSec < 1 {
+		return fmt.Errorf("campaign: invalid sampling schedule")
+	}
+	if s.CheckpointSec < 1 {
+		return fmt.Errorf("campaign: checkpoint cadence %ds invalid", s.CheckpointSec)
+	}
+	if len(s.HealthRules) > 0 {
+		if _, err := health.ParseBytes(s.HealthRules); err != nil {
+			return fmt.Errorf("campaign: health rules: %w", err)
+		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+	}
+	if s.Remedy != nil {
+		if err := s.Remedy.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s Spec) method() (capture.Method, error) {
+	switch s.Method {
+	case "tcpdump":
+		return capture.MethodTcpdump, nil
+	case "dpdk":
+		return capture.MethodDPDK, nil
+	case "fpga":
+		return capture.MethodFPGADPDK, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown capture method %q", s.Method)
+}
+
+func (s Spec) mode() (patchwork.Mode, error) {
+	switch s.Mode {
+	case "all":
+		return patchwork.AllExperiment, nil
+	case "single":
+		return patchwork.SingleExperiment, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown mode %q", s.Mode)
+}
+
+// Result is what a campaign run (or resume) produced. On a crash-point
+// abort, Crashed is true and Profile is nil — resume the directory to
+// continue.
+type Result struct {
+	Profile    *patchwork.Profile
+	Registry   *obs.Registry
+	Tracer     *obs.Tracer
+	Monitor    *health.Monitor
+	Supervisor *remedy.Supervisor // nil without a remediation policy
+	Injector   *faults.Engine     // nil without a fault plan
+	Federation *testbed.Federation
+	Crashed    bool
+	CrashedAt  sim.Time
+	// Replayed is the number of WAL records verified during replay
+	// (zero on a fresh run).
+	Replayed int
+	Dir      string
+}
+
+// Run starts a fresh campaign in dir (which must not already hold
+// one). When kill is true, injected crash points abort the run —
+// Result.Crashed reports the abort; resume the directory to continue.
+// When kill is false, crash points are journaled but not honored: the
+// uninterrupted baseline whose outputs a kill+resume pair must match.
+func Run(spec Spec, dir string, kill bool) (*Result, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	manifest, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	w, err := journal.Create(dir, manifest)
+	if err != nil {
+		return nil, err
+	}
+	return run(spec, w, dir, kill)
+}
+
+// Resume reopens the campaign journaled in dir, rebuilds the world from
+// its manifest, replays the WAL prefix (verifying every regenerated
+// record), and continues where the dead campaign stopped. Crash points
+// already in the WAL are skipped; new ones abort again when kill is
+// true.
+func Resume(dir string, kill bool) (*Result, error) {
+	w, manifest, _, _, err := journal.OpenResume(dir)
+	if err != nil {
+		return nil, err
+	}
+	var spec Spec
+	if err := json.Unmarshal(manifest, &spec); err != nil {
+		w.Close()
+		return nil, fmt.Errorf("campaign: corrupt manifest: %w", err)
+	}
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	return run(spec, w, dir, kill)
+}
+
+// campaign holds the run's journaling state shared by the mutation
+// sink, the remedy sink, and the crash hook.
+type campaign struct {
+	k    *sim.Kernel
+	w    *journal.Writer
+	kill bool
+
+	crashed   bool
+	crashedAt sim.Time
+	err       error // first journal/divergence error; aborts the drive loop
+}
+
+// Mutate implements core's MutationSink: every deployment mutation
+// lands in the WAL in the order it happened.
+func (c *campaign) Mutate(kind, site, note string) {
+	if c.err != nil {
+		return
+	}
+	if _, err := c.w.Append(c.k.Now(), kind, site, note); err != nil {
+		c.err = err
+	}
+}
+
+// remedyJournal is the supervisor's journal sink.
+func (c *campaign) remedyJournal(now sim.Time, site, note string) error {
+	if c.err != nil {
+		return c.err
+	}
+	_, err := c.w.Append(now, journal.KindRemedy, site, note)
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+	return err
+}
+
+// onCrashPoint journals the crash and, when killing is enabled and the
+// record is new (not replayed from a previous life), aborts the drive
+// loop — the simulation-level equivalent of the process dying.
+func (c *campaign) onCrashPoint(at sim.Time) {
+	if c.err != nil || c.crashed {
+		return
+	}
+	replayed, err := c.w.Append(at, journal.KindCrash, "", "injected crash point")
+	if err != nil {
+		c.err = err
+		return
+	}
+	if !replayed && c.kill {
+		c.crashed, c.crashedAt = true, at
+	}
+}
+
+// run builds the world described by spec around the journal writer and
+// drives it to completion, crash, or divergence.
+func run(spec Spec, w *journal.Writer, dir string, kill bool) (*Result, error) {
+	defer w.Close()
+	capMethod, err := spec.method()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := spec.mode()
+	if err != nil {
+		return nil, err
+	}
+
+	// The federation is a slice of the default 28-site layout, rebuilt on
+	// a fresh kernel so event sequence numbers start from zero.
+	k := sim.NewKernel()
+	full := testbed.DefaultFederation(k, spec.Seed)
+	specs := make([]testbed.SiteSpec, 0, spec.FederationSites)
+	for i, s := range full.Sites() {
+		if i >= spec.FederationSites {
+			break
+		}
+		specs = append(specs, s.Spec)
+	}
+	k = sim.NewKernel()
+	fed, err := testbed.NewFederation(k, specs)
+	if err != nil {
+		return nil, err
+	}
+
+	reg := obs.NewKernelRegistry(k)
+	obs.CollectKernel(reg, k)
+	fed.SetObs(reg)
+	tracer := obs.NewKernelTracer(k)
+
+	c := &campaign{k: k, w: w, kill: kill}
+
+	var injector *faults.Engine
+	if spec.Faults != nil {
+		injector, err = faults.NewEngine(k, spec.Seed, *spec.Faults)
+		if err != nil {
+			return nil, err
+		}
+		injector.SetObs(reg)
+		injector.SetCrashFn(c.onCrashPoint)
+		if err := injector.Arm(fed); err != nil {
+			return nil, err
+		}
+	}
+
+	rules := health.DefaultRules()
+	if len(spec.HealthRules) > 0 {
+		if rules, err = health.ParseBytes(spec.HealthRules); err != nil {
+			return nil, err
+		}
+	}
+	monitor, err := health.NewMonitor(k, reg, tracer, health.Config{Rules: rules})
+	if err != nil {
+		return nil, err
+	}
+	monitor.Start()
+
+	store := telemetry.NewStore()
+	poller := telemetry.NewPoller(k, store, 30*sim.Second)
+	profiles := trafficgen.MakeSiteProfiles(spec.Seed, len(fed.Sites()))
+	var drivers []*patchwork.TrafficDriver
+	for i, s := range fed.Sites() {
+		poller.Watch(s.Switch)
+		gen := trafficgen.NewGenerator(profiles[i], spec.Seed+uint64(i))
+		d := patchwork.NewTrafficDriver(k, s, gen, nil)
+		d.WindowFrames = 150
+		drivers = append(drivers, d)
+		d.Start()
+	}
+	poller.Start()
+
+	cfg := patchwork.Config{
+		Mode:              mode,
+		Sites:             spec.Sites,
+		SampleDuration:    sim.Duration(spec.SampleSec) * sim.Second,
+		SampleInterval:    sim.Duration(spec.IntervalSec) * sim.Second,
+		SamplesPerRun:     spec.Samples,
+		Runs:              spec.Runs,
+		TruncateBytes:     spec.TruncateBytes,
+		Method:            capMethod,
+		InstancesWanted:   spec.Instances,
+		Seed:              spec.Seed,
+		StorageLimitBytes: spec.StorageLimitBytes,
+		Obs:               reg,
+		Tracer:            tracer,
+		Faults:            injector,
+		Storage:           &hostsim.Config{},
+		LogSink:           monitor,
+		Mutations:         c,
+	}
+	if spec.Nice {
+		cfg.Nice = &patchwork.NicePolicy{ScaleDownFreeNICs: 0, ScaleUpFreeNICs: 1}
+	}
+	coord, err := patchwork.NewCoordinator(fed, store, poller, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var sup *remedy.Supervisor
+	if spec.Remedy != nil {
+		sup, err = remedy.NewSupervisor(k, remedy.Config{
+			Policy:  *spec.Remedy,
+			Target:  coord,
+			Seed:    spec.Seed,
+			Obs:     reg,
+			Logf:    monitor.Logf,
+			Journal: c.remedyJournal,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sup.Attach(monitor)
+	}
+
+	replayed := w.Prefix()
+	if _, err := w.Append(0, journal.KindCampaignStart, "",
+		fmt.Sprintf("seed=%d sites=%d mode=%s", spec.Seed, len(fed.Sites()), spec.Mode)); err != nil {
+		return nil, err
+	}
+
+	checkpoint := func(now sim.Time) {
+		if c.err != nil || c.crashed {
+			return
+		}
+		cp := journal.Checkpoint{
+			Kernel: k.Checkpoint(),
+			State:  stateDigests(fed, reg, monitor, sup),
+		}
+		if err := w.WriteCheckpoint(now, cp); err != nil {
+			c.err = err
+		}
+	}
+	k.Every(sim.Duration(spec.CheckpointSec)*sim.Second, checkpoint)
+
+	var prof *patchwork.Profile
+	var runErr error
+	finished := false
+	coord.Start(func(p *patchwork.Profile, err error) {
+		prof, runErr = p, err
+		finished = true
+	})
+	for !finished && !c.crashed && c.err == nil {
+		if !k.Step() {
+			return nil, fmt.Errorf("campaign: simulation stalled before completion")
+		}
+	}
+	if c.err != nil {
+		return nil, c.err
+	}
+
+	res := &Result{
+		Registry: reg, Tracer: tracer, Monitor: monitor,
+		Supervisor: sup, Injector: injector, Federation: fed,
+		Replayed: replayed, Dir: dir,
+	}
+	if c.crashed {
+		// The simulated process died here: no teardown, no final
+		// checkpoint — exactly the state a real crash leaves behind.
+		res.Crashed, res.CrashedAt = true, c.crashedAt
+		return res, nil
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+	for _, d := range drivers {
+		d.Stop()
+	}
+	poller.Stop()
+	monitor.Stop()
+
+	checkpoint(k.Now())
+	if c.err != nil {
+		return nil, c.err
+	}
+	if _, err := w.Append(k.Now(), journal.KindCampaignEnd, "",
+		fmt.Sprintf("sites=%d success_rate=%.2f", len(prof.Bundles), prof.SuccessRate())); err != nil {
+		return nil, err
+	}
+	if w.Replaying() {
+		return nil, fmt.Errorf("campaign: finished with %d unreplayed WAL records — the journal is from a longer run",
+			w.Prefix())
+	}
+	res.Profile = prof
+	return res, nil
+}
+
+// stateDigests renders every stateful subsystem as a deterministic
+// string: per-site free resources, a metrics-dump hash, alert and
+// remediation counters. Replay verification string-compares these, so
+// any nondeterminism shows up as a divergence error at the next
+// checkpoint instead of silently corrupting the resumed run.
+func stateDigests(fed *testbed.Federation, reg *obs.Registry, m *health.Monitor, sup *remedy.Supervisor) map[string]string {
+	out := make(map[string]string)
+	sites := fed.Sites()
+	sorted := make([]*testbed.Site, len(sites))
+	copy(sorted, sites)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Spec.Name < sorted[j].Spec.Name })
+	for _, s := range sorted {
+		out["testbed:"+s.Spec.Name] = fmt.Sprintf("nics=%d fpga=%d cores=%d storage=%d",
+			s.FreeDedicatedNICs(), s.FreeFPGANICs(), s.FreeCores(), int64(s.FreeStorage()))
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err == nil {
+		h := fnv.New64a()
+		h.Write(buf.Bytes())
+		out["metrics"] = fmt.Sprintf("fnv64a=%016x series=%d", h.Sum64(), bytes.Count(buf.Bytes(), []byte{'\n'}))
+	}
+	out["alerts"] = fmt.Sprintf("events=%d dumps=%d", len(m.Events()), len(m.Dumps()))
+	if sup != nil {
+		out["remedy"] = fmt.Sprintf("actions=%d quarantined=%d", len(sup.Actions()), len(sup.Quarantined()))
+	}
+	return out
+}

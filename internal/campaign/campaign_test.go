@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/remedy"
+)
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{}.WithDefaults()
+	if s.Mode != "all" || s.Method != "tcpdump" || s.Seed != 1 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+	if s.IntervalSec != 2*s.SampleSec {
+		t.Errorf("IntervalSec = %d, want twice SampleSec %d", s.IntervalSec, s.SampleSec)
+	}
+	if s.CheckpointSec == 0 {
+		t.Error("checkpoint cadence must default on")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("defaulted spec must validate: %v", err)
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	base := Spec{}.WithDefaults()
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"bad mode", func(s *Spec) { s.Mode = "some" }},
+		{"bad method", func(s *Spec) { s.Method = "ebpf" }},
+		{"no sites", func(s *Spec) { s.FederationSites = 0 }},
+		{"bad checkpoint", func(s *Spec) { s.CheckpointSec = -1 }},
+		{"bad rules", func(s *Spec) { s.HealthRules = []byte(`{nope`) }},
+		{"bad policy", func(s *Spec) { s.Remedy = &remedy.Policy{} }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := base
+			c.mut(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("validation should fail")
+			}
+		})
+	}
+}
+
+// smallSpec is the cheapest campaign that exercises the whole pipeline.
+func smallSpec() Spec {
+	pol := remedy.DefaultPolicy()
+	return Spec{
+		FederationSites: 2, Runs: 1, Samples: 1,
+		SampleSec: 2, IntervalSec: 4, Seed: 3,
+		Remedy: &pol, CheckpointSec: 5,
+	}.WithDefaults()
+}
+
+func TestRunJournalsCampaign(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(smallSpec(), dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed || res.Profile == nil {
+		t.Fatalf("clean campaign: crashed=%v profile=%v", res.Crashed, res.Profile)
+	}
+	recs, err := journal.ReadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("WAL holds %d records, want at least start/mutations/end", len(recs))
+	}
+	if recs[0].Kind != journal.KindCampaignStart {
+		t.Errorf("first record %q, want campaign-start", recs[0].Kind)
+	}
+	if last := recs[len(recs)-1]; last.Kind != journal.KindCampaignEnd {
+		t.Errorf("last record %q, want campaign-end", last.Kind)
+	}
+	kinds := map[string]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+	}
+	if kinds[journal.KindSetup] == 0 || kinds[journal.KindRelease] == 0 {
+		t.Errorf("WAL missing setup/release mutations: %v", kinds)
+	}
+	if kinds[journal.KindCheckpoint] == 0 {
+		t.Errorf("WAL holds no checkpoints: %v", kinds)
+	}
+}
+
+func TestRunRefusesOccupiedDir(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(smallSpec(), dir, true); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(smallSpec(), dir, true)
+	if err == nil || !strings.Contains(err.Error(), "resume") {
+		t.Errorf("second Run in the same dir: err = %v, want refusal pointing at resume", err)
+	}
+}
+
+func TestResumeOfFinishedCampaignReplaysClean(t *testing.T) {
+	dir := t.TempDir()
+	first, err := Run(smallSpec(), dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resuming a campaign that already finished replays the whole WAL,
+	// verifies it, and lands in the same final state.
+	again, err := Resume(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Replayed == 0 {
+		t.Error("resume verified no records")
+	}
+	if again.Profile == nil || again.Profile.SuccessRate() != first.Profile.SuccessRate() {
+		t.Error("replayed campaign diverged from the original")
+	}
+}

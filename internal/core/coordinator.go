@@ -21,6 +21,9 @@ type Coordinator struct {
 
 	cfg Config
 	r   *rng.Source
+
+	// instances routes remediation actions to running site instances.
+	instances map[string]*siteInstance
 }
 
 // NewCoordinator wires a coordinator to a federation and its telemetry.
@@ -108,6 +111,7 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 		return
 	}
 	bundles := make([]Bundle, len(sites))
+	c.instances = make(map[string]*siteInstance, len(sites))
 	for i, site := range sites {
 		i, site := i, site
 		inst := &siteInstance{
@@ -120,6 +124,7 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 			parentSpan: expSpan,
 		}
 		inst.bundle.Site = site.Spec.Name
+		c.instances[site.Spec.Name] = inst
 		// Stagger starts slightly: the coordinator contacts sites one at
 		// a time (and the testbed's allocator handles small slices more
 		// happily than large ones).
@@ -136,6 +141,36 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 			})
 		})
 	}
+}
+
+// RemediateSite executes one remediation action against the named
+// site's running instance. It implements the remedy supervisor's Target
+// contract: the action strings are remedy's catalog, the note describes
+// what changed, and an error means this attempt failed (the supervisor
+// retries under its budgets). All mutations happen synchronously on the
+// caller's kernel event, keeping remediation deterministic.
+func (c *Coordinator) RemediateSite(action, site string) (string, error) {
+	inst := c.instances[site]
+	if inst == nil {
+		return "", fmt.Errorf("patchwork: no instance at site %q", site)
+	}
+	if inst.finished {
+		return "", fmt.Errorf("patchwork: instance at %q already finished", site)
+	}
+	if inst.done == nil {
+		return "", fmt.Errorf("patchwork: instance at %q not started yet", site)
+	}
+	switch action {
+	case "restart-listener":
+		return inst.remediateRestart()
+	case "reallocate":
+		return inst.remediateReallocate()
+	case "rearm-mirror":
+		return inst.remediateRearmMirror()
+	case "rotate-storage":
+		return inst.remediateRotateStorage()
+	}
+	return "", fmt.Errorf("patchwork: unknown remediation action %q", action)
 }
 
 // Run is the synchronous convenience wrapper: it starts the profile and

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"compress/gzip"
 	"fmt"
+	"sort"
 
 	"repro/internal/capture"
 	"repro/internal/hostsim"
@@ -139,11 +140,26 @@ type siteInstance struct {
 
 	slivers []*testbed.Sliver // one per listener (VM + dedicated NIC)
 
+	// Remediation state. pendingAvoid/pendingRealloc carry a
+	// half-finished re-allocation across retries (released but not yet
+	// replaced, with the failed sliver's NICs excluded); evictedBytes
+	// counts harvested bytes rotated off the VM's disk; finished marks
+	// the bundle delivered (no further remediation possible).
+	pendingAvoid   []int
+	pendingRealloc bool
+	evictedBytes   int64
+	finished       bool
+
 	// egress ports reserved for the listeners' NICs (not mirrorable).
 	egress []string
 	// candidates are the mirrorable ports.
 	candidates []string
 	history    map[string]int
+
+	// mirrors are the current cycle's active mirror sessions, in
+	// mirror-establishment order (empty between cycles). Kept on the
+	// instance so a remediation can re-arm them mid-cycle.
+	mirrors []mirrorPair
 
 	bundle  Bundle
 	crashed bool
@@ -160,6 +176,7 @@ type siteInstance struct {
 	// Setup-phase state: the retry loop is event-driven (scheduled on the
 	// kernel) so back-off delays consume sim time like everything else.
 	setupSpan     *obs.Span
+	setupStart    sim.Time
 	setupDeadline sim.Time
 	setupWant     int
 	// stallFn, when non-nil, injects capture-core stalls (resolved once
@@ -228,10 +245,32 @@ func (si *siteInstance) activeEgress() []string {
 	return si.egress[:n]
 }
 
-// releaseAll yields every held sliver.
+// mirrorPair tracks one active mirror session and the egress it clones
+// into.
+type mirrorPair struct {
+	mirrored, egress string
+	session          *switchsim.MirrorSession
+}
+
+// noteMutation feeds the campaign journal's mutation hook.
+func (si *siteInstance) noteMutation(kind, note string) {
+	if si.cfg.Mutations != nil {
+		si.cfg.Mutations.Mutate(kind, si.site.Spec.Name, note)
+	}
+}
+
+// releaseAll yields every held sliver. A sliver that is already gone
+// (released or reaped while we weren't looking — the site-outage case)
+// is the outcome we wanted, not an error.
 func (si *siteInstance) releaseAll() {
 	for _, sl := range si.slivers {
-		if err := si.site.Release(sl); err != nil {
+		err := si.site.Release(sl)
+		switch {
+		case err == nil:
+			si.noteMutation("release", fmt.Sprintf("sliver=%d", sl.ID))
+		case testbed.IsGone(err):
+			si.logf(LevelInfo, "teardown: sliver %d already gone", sl.ID)
+		default:
 			si.logf(LevelError, "teardown: %v", err)
 		}
 	}
@@ -297,6 +336,7 @@ func (si *siteInstance) allocateListener(n, attempt int) {
 	switch {
 	case err == nil:
 		si.slivers = append(si.slivers, sliver)
+		si.noteMutation("setup", fmt.Sprintf("listener=%d sliver=%d nics=%v", n, sliver.ID, sliver.NICs))
 		si.allocateListener(n+1, 0)
 	case testbed.IsResourceExhaustion(err):
 		// A genuine shortage is not worth retrying: stop asking for more
@@ -317,7 +357,11 @@ func (si *siteInstance) retryOrDegrade(n, attempt int, err error) {
 	pol := si.cfg.Retry
 	if !pol.Exhausted(attempt + 1) {
 		delay := pol.Delay(attempt, si.retryR)
-		if si.kernel.Now()+sim.Time(delay) <= si.setupDeadline {
+		// Both budgets must allow the retry: the phase deadline and the
+		// policy's own elapsed-time budget (MaxElapsed), measured from
+		// setup start.
+		next := si.kernel.Now() + sim.Time(delay)
+		if next <= si.setupDeadline && !pol.Expired(si.setupStart, next) {
 			si.mRetries.Inc()
 			si.logf(LevelWarn, "setup: transient failure for listener %d (attempt %d): %v; retrying in %v",
 				n, attempt+1, err, delay)
@@ -434,7 +478,8 @@ func (si *siteInstance) run(done func(Bundle)) {
 	}
 	si.siteSpan = si.parentSpan.Child("site", obs.L("site", si.site.Spec.Name))
 	si.setupSpan = si.siteSpan.Child("setup")
-	si.setupDeadline = si.kernel.Now() + sim.Time(si.cfg.SetupTimeout)
+	si.setupStart = si.kernel.Now()
+	si.setupDeadline = si.setupStart + sim.Time(si.cfg.SetupTimeout)
 	si.beginSetup()
 }
 
@@ -481,11 +526,7 @@ func (si *siteInstance) cycle(runIdx int) {
 	}
 	si.logf(LevelInfo, "cycle %d: mirroring %v", runIdx, ports)
 
-	type mirrorPair struct {
-		mirrored, egress string
-		session          *switchsim.MirrorSession
-	}
-	var pairs []mirrorPair
+	si.mirrors = nil
 	si.engines = make(map[string]*capture.Engine)
 	si.writers = make(map[string]*pcap.Writer)
 	si.bufs = make(map[string]*bytes.Buffer)
@@ -509,16 +550,7 @@ func (si *siteInstance) cycle(runIdx int) {
 			si.site.Switch.StopMirror(p)
 			continue
 		}
-		eng, err := capture.NewEngine(si.kernel, capture.Config{
-			Method:    si.cfg.Method,
-			SnapLen:   si.cfg.TruncateBytes,
-			Cores:     si.cfg.CaptureCores,
-			Host:      si.host,
-			Writer:    w,
-			Stall:     si.stallFn,
-			Obs:       si.cfg.Obs,
-			ObsLabels: []obs.Label{obs.L("site", si.site.Spec.Name)},
-		})
+		eng, err := si.buildEngine(w)
 		if err != nil {
 			si.logf(LevelError, "cycle %d: capture engine: %v", runIdx, err)
 			si.site.Switch.StopMirror(p)
@@ -528,7 +560,7 @@ func (si *siteInstance) cycle(runIdx int) {
 		si.engines[eg] = eng
 		si.writers[eg] = w
 		si.bufs[eg] = buf
-		pairs = append(pairs, mirrorPair{p, eg, sess})
+		si.mirrors = append(si.mirrors, mirrorPair{p, eg, sess})
 	}
 
 	// Take SamplesPerRun samples at SampleInterval spacing; each sample
@@ -539,10 +571,11 @@ func (si *siteInstance) cycle(runIdx int) {
 	takeSample = func() {
 		if sampleIdx >= si.cfg.SamplesPerRun {
 			// End of run: tear down mirrors, bundle this cycle's pcaps.
-			for _, mp := range pairs {
+			for _, mp := range si.mirrors {
 				si.site.Switch.StopMirror(mp.mirrored)
 				si.site.Switch.Port(mp.egress).SetReceiver(nil)
 			}
+			si.mirrors = nil
 			harvestSpan := si.cycleSpan.Child("harvest")
 			si.harvestCycle()
 			harvestSpan.Annotate("pcaps", fmt.Sprintf("%d", len(si.bundle.CompressedPcaps)))
@@ -556,7 +589,7 @@ func (si *siteInstance) cycle(runIdx int) {
 		si.kernel.After(si.cfg.SampleDuration, func() {
 			// Sample ends: snapshot stats and check for switch congestion.
 			si.poller.PollNow()
-			for _, mp := range pairs {
+			for _, mp := range si.mirrors {
 				eng := si.engines[mp.egress]
 				if eng == nil {
 					continue
@@ -610,25 +643,165 @@ func (si *siteInstance) checkCongestion(mirrored, egress string) {
 	}
 }
 
-// checkStorage is the watchdog's out-of-storage check: a VM that fills
-// its allocation crashes the instance (the paper's example of abnormal
-// termination).
-func (si *siteInstance) checkStorage() {
+// buildEngine constructs a capture engine over an existing pcap writer
+// with the instance's standing configuration — used at cycle start and
+// again when a remediation restarts a stalled listener in place.
+func (si *siteInstance) buildEngine(w *pcap.Writer) (*capture.Engine, error) {
+	return capture.NewEngine(si.kernel, capture.Config{
+		Method:    si.cfg.Method,
+		SnapLen:   si.cfg.TruncateBytes,
+		Cores:     si.cfg.CaptureCores,
+		Host:      si.host,
+		Writer:    w,
+		Stall:     si.stallFn,
+		Obs:       si.cfg.Obs,
+		ObsLabels: []obs.Label{obs.L("site", si.site.Spec.Name)},
+	})
+}
+
+// onDiskBytes is the watchdog's view of occupied VM storage: harvested
+// bytes plus the live engines' stored bytes, minus what rotation has
+// evicted.
+func (si *siteInstance) onDiskBytes() int64 {
 	var stored int64
 	for _, eng := range si.engines {
 		stored += eng.Stats.StoredBytes
 	}
-	free := si.cfg.StorageLimitBytes - (si.totalStored + stored)
+	return si.totalStored + stored - si.evictedBytes
+}
+
+// checkStorage is the watchdog's out-of-storage check: a VM that fills
+// its allocation crashes the instance (the paper's example of abnormal
+// termination).
+func (si *siteInstance) checkStorage() {
+	onDisk := si.onDiskBytes()
+	free := si.cfg.StorageLimitBytes - onDisk
 	if free < 0 {
 		free = 0
 	}
 	si.mFreeBytes.Set(float64(free))
-	if si.totalStored+stored > si.cfg.StorageLimitBytes {
-		si.logf(LevelError, "watchdog: VM storage exhausted (%d bytes captured)", si.totalStored+stored)
+	if onDisk > si.cfg.StorageLimitBytes {
+		si.logf(LevelError, "watchdog: VM storage exhausted (%d bytes captured)", onDisk)
 		si.bundle.Outcome = OutcomeIncomplete
 		si.bundle.FailureReason = "out of storage"
 		si.crashed = true
 	}
+}
+
+// remediateRestart tears down and rebuilds every live capture engine in
+// place: stats-to-date are folded into the harvest accounting, a fresh
+// engine takes over the same pcap stream, and the egress port's
+// receiver is re-pointed. Egress ports are visited in sorted order so
+// the action's effects are deterministic.
+func (si *siteInstance) remediateRestart() (string, error) {
+	if len(si.engines) == 0 {
+		return "", fmt.Errorf("no live capture engines to restart")
+	}
+	egs := make([]string, 0, len(si.engines))
+	for eg := range si.engines {
+		egs = append(egs, eg)
+	}
+	sort.Strings(egs)
+	for _, eg := range egs {
+		old := si.engines[eg]
+		old.Flush()
+		si.totalStored += old.Stats.StoredBytes
+		eng, err := si.buildEngine(si.writers[eg])
+		if err != nil {
+			return "", fmt.Errorf("rebuilding engine on %s: %w", eg, err)
+		}
+		si.site.Switch.Port(eg).SetReceiver(eng)
+		si.engines[eg] = eng
+	}
+	note := fmt.Sprintf("restarted %d capture engines on %v", len(egs), egs)
+	si.noteMutation("restart-listener", note)
+	si.logf(LevelInfo, "remedy: %s", note)
+	return note, nil
+}
+
+// remediateReallocate moves the newest listener to different hardware:
+// release the sliver (already-gone counts as released — the testbed may
+// have reaped it during the outage we are recovering from), then
+// allocate a replacement excluding the NICs the failed sliver held. The
+// half-finished state survives retries: a failed allocation leaves the
+// release in place and the next attempt resumes at the allocate step.
+func (si *siteInstance) remediateReallocate() (string, error) {
+	now := si.kernel.Now()
+	if !si.pendingRealloc {
+		if len(si.slivers) == 0 {
+			return "", fmt.Errorf("no slivers held")
+		}
+		last := si.slivers[len(si.slivers)-1]
+		avoid := append([]int(nil), last.NICs...)
+		err := si.site.Release(last)
+		switch {
+		case err == nil:
+			si.noteMutation("release", fmt.Sprintf("sliver=%d reason=reallocate", last.ID))
+		case testbed.IsGone(err):
+			// Already reaped: exactly the outcome a release wants.
+			si.logf(LevelInfo, "remedy: sliver %d already gone, proceeding to re-allocate", last.ID)
+		default:
+			return "", fmt.Errorf("releasing sliver %d: %w", last.ID, err)
+		}
+		si.slivers = si.slivers[:len(si.slivers)-1]
+		si.pendingRealloc, si.pendingAvoid = true, avoid
+	}
+	req := defaultRequest(fmt.Sprintf("patchwork-%s-realloc", si.site.Spec.Name), 1)
+	req.AvoidNICs = si.pendingAvoid
+	sliver, err := si.site.Allocate(now, req)
+	if err != nil {
+		return "", err
+	}
+	si.slivers = append(si.slivers, sliver)
+	note := fmt.Sprintf("sliver=%d nics=%v avoided=%v", sliver.ID, sliver.NICs, si.pendingAvoid)
+	si.pendingRealloc, si.pendingAvoid = false, nil
+	si.noteMutation("setup", "reallocated "+note)
+	si.logf(LevelInfo, "remedy: reallocated %s", note)
+	return "reallocated " + note, nil
+}
+
+// remediateRearmMirror stops and restarts every active mirror session,
+// clearing a corrupted mirror-table entry; the fresh sessions replace
+// the old in the cycle's sample accounting.
+func (si *siteInstance) remediateRearmMirror() (string, error) {
+	if len(si.mirrors) == 0 {
+		return "", fmt.Errorf("no active mirror sessions")
+	}
+	for i := range si.mirrors {
+		mp := &si.mirrors[i]
+		si.site.Switch.StopMirror(mp.mirrored)
+		sess, err := si.site.Switch.StartMirror(mp.mirrored, switchsim.DirBoth, mp.egress)
+		if err != nil {
+			return "", fmt.Errorf("re-arming mirror %s->%s: %w", mp.mirrored, mp.egress, err)
+		}
+		mp.session = sess
+	}
+	note := fmt.Sprintf("rearmed %d mirror sessions", len(si.mirrors))
+	si.noteMutation("rearm-mirror", note)
+	si.logf(LevelInfo, "remedy: %s", note)
+	return note, nil
+}
+
+// remediateRotateStorage evicts harvested capture bytes from the VM's
+// disk (the bundle keeps its compressed copies — rotation models
+// shipping them off-VM), pulling the free-bytes gauge back up before
+// the watchdog kills the run. Bytes still held by live engines cannot
+// be rotated.
+func (si *siteInstance) remediateRotateStorage() (string, error) {
+	evict := si.totalStored - si.evictedBytes
+	if evict <= 0 {
+		return "", fmt.Errorf("nothing to rotate: no harvested bytes on disk")
+	}
+	si.evictedBytes += evict
+	free := si.cfg.StorageLimitBytes - si.onDiskBytes()
+	if free < 0 {
+		free = 0
+	}
+	si.mFreeBytes.Set(float64(free))
+	note := fmt.Sprintf("evicted %d harvested bytes, %d free", evict, free)
+	si.noteMutation("rotate-storage", note)
+	si.logf(LevelInfo, "remedy: %s", note)
+	return note, nil
 }
 
 // harvestCycle compresses each engine's pcap stream into the bundle.
@@ -666,6 +839,7 @@ func (si *siteInstance) notePortSampled(p string) {
 
 // finish yields resources back to the testbed and delivers the bundle.
 func (si *siteInstance) finish() {
+	si.finished = true
 	si.releaseAll()
 	if si.bundle.Outcome == OutcomeSuccess && si.bundle.InstancesGranted < si.bundle.InstancesRequested &&
 		si.bundle.InstancesGranted > 0 {

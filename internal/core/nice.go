@@ -78,6 +78,7 @@ func (si *siteInstance) applyNicePolicy() {
 		}
 		from := len(si.slivers)
 		si.slivers = si.slivers[:len(si.slivers)-1]
+		si.noteMutation("release", fmt.Sprintf("sliver=%d reason=nice", last.ID))
 		ev := ScaleEvent{At: now, From: from, To: si.granted(),
 			Reason: fmt.Sprintf("site down to %d free NICs", free)}
 		si.bundle.ScaleEvents = append(si.bundle.ScaleEvents, ev)
@@ -93,6 +94,7 @@ func (si *siteInstance) applyNicePolicy() {
 		}
 		from := len(si.slivers)
 		si.slivers = append(si.slivers, sliver)
+		si.noteMutation("setup", fmt.Sprintf("sliver=%d nics=%v reason=nice", sliver.ID, sliver.NICs))
 		ev := ScaleEvent{At: now, From: from, To: si.granted(),
 			Reason: fmt.Sprintf("site back to %d free NICs", free)}
 		si.bundle.ScaleEvents = append(si.bundle.ScaleEvents, ev)

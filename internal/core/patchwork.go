@@ -122,6 +122,19 @@ type Config struct {
 	// appended to a site bundle. The health monitor's flight recorder
 	// implements this; anything else with the same shape works too.
 	LogSink LogSink
+	// Mutations, when set, receives every deployment mutation (listener
+	// setup, sliver release, storage rotation, mirror re-arm) as it
+	// happens, in deterministic order. The campaign journal implements
+	// this to build its write-ahead log; nil disables the hook.
+	Mutations MutationSink
+}
+
+// MutationSink observes deployment mutations for crash-consistent
+// journaling. Kind is an open string set ("setup", "release",
+// "rotate-storage", …); site names the site mutated; note carries the
+// deterministic detail line that lands in the WAL.
+type MutationSink interface {
+	Mutate(kind, site, note string)
 }
 
 // LogSink receives copies of run-log lines for live consumers (the
@@ -165,6 +178,12 @@ func (c Config) withDefaults() Config {
 	c.Retry = c.Retry.WithDefaults()
 	if c.SetupTimeout == 0 {
 		c.SetupTimeout = 10 * sim.Minute
+	}
+	if c.Retry.MaxElapsed == 0 {
+		// The elapsed retry budget defaults to the setup deadline: a
+		// policy with generous attempts must still not retry past the
+		// phase that contains it.
+		c.Retry.MaxElapsed = sim.Duration(c.SetupTimeout)
 	}
 	return c
 }

@@ -114,6 +114,14 @@ type CaptureStall struct {
 	Window
 }
 
+// CrashPoint kills the whole campaign process at AtSec — the chaos
+// lever behind crash-resume testing. The campaign journal appends a
+// crash record before dying, and a later -resume replays past it (an
+// already-journaled crash point does not fire twice).
+type CrashPoint struct {
+	AtSec float64 `json:"at_sec"`
+}
+
 // Plan is a complete, replayable fault schedule.
 type Plan struct {
 	// Name labels the plan in logs and metrics.
@@ -126,13 +134,15 @@ type Plan struct {
 	MirrorCorruptions   []MirrorCorruption   `json:"mirror_corruptions,omitempty"`
 	StorageSlowdowns    []StorageSlowdown    `json:"storage_slowdowns,omitempty"`
 	CaptureStalls       []CaptureStall       `json:"capture_stalls,omitempty"`
+	CrashPoints         []CrashPoint         `json:"crash_points,omitempty"`
 }
 
 // Empty reports whether the plan schedules nothing.
 func (p Plan) Empty() bool {
 	return len(p.AllocatorTransients) == 0 && len(p.SiteOutages) == 0 &&
 		len(p.PortFlaps) == 0 && len(p.MirrorCorruptions) == 0 &&
-		len(p.StorageSlowdowns) == 0 && len(p.CaptureStalls) == 0
+		len(p.StorageSlowdowns) == 0 && len(p.CaptureStalls) == 0 &&
+		len(p.CrashPoints) == 0
 }
 
 // Validate rejects malformed plans with an error naming the bad entry.
@@ -201,6 +211,11 @@ func (p Plan) Validate() error {
 			return err
 		}
 	}
+	for i, c := range p.CrashPoints {
+		if c.AtSec <= 0 {
+			return fmt.Errorf("faults: crash_points[%d]: at_sec %g must be > 0", i, c.AtSec)
+		}
+	}
 	return nil
 }
 
@@ -241,6 +256,7 @@ const (
 	KindMirrorCorruption   = "mirror-corruption"
 	KindStorageSlowdown    = "storage-slowdown"
 	KindCaptureStall       = "capture-stall"
+	KindCrashPoint         = "crash-point"
 )
 
 // Engine drives one plan through a federation. Create it with NewEngine,
@@ -252,6 +268,11 @@ type Engine struct {
 	plan   Plan
 	root   *rng.Source
 	armed  bool
+
+	// crashFn, when set before Arm, receives each crash point's trigger
+	// time. The campaign layer installs the journal-then-die behavior;
+	// without a crash fn crash points only count as injections.
+	crashFn func(at sim.Time)
 
 	// stalls and slowdowns index per-site closures resolved at Arm time.
 	stalls    map[string][]*stallState
@@ -284,6 +305,11 @@ func NewEngine(k *sim.Kernel, seed uint64, plan Plan) (*Engine, error) {
 
 // Plan returns the engine's (validated) plan.
 func (e *Engine) Plan() Plan { return e.plan }
+
+// SetCrashFn installs the handler crash points fire through. Call
+// before Arm; the handler runs on the kernel at each crash point's
+// AtSec after the injection is counted.
+func (e *Engine) SetCrashFn(f func(at sim.Time)) { e.crashFn = f }
 
 // SetObs attaches a registry; injections are then counted per kind under
 // faults_injected_total. Call before Arm.
@@ -489,6 +515,18 @@ func (e *Engine) Arm(fed *testbed.Federation) error {
 		for _, s := range sites {
 			e.stalls[s.Spec.Name] = append(e.stalls[s.Spec.Name], &stallState{spec: c, r: e.root.Split()})
 		}
+	}
+
+	// Crash points: counted, then handed to the campaign layer to
+	// journal and kill the process.
+	for _, c := range e.plan.CrashPoints {
+		at := secs(c.AtSec)
+		e.kernel.At(at, func() {
+			e.note(KindCrashPoint)
+			if e.crashFn != nil {
+				e.crashFn(at)
+			}
+		})
 	}
 	return nil
 }

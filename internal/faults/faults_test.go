@@ -309,3 +309,68 @@ func TestSummary(t *testing.T) {
 		t.Errorf("InjectedTotal = %d", e.InjectedTotal())
 	}
 }
+
+func TestCrashPointValidation(t *testing.T) {
+	if _, err := Parse([]byte(`{"crash_points": [{"at_sec": 0}]}`)); err == nil {
+		t.Error("crash point at t=0 should be rejected")
+	}
+	if _, err := Parse([]byte(`{"crash_points": [{"at_sec": -1}]}`)); err == nil {
+		t.Error("negative crash point should be rejected")
+	}
+	p, err := Parse([]byte(`{"crash_points": [{"at_sec": 5}, {"at_sec": 9}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() {
+		t.Error("a plan with crash points is not empty")
+	}
+}
+
+func TestCrashPointsFireInOrder(t *testing.T) {
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR")
+	plan := Plan{CrashPoints: []CrashPoint{{AtSec: 5}, {AtSec: 9}}}
+	e, err := NewEngine(k, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fired []sim.Time
+	e.SetCrashFn(func(at sim.Time) { fired = append(fired, at) })
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(20 * sim.Time(sim.Second))
+	want := []sim.Time{5 * sim.Time(sim.Second), 9 * sim.Time(sim.Second)}
+	if len(fired) != len(want) {
+		t.Fatalf("crash fn fired %d times (%v), want %d", len(fired), fired, len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("crash %d at %v, want %v", i, fired[i], want[i])
+		}
+	}
+	if got := e.Injected()[KindCrashPoint]; got != 2 {
+		t.Errorf("injected crash-point = %d, want 2", got)
+	}
+	if !strings.Contains(e.Summary(), "crash-point=2") {
+		t.Errorf("summary %q should count crash points", e.Summary())
+	}
+}
+
+func TestCrashPointWithoutFnIsCounted(t *testing.T) {
+	// An engine without a crash fn (no journal attached) still counts the
+	// injection — the plan stays replayable either way.
+	k := sim.NewKernel()
+	fed := testFed(t, k, "STAR")
+	e, err := NewEngine(k, 1, Plan{CrashPoints: []CrashPoint{{AtSec: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Arm(fed); err != nil {
+		t.Fatal(err)
+	}
+	k.RunUntil(5 * sim.Time(sim.Second))
+	if got := e.Injected()[KindCrashPoint]; got != 1 {
+		t.Errorf("injected crash-point = %d, want 1", got)
+	}
+}

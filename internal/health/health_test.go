@@ -404,3 +404,88 @@ func TestStatusView(t *testing.T) {
 		}
 	}
 }
+
+func TestSubscribeObservesTransitions(t *testing.T) {
+	const rules = `{"rules":[{
+		"name":"drop-rate","severity":"critical","for_sec":2,
+		"threshold":{"expr":{"metric":"drops_total","agg":"rate","window_sec":5},"op":">","value":1}
+	}]}`
+	k, reg, m := monitorFixture(t, rules, Config{})
+	var first, second []AlertEvent
+	m.Subscribe(func(ev AlertEvent) { first = append(first, ev) })
+	m.Subscribe(func(ev AlertEvent) { second = append(second, ev) })
+	m.Subscribe(nil) // nil subscribers are ignored, not called
+	drops := reg.Counter("drops_total", obs.L("site", "STAR"))
+	m.Start()
+	for i := 4; i <= 9; i++ {
+		k.At(sim.Time(i)*sim.Time(sim.Second)-1, func() { drops.Add(5) })
+	}
+	k.RunUntil(20 * sim.Time(sim.Second))
+	events := m.Events()
+	if len(events) == 0 {
+		t.Fatal("no transitions recorded")
+	}
+	if len(first) != len(events) || len(second) != len(events) {
+		t.Fatalf("subscribers saw %d/%d events, monitor recorded %d",
+			len(first), len(second), len(events))
+	}
+	for i := range events {
+		if first[i] != events[i] || second[i] != events[i] {
+			t.Errorf("event %d: subscriber copies diverge from monitor record", i)
+		}
+	}
+}
+
+// TestResolveAndRefireSameWindow: a rule that fires, resolves, and
+// fires again while the original samples are still inside its window
+// must emit two distinct firing events and freeze two distinct
+// flight-recorder dumps — remediation hysteresis depends on every
+// firing edge being observable.
+func TestResolveAndRefireSameWindow(t *testing.T) {
+	const rules = `{"rules":[{
+		"name":"drop-rate","severity":"critical","for_sec":2,
+		"threshold":{"expr":{"metric":"drops_total","agg":"rate","window_sec":5},"op":">","value":1}
+	}]}`
+	k, reg, m := monitorFixture(t, rules, Config{})
+	drops := reg.Counter("drops_total", obs.L("site", "STAR"))
+	m.Start()
+	// Two bursts separated by a quiet gap long enough to resolve but
+	// short enough that the second burst lands in the same ring window.
+	for i := 4; i <= 7; i++ {
+		k.At(sim.Time(i)*sim.Time(sim.Second)-1, func() { drops.Add(5) })
+	}
+	for i := 15; i <= 18; i++ {
+		k.At(sim.Time(i)*sim.Time(sim.Second)-1, func() { drops.Add(5) })
+	}
+	k.RunUntil(30 * sim.Time(sim.Second))
+
+	var firings, resolves []AlertEvent
+	for _, ev := range m.Events() {
+		switch ev.State {
+		case "firing":
+			firings = append(firings, ev)
+		case "resolved":
+			resolves = append(resolves, ev)
+		}
+	}
+	if len(firings) != 2 {
+		t.Fatalf("firing events = %d (%v), want 2", len(firings), firings)
+	}
+	if len(resolves) != 2 {
+		t.Errorf("resolved events = %d, want 2 (each burst resolves)", len(resolves))
+	}
+	if firings[0].At == firings[1].At {
+		t.Error("the two firings carry the same timestamp")
+	}
+	if !(firings[0].At < resolves[0].At && resolves[0].At < firings[1].At) {
+		t.Errorf("lifecycle out of order: fire=%v resolve=%v refire=%v",
+			firings[0].At, resolves[0].At, firings[1].At)
+	}
+	dumps := m.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("dumps = %d, want one per firing", len(dumps))
+	}
+	if dumps[0].Name == dumps[1].Name {
+		t.Errorf("both dumps share the name %q; firings must freeze distinct dumps", dumps[0].Name)
+	}
+}

@@ -95,6 +95,10 @@ type Monitor struct {
 	events []AlertEvent
 	rec    *recorder
 	dumps  []Dump
+
+	// subscribers are notified of every transition after OnTransition,
+	// in subscription order (see Subscribe).
+	subscribers []func(AlertEvent)
 }
 
 // Dump is one frozen flight-recorder capture.
@@ -157,6 +161,21 @@ func (m *Monitor) Logf(source, level, format string, args ...any) {
 		return
 	}
 	m.rec.log(m.k.Now(), source, level, fmt.Sprintf(format, args...))
+}
+
+// Subscribe registers an additional observer for every firing/resolved
+// transition. Subscribers run synchronously inside the monitor tick, in
+// subscription order, after Config.OnTransition; a subscriber that
+// needs to take action (e.g. a remediation supervisor) should schedule
+// kernel events rather than mutate the world reentrantly. Subscribe is
+// the supervisor-facing API: unlike the single OnTransition hook it
+// composes, so artifact writers and the remedy supervisor can both
+// observe one monitor.
+func (m *Monitor) Subscribe(fn func(AlertEvent)) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.subscribers = append(m.subscribers, fn)
 }
 
 // Events returns every firing/resolved transition so far, in order.
@@ -420,6 +439,9 @@ func (m *Monitor) emit(ev AlertEvent, fired *Rule) {
 	m.events = append(m.events, ev)
 	if m.cfg.OnTransition != nil {
 		m.cfg.OnTransition(ev)
+	}
+	for _, fn := range m.subscribers {
+		fn(ev)
 	}
 	if fired == nil {
 		return

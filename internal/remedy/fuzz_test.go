@@ -1,0 +1,50 @@
+package remedy
+
+import "testing"
+
+// FuzzParsePolicy hammers the remediation-policy parser: whatever the
+// input, it must never panic, and any policy it accepts must be
+// internally consistent (validated actions, no duplicate rule names,
+// sane rate/budget numbers) and must re-validate after a round trip.
+func FuzzParsePolicy(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"rules":[]}`))
+	f.Add(defaultPolicyJSON)
+	f.Add([]byte(`{"name":"x","rate":{"actions_per_sec":2,"burst":4},"quarantine_after":2,` +
+		`"rules":[{"name":"a","on_rule":"r","action":"rotate-storage","cooldown_sec":1.5}]}`))
+	f.Add([]byte(`{"rules":[{"name":"a","on_rule":"r","action":"reallocate","max_attempts":3,"max_elapsed_sec":60}]}`))
+	f.Add([]byte(`{"rules":[{"name":"a","on_rule":"r","action":"rearm-mirror"`)) // truncated
+	f.Add([]byte(`{"rate":{"actions_per_sec":-1}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParsePolicy(data)
+		if err != nil {
+			return
+		}
+		if len(p.Rules) == 0 {
+			t.Fatal("accepted a policy with no rules")
+		}
+		seen := make(map[string]bool)
+		for _, r := range p.Rules {
+			if !knownActions[r.Action] {
+				t.Fatalf("accepted unknown action %q", r.Action)
+			}
+			if r.Name == "" || r.OnRule == "" {
+				t.Fatalf("accepted unnamed binding %+v", r)
+			}
+			if seen[r.Name] {
+				t.Fatalf("accepted duplicate rule %q", r.Name)
+			}
+			seen[r.Name] = true
+			if r.CooldownSec < 0 || r.MaxAttempts < 0 || r.MaxElapsedSec < 0 {
+				t.Fatalf("accepted negative budget %+v", r)
+			}
+		}
+		if p.Rate != nil && (p.Rate.ActionsPerSec <= 0 || p.Rate.Burst < 1) {
+			t.Fatalf("accepted bad rate %+v", p.Rate)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted policy fails re-validation: %v", err)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package remedy closes Patchwork's control loop: a supervisor
+// subscribes to health alert transitions and executes declarative JSON
+// remediation policies — restart a stalled listener, re-allocate a
+// slice away from failed hardware, re-arm a corrupted mirror session,
+// rotate storage under pressure — and quarantines a site after
+// repeated failed recoveries. Every action is scheduled on the sim
+// kernel and retried through internal/retry with per-action budgets, a
+// token-bucket rate limit against remediation storms, and hysteresis
+// (alerts only fire after their for_sec hold, and each (rule,
+// instance) pair is cooled down between actions), so same-seed runs
+// produce byte-identical remediation logs.
+package remedy
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Actions in the remediation catalog. Each maps to a re-setup path the
+// core coordinator exposes (see Target).
+const (
+	// ActionRestartListener tears down and rebuilds a site's capture
+	// engines in place — the fix for a stalled or wedged listener.
+	ActionRestartListener = "restart-listener"
+	// ActionReallocate releases the site's newest sliver and allocates
+	// a replacement excluding the NICs the failed sliver held.
+	ActionReallocate = "reallocate"
+	// ActionRearmMirror stops and restarts every mirror session feeding
+	// the site's listeners, clearing corrupted mirror-table entries.
+	ActionRearmMirror = "rearm-mirror"
+	// ActionRotateStorage evicts the oldest captured bytes on the
+	// site's store, freeing space before the watchdog kills the run.
+	ActionRotateStorage = "rotate-storage"
+)
+
+// knownActions gates policy validation.
+var knownActions = map[string]bool{
+	ActionRestartListener: true,
+	ActionReallocate:      true,
+	ActionRearmMirror:     true,
+	ActionRotateStorage:   true,
+}
+
+// RateSpec is the supervisor-wide token bucket: at most Burst actions
+// back to back, refilling at ActionsPerSec (sim time).
+type RateSpec struct {
+	ActionsPerSec float64 `json:"actions_per_sec"`
+	Burst         int     `json:"burst"`
+}
+
+// ActionRule binds one alert rule to one remediation action.
+type ActionRule struct {
+	// Name labels the binding in logs.
+	Name string `json:"name"`
+	// OnRule is the health rule whose firing transitions trigger this
+	// action (resolved transitions never trigger anything).
+	OnRule string `json:"on_rule"`
+	// Action is one of the catalog actions above.
+	Action string `json:"action"`
+	// CooldownSec suppresses re-triggering for the same (rule,
+	// instance) pair for this many sim-seconds after an action is
+	// accepted (default 30).
+	CooldownSec float64 `json:"cooldown_sec,omitempty"`
+	// MaxAttempts bounds tries per triggered action, including the
+	// first (default: the retry policy's).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// MaxElapsedSec bounds the total sim time spent retrying one
+	// triggered action (default: the retry policy's MaxElapsed).
+	MaxElapsedSec float64 `json:"max_elapsed_sec,omitempty"`
+}
+
+// Policy is a complete remediation policy document.
+type Policy struct {
+	// Name labels the policy in logs and artifacts.
+	Name string `json:"name,omitempty"`
+	// Rate is the supervisor-wide action rate limit; nil disables
+	// rate limiting.
+	Rate *RateSpec `json:"rate,omitempty"`
+	// QuarantineAfter quarantines a site after this many consecutive
+	// failed recoveries there (0 disables quarantine). A quarantined
+	// site gets no further remediation; the supervisor escalates to the
+	// log and journal instead.
+	QuarantineAfter int `json:"quarantine_after,omitempty"`
+	// Rules bind alert rules to actions, evaluated in declaration
+	// order; every matching rule triggers.
+	Rules []ActionRule `json:"rules"`
+}
+
+// Validate rejects malformed policies with an error naming the bad
+// entry.
+func (p Policy) Validate() error {
+	if p.Rate != nil {
+		if p.Rate.ActionsPerSec <= 0 {
+			return fmt.Errorf("remedy: rate: actions_per_sec %g must be > 0", p.Rate.ActionsPerSec)
+		}
+		if p.Rate.Burst < 1 {
+			return fmt.Errorf("remedy: rate: burst %d must be >= 1", p.Rate.Burst)
+		}
+	}
+	if p.QuarantineAfter < 0 {
+		return fmt.Errorf("remedy: quarantine_after %d must not be negative", p.QuarantineAfter)
+	}
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("remedy: policy has no rules")
+	}
+	names := make(map[string]bool)
+	for i, r := range p.Rules {
+		what := fmt.Sprintf("rules[%d]", i)
+		if r.Name == "" {
+			return fmt.Errorf("remedy: %s: name required", what)
+		}
+		if names[r.Name] {
+			return fmt.Errorf("remedy: duplicate rule %q", r.Name)
+		}
+		names[r.Name] = true
+		if r.OnRule == "" {
+			return fmt.Errorf("remedy: %s (%s): on_rule required", what, r.Name)
+		}
+		if !knownActions[r.Action] {
+			return fmt.Errorf("remedy: %s (%s): unknown action %q", what, r.Name, r.Action)
+		}
+		if r.CooldownSec < 0 {
+			return fmt.Errorf("remedy: %s (%s): negative cooldown_sec", what, r.Name)
+		}
+		if r.MaxAttempts < 0 {
+			return fmt.Errorf("remedy: %s (%s): negative max_attempts", what, r.Name)
+		}
+		if r.MaxElapsedSec < 0 {
+			return fmt.Errorf("remedy: %s (%s): negative max_elapsed_sec", what, r.Name)
+		}
+	}
+	return nil
+}
+
+// ParsePolicy decodes and validates a JSON policy. Unknown fields are
+// errors so a typo in a policy file fails loudly instead of silently
+// never remediating.
+func ParsePolicy(data []byte) (Policy, error) {
+	var p Policy
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Policy{}, fmt.Errorf("remedy: parsing policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Policy{}, err
+	}
+	return p, nil
+}
+
+// LoadPolicy reads and parses a policy file.
+func LoadPolicy(path string) (Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Policy{}, fmt.Errorf("remedy: %w", err)
+	}
+	p, err := ParsePolicy(data)
+	if err != nil {
+		return Policy{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+//go:embed policy_default.json
+var defaultPolicyJSON []byte
+
+// DefaultPolicy returns the bundled policy wiring the bundled health
+// rules to the full action catalog.
+func DefaultPolicy() Policy {
+	p, err := ParsePolicy(defaultPolicyJSON)
+	if err != nil {
+		panic("remedy: embedded default policy is invalid: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,257 @@
+package remedy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/health"
+	"repro/internal/retry"
+	"repro/internal/sim"
+)
+
+func TestDefaultPolicyParses(t *testing.T) {
+	p := DefaultPolicy()
+	if len(p.Rules) < 4 {
+		t.Fatalf("default policy has %d rules, want >= 4", len(p.Rules))
+	}
+	covered := make(map[string]bool)
+	for _, r := range p.Rules {
+		covered[r.Action] = true
+	}
+	for _, a := range []string{ActionRestartListener, ActionReallocate, ActionRearmMirror, ActionRotateStorage} {
+		if !covered[a] {
+			t.Errorf("default policy does not exercise %s", a)
+		}
+	}
+	if p.Rate == nil || p.QuarantineAfter == 0 {
+		t.Error("default policy should rate-limit and quarantine")
+	}
+}
+
+func TestParsePolicyRejectsBadDocuments(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"unknown field", `{"rules":[{"name":"a","on_rule":"r","action":"reallocate"}],"bogus":1}`},
+		{"no rules", `{"name":"x"}`},
+		{"unknown action", `{"rules":[{"name":"a","on_rule":"r","action":"reboot-universe"}]}`},
+		{"missing on_rule", `{"rules":[{"name":"a","action":"reallocate"}]}`},
+		{"duplicate rule", `{"rules":[{"name":"a","on_rule":"r","action":"reallocate"},{"name":"a","on_rule":"r2","action":"reallocate"}]}`},
+		{"bad rate", `{"rate":{"actions_per_sec":0,"burst":1},"rules":[{"name":"a","on_rule":"r","action":"reallocate"}]}`},
+		{"negative cooldown", `{"rules":[{"name":"a","on_rule":"r","action":"reallocate","cooldown_sec":-1}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := ParsePolicy([]byte(tc.doc)); err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+		}
+	}
+}
+
+// fakeTarget scripts per-site outcomes: failUntil[site] attempts fail
+// before one succeeds; failAlways[site] never succeeds.
+type fakeTarget struct {
+	calls      []string
+	failN      map[string]int
+	failAlways map[string]bool
+}
+
+func (ft *fakeTarget) RemediateSite(action, site string) (string, error) {
+	ft.calls = append(ft.calls, action+"@"+site)
+	if ft.failAlways[site] {
+		return "", errors.New("still down")
+	}
+	if ft.failN[site] > 0 {
+		ft.failN[site]--
+		return "", errors.New("transient")
+	}
+	return "done", nil
+}
+
+func testPolicy(quarAfter int) Policy {
+	return Policy{
+		Name:            "test",
+		QuarantineAfter: quarAfter,
+		Rules: []ActionRule{
+			{Name: "restart", OnRule: "listener-stale", Action: ActionRestartListener,
+				CooldownSec: 10, MaxAttempts: 2, MaxElapsedSec: 300},
+		},
+	}
+}
+
+func fixture(t *testing.T, pol Policy, ft *fakeTarget) (*sim.Kernel, *Supervisor) {
+	t.Helper()
+	k := sim.NewKernel()
+	s, err := NewSupervisor(k, Config{Policy: pol, Target: ft, Seed: 7,
+		Retry: retry.Policy{Base: sim.Second, Cap: sim.Second, Multiplier: 1, Jitter: 0, MaxAttempts: 5}})
+	if err != nil {
+		t.Fatalf("NewSupervisor: %v", err)
+	}
+	return k, s
+}
+
+func firing(rule, instance string) health.AlertEvent {
+	return health.AlertEvent{Rule: rule, Instance: instance, State: "firing"}
+}
+
+func TestSupervisorRunsActionOnFiring(t *testing.T) {
+	ft := &fakeTarget{}
+	k, s := fixture(t, testPolicy(0), ft)
+	s.OnAlert(firing("listener-stale", "core=0,site=STAR"))
+	s.OnAlert(health.AlertEvent{Rule: "listener-stale", Instance: "core=0,site=STAR", State: "resolved"})
+	k.Run()
+	if len(ft.calls) != 1 || ft.calls[0] != ActionRestartListener+"@STAR" {
+		t.Fatalf("calls = %v", ft.calls)
+	}
+	recs := s.Actions()
+	if len(recs) != 1 || recs[0].Outcome != "ok" || recs[0].Site != "STAR" {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestSupervisorRetriesThenSucceeds(t *testing.T) {
+	ft := &fakeTarget{failN: map[string]int{"STAR": 1}}
+	k, s := fixture(t, testPolicy(0), ft)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	if len(ft.calls) != 2 {
+		t.Fatalf("want 2 attempts, got %v", ft.calls)
+	}
+	recs := s.Actions()
+	if len(recs) != 2 || recs[0].Outcome != "retry" || recs[1].Outcome != "ok" || recs[1].Attempt != 1 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func TestSupervisorFailsAndQuarantines(t *testing.T) {
+	ft := &fakeTarget{failAlways: map[string]bool{"STAR": true}}
+	k, s := fixture(t, testPolicy(1), ft)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	recs := s.Actions()
+	// attempt 0 -> retry, attempt 1 -> failed (MaxAttempts 2), quarantine.
+	if len(recs) != 3 || recs[1].Outcome != "failed" || recs[2].Outcome != "quarantine" {
+		t.Fatalf("records = %+v", recs)
+	}
+	if q := s.Quarantined(); len(q) != 1 || q[0] != "STAR" {
+		t.Fatalf("quarantined = %v", q)
+	}
+	// Further firings are suppressed without touching the target.
+	n := len(ft.calls)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	if len(ft.calls) != n {
+		t.Fatal("quarantined site was remediated")
+	}
+	last := s.Actions()[len(s.Actions())-1]
+	if last.Outcome != "skip-quarantined" {
+		t.Fatalf("last record = %+v", last)
+	}
+}
+
+func TestSupervisorCooldownSuppressesRefire(t *testing.T) {
+	ft := &fakeTarget{}
+	k, s := fixture(t, testPolicy(0), ft)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	s.OnAlert(firing("listener-stale", "site=STAR")) // now still 0 < cooldown 10s
+	k.Run()
+	if len(ft.calls) != 1 {
+		t.Fatalf("cooldown ignored: %v", ft.calls)
+	}
+	k.RunUntil(20 * sim.Second)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	if len(ft.calls) != 2 {
+		t.Fatalf("cooldown never expires: %v", ft.calls)
+	}
+}
+
+func TestSupervisorRateLimit(t *testing.T) {
+	ft := &fakeTarget{}
+	pol := testPolicy(0)
+	pol.Rate = &RateSpec{ActionsPerSec: 0.1, Burst: 1}
+	k, s := fixture(t, pol, ft)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	s.OnAlert(firing("listener-stale", "site=NCSA"))
+	k.Run()
+	if len(ft.calls) != 1 {
+		t.Fatalf("rate limit ignored: %v", ft.calls)
+	}
+	var limited int
+	for _, r := range s.Actions() {
+		if r.Outcome == "skip-rate-limited" {
+			limited++
+		}
+	}
+	if limited != 1 {
+		t.Fatalf("want 1 skip-rate-limited, records = %+v", s.Actions())
+	}
+}
+
+func TestSiteOfPrefersSiteThenSwitch(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"core=0,host=listener,site=STAR", "STAR"},
+		{"egress=P9,mirrored=P1,switch=SITEA", "SITEA"},
+		{"switch=SITEA,site=STAR", "STAR"},
+		{"", ""},
+		{"metric", ""},
+	}
+	for _, tc := range cases {
+		if got := siteOf(tc.in); got != tc.want {
+			t.Errorf("siteOf(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteActionLogDeterministic(t *testing.T) {
+	run := func() string {
+		ft := &fakeTarget{failN: map[string]int{"STAR": 1}}
+		k, s := fixture(t, testPolicy(0), ft)
+		s.OnAlert(firing("listener-stale", "site=STAR"))
+		k.Run()
+		var buf bytes.Buffer
+		if err := s.WriteActionLog(&buf); err != nil {
+			t.Fatalf("WriteActionLog: %v", err)
+		}
+		return buf.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same-seed action logs differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"outcome":"ok"`) || !strings.Contains(a, `"outcome":"retry"`) {
+		t.Fatalf("log content: %s", a)
+	}
+	if lines := strings.Count(a, "\n"); lines != 2 {
+		t.Fatalf("want 2 log lines, got %d", lines)
+	}
+}
+
+func TestMaxElapsedBoundsRetries(t *testing.T) {
+	ft := &fakeTarget{failAlways: map[string]bool{"STAR": true}}
+	pol := testPolicy(0)
+	pol.Rules[0].MaxAttempts = 0   // inherit base (5)
+	pol.Rules[0].MaxElapsedSec = 2 // but only 2s of budget at 1s per retry
+	k, s := fixture(t, pol, ft)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	if len(ft.calls) >= 5 {
+		t.Fatalf("MaxElapsed ignored: %d attempts", len(ft.calls))
+	}
+	last := s.Actions()[len(s.Actions())-1]
+	if last.Outcome != "failed" {
+		t.Fatalf("last = %+v", last)
+	}
+}
+
+func TestOutcomesSummary(t *testing.T) {
+	ft := &fakeTarget{}
+	k, s := fixture(t, testPolicy(0), ft)
+	s.OnAlert(firing("listener-stale", "site=STAR"))
+	k.Run()
+	if got := s.Outcomes()[ActionRestartListener+"/ok"]; got != 1 {
+		t.Fatalf("Outcomes = %v", s.Outcomes())
+	}
+	_ = fmt.Sprintf("%v", s.Outcomes())
+}

@@ -1,0 +1,353 @@
+package remedy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/health"
+	"repro/internal/obs"
+	"repro/internal/retry"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Target executes remediation actions. The core coordinator implements
+// it; the string-only signature keeps remedy and core decoupled (the
+// campaign layer wires them together). The returned note describes what
+// changed ("sliver 2 -> 3, avoiding NICs [0]") and lands in the action
+// log and journal.
+type Target interface {
+	RemediateSite(action, site string) (note string, err error)
+}
+
+// Config assembles a Supervisor.
+type Config struct {
+	// Policy is the validated remediation policy.
+	Policy Policy
+	// Target executes actions; required.
+	Target Target
+	// Retry shapes per-action retry schedules; zero fields default via
+	// retry.DefaultPolicy, then per-rule MaxAttempts/MaxElapsedSec
+	// override.
+	Retry retry.Policy
+	// Seed feeds the supervisor's jitter rng (independent stream).
+	Seed uint64
+	// Obs, when set, counts actions under remedy_actions_total.
+	Obs *obs.Registry
+	// Logf, when set, receives narrative log lines (core.LogSink
+	// compatible signature).
+	Logf func(source, level, format string, args ...any)
+	// Journal, when set, receives one record per effectful outcome
+	// (ok, failed, quarantine) for the campaign WAL.
+	Journal func(now sim.Time, site, note string) error
+}
+
+// ActionRecord is one supervisor decision, in decision order — the
+// remediation log the determinism contract is checked on.
+type ActionRecord struct {
+	At       sim.Time
+	Rule     string // policy rule (binding) name
+	Action   string
+	Site     string
+	Instance string
+	Attempt  int
+	// Outcome: "ok", "retry", "failed", "quarantine", or one of the
+	// suppressions "skip-quarantined", "skip-cooldown",
+	// "skip-rate-limited", "skip-no-site".
+	Outcome string
+	Note    string
+}
+
+// bucket is a deterministic sim-time token bucket (lazy refill).
+type bucket struct {
+	rate   float64 // tokens per sim-second
+	burst  float64
+	tokens float64
+	last   sim.Time
+}
+
+func (b *bucket) take(now sim.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.tokens += float64(now-b.last) / float64(sim.Second) * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// task is one triggered action working through its retry budget.
+type task struct {
+	rule     ActionRule
+	site     string
+	instance string
+	attempt  int
+	started  sim.Time
+	pol      retry.Policy
+}
+
+// Supervisor drives remediation. Create with NewSupervisor, wire to a
+// monitor with Attach (or call OnAlert directly), and read the action
+// log when the run ends. All scheduling happens on the kernel, so the
+// log is byte-identical across same-seed runs.
+type Supervisor struct {
+	k   *sim.Kernel
+	cfg Config
+	r   *rng.Source
+
+	rl       *bucket
+	cooldown map[string]sim.Time // rule \x00 instance -> last accepted
+	failures map[string]int      // site -> consecutive failed recoveries
+	quar     map[string]bool     // site -> quarantined
+
+	records []ActionRecord
+}
+
+// NewSupervisor validates the policy and binds a supervisor to the
+// kernel.
+func NewSupervisor(k *sim.Kernel, cfg Config) (*Supervisor, error) {
+	if k == nil {
+		return nil, fmt.Errorf("remedy: supervisor needs a kernel")
+	}
+	if cfg.Target == nil {
+		return nil, fmt.Errorf("remedy: supervisor needs a target")
+	}
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.Retry = cfg.Retry.WithDefaults()
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Supervisor{
+		k: k, cfg: cfg,
+		r:        rng.New(cfg.Seed ^ 0x72656d656479), // "remedy"
+		cooldown: make(map[string]sim.Time),
+		failures: make(map[string]int),
+		quar:     make(map[string]bool),
+	}
+	if rate := cfg.Policy.Rate; rate != nil {
+		s.rl = &bucket{rate: rate.ActionsPerSec, burst: float64(rate.Burst), tokens: float64(rate.Burst)}
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Help("remedy_actions_total", "remediation supervisor decisions by action and outcome")
+	}
+	return s, nil
+}
+
+// Attach subscribes the supervisor to a monitor's alert transitions.
+func (s *Supervisor) Attach(m *health.Monitor) { m.Subscribe(s.OnAlert) }
+
+// OnAlert is the subscription entry point. Only firing transitions
+// trigger actions; because the monitor holds alerts through their
+// for_sec window before firing, this is the policy's hysteresis — no
+// action runs while a rule is still pending. Actions are scheduled as
+// fresh kernel events, never executed reentrantly inside the monitor
+// tick.
+func (s *Supervisor) OnAlert(ev health.AlertEvent) {
+	if ev.State != "firing" {
+		return
+	}
+	now := s.k.Now()
+	for i := range s.cfg.Policy.Rules {
+		rule := s.cfg.Policy.Rules[i]
+		if rule.OnRule != ev.Rule {
+			continue
+		}
+		site := siteOf(ev.Instance)
+		if site == "" {
+			s.record(ActionRecord{At: now, Rule: rule.Name, Action: rule.Action,
+				Instance: ev.Instance, Outcome: "skip-no-site",
+				Note: "instance carries no site/switch label"})
+			continue
+		}
+		if s.quar[site] {
+			s.record(ActionRecord{At: now, Rule: rule.Name, Action: rule.Action,
+				Site: site, Instance: ev.Instance, Outcome: "skip-quarantined"})
+			continue
+		}
+		key := rule.Name + "\x00" + ev.Instance
+		if last, seen := s.cooldown[key]; seen && now-last < cooldownFor(rule) {
+			s.record(ActionRecord{At: now, Rule: rule.Name, Action: rule.Action,
+				Site: site, Instance: ev.Instance, Outcome: "skip-cooldown",
+				Note: fmt.Sprintf("last accepted %gs ago", float64(now-last)/float64(sim.Second))})
+			continue
+		}
+		if !s.rl.take(now) {
+			s.record(ActionRecord{At: now, Rule: rule.Name, Action: rule.Action,
+				Site: site, Instance: ev.Instance, Outcome: "skip-rate-limited"})
+			continue
+		}
+		s.cooldown[key] = now
+		t := &task{rule: rule, site: site, instance: ev.Instance, started: now, pol: s.policyFor(rule)}
+		s.k.After(0, func() { s.attempt(t) })
+	}
+}
+
+// policyFor applies a rule's per-action overrides to the base retry
+// policy.
+func (s *Supervisor) policyFor(rule ActionRule) retry.Policy {
+	pol := s.cfg.Retry
+	if rule.MaxAttempts > 0 {
+		pol.MaxAttempts = rule.MaxAttempts
+	}
+	if rule.MaxElapsedSec > 0 {
+		pol.MaxElapsed = sim.Duration(rule.MaxElapsedSec * float64(sim.Second))
+	}
+	return pol
+}
+
+// cooldownFor defaults an unset cooldown to 30 sim-seconds.
+func cooldownFor(rule ActionRule) sim.Duration {
+	if rule.CooldownSec > 0 {
+		return sim.Duration(rule.CooldownSec * float64(sim.Second))
+	}
+	return 30 * sim.Second
+}
+
+// attempt executes one try of a task and either records success,
+// schedules a back-off retry, or declares the recovery failed (and
+// possibly quarantines the site).
+func (s *Supervisor) attempt(t *task) {
+	now := s.k.Now()
+	if s.quar[t.site] {
+		s.record(ActionRecord{At: now, Rule: t.rule.Name, Action: t.rule.Action,
+			Site: t.site, Instance: t.instance, Attempt: t.attempt, Outcome: "skip-quarantined"})
+		return
+	}
+	note, err := s.cfg.Target.RemediateSite(t.rule.Action, t.site)
+	if err == nil {
+		s.failures[t.site] = 0
+		s.record(ActionRecord{At: now, Rule: t.rule.Name, Action: t.rule.Action,
+			Site: t.site, Instance: t.instance, Attempt: t.attempt, Outcome: "ok", Note: note})
+		s.logf("info", "%s at %s recovered (attempt %d): %s", t.rule.Action, t.site, t.attempt+1, note)
+		s.journal(now, t.site, fmt.Sprintf("%s ok attempt=%d %s", t.rule.Action, t.attempt, note))
+		return
+	}
+	next := t.attempt + 1
+	delay := t.pol.Delay(t.attempt, s.r)
+	if t.pol.Exhausted(next) || t.pol.Expired(t.started, now+sim.Time(delay)) {
+		s.fail(t, now, err)
+		return
+	}
+	s.record(ActionRecord{At: now, Rule: t.rule.Name, Action: t.rule.Action,
+		Site: t.site, Instance: t.instance, Attempt: t.attempt, Outcome: "retry",
+		Note: fmt.Sprintf("%v; next try in %gs", err, float64(delay)/float64(sim.Second))})
+	t.attempt = next
+	s.k.After(delay, func() { s.attempt(t) })
+}
+
+// fail records a spent recovery and escalates to quarantine when the
+// site has burned through its consecutive-failure budget.
+func (s *Supervisor) fail(t *task, now sim.Time, err error) {
+	s.record(ActionRecord{At: now, Rule: t.rule.Name, Action: t.rule.Action,
+		Site: t.site, Instance: t.instance, Attempt: t.attempt, Outcome: "failed",
+		Note: err.Error()})
+	s.logf("error", "%s at %s failed after %d attempts: %v", t.rule.Action, t.site, t.attempt+1, err)
+	s.journal(now, t.site, fmt.Sprintf("%s failed attempt=%d %v", t.rule.Action, t.attempt, err))
+	s.failures[t.site]++
+	q := s.cfg.Policy.QuarantineAfter
+	if q > 0 && s.failures[t.site] >= q && !s.quar[t.site] {
+		s.quar[t.site] = true
+		s.record(ActionRecord{At: now, Rule: t.rule.Name, Action: t.rule.Action,
+			Site: t.site, Instance: t.instance, Outcome: "quarantine",
+			Note: fmt.Sprintf("%d consecutive failed recoveries", s.failures[t.site])})
+		s.logf("error", "ESCALATION: site %s quarantined after %d failed recoveries — operator attention required",
+			t.site, s.failures[t.site])
+		s.journal(now, t.site, fmt.Sprintf("quarantine after=%d", s.failures[t.site]))
+	}
+}
+
+// record appends to the action log and counts the decision.
+func (s *Supervisor) record(rec ActionRecord) {
+	s.records = append(s.records, rec)
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Counter("remedy_actions_total",
+			obs.L("action", rec.Action), obs.L("outcome", rec.Outcome)).Inc()
+	}
+}
+
+func (s *Supervisor) logf(level, format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf("remedy", level, format, args...)
+	}
+}
+
+func (s *Supervisor) journal(now sim.Time, site, note string) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	if err := s.cfg.Journal(now, site, note); err != nil {
+		s.logf("error", "journal: %v", err)
+	}
+}
+
+// Actions returns every decision so far, in decision order.
+func (s *Supervisor) Actions() []ActionRecord {
+	return append([]ActionRecord(nil), s.records...)
+}
+
+// Outcomes counts decisions per (action, outcome) — convenient for
+// test assertions and CLI summaries.
+func (s *Supervisor) Outcomes() map[string]int {
+	out := make(map[string]int)
+	for _, r := range s.records {
+		out[r.Action+"/"+r.Outcome]++
+	}
+	return out
+}
+
+// Quarantined lists quarantined sites, sorted.
+func (s *Supervisor) Quarantined() []string {
+	var out []string
+	for site := range s.quar {
+		out = append(out, site)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteActionLog emits the remediation log as one JSON object per
+// line, in decision order — the artifact the determinism contract is
+// checked on.
+func (s *Supervisor) WriteActionLog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range s.records {
+		if _, err := fmt.Fprintf(bw,
+			`{"sim_ns":%d,"rule":%q,"action":%q,"site":%q,"instance":%q,"attempt":%d,"outcome":%q,"note":%q}`+"\n",
+			int64(r.At), r.Rule, r.Action, r.Site, r.Instance, r.Attempt, r.Outcome, r.Note); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// siteOf extracts the site a remediation should land on from an alert
+// instance's label identity: the "site" label when present, else the
+// "switch" label (mirror alerts are labeled by switch, and switches are
+// named after their site).
+func siteOf(instance string) string {
+	var bySwitch string
+	for _, kv := range strings.Split(instance, ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "site":
+			return v
+		case "switch":
+			bySwitch = v
+		}
+	}
+	return bySwitch
+}

@@ -30,6 +30,14 @@ type Policy struct {
 	// MaxAttempts is the total number of tries, including the first
 	// (default 6). Delay is consulted at most MaxAttempts-1 times.
 	MaxAttempts int
+	// MaxElapsed is an overall elapsed-time budget measured against sim
+	// time from the moment the first attempt starts. Zero means no
+	// elapsed budget (attempts alone bound the schedule). A policy with
+	// generous MaxAttempts can otherwise retry far past the phase
+	// timeout that is supposed to contain it; callers with a deadline
+	// should set MaxElapsed to that deadline's span and consult Expired
+	// before sleeping for another back-off.
+	MaxElapsed sim.Duration
 }
 
 // DefaultPolicy matches the deployed system's setup loop: first retry
@@ -80,6 +88,8 @@ func (p Policy) Validate() error {
 		return fmt.Errorf("retry: jitter %v outside [0, 1]", p.Jitter)
 	case p.MaxAttempts < 1:
 		return fmt.Errorf("retry: max attempts %d must be >= 1", p.MaxAttempts)
+	case p.MaxElapsed < 0:
+		return fmt.Errorf("retry: max elapsed %v must not be negative", p.MaxElapsed)
 	}
 	return nil
 }
@@ -87,6 +97,14 @@ func (p Policy) Validate() error {
 // Exhausted reports whether a 0-based attempt counter has used up the
 // policy's budget: attempt n is the (n+1)-th try.
 func (p Policy) Exhausted(attempt int) bool { return attempt >= p.MaxAttempts }
+
+// Expired reports whether the elapsed-time budget is spent: a retry that
+// would run at sim time `at` for an operation whose first attempt
+// started at `start` is out of budget once at-start exceeds MaxElapsed.
+// A zero MaxElapsed never expires.
+func (p Policy) Expired(start, at sim.Time) bool {
+	return p.MaxElapsed > 0 && at-start > sim.Time(p.MaxElapsed)
+}
 
 // Delay returns the back-off before retry number `retry` (0-based: the
 // delay between the first and second attempts is Delay(0, r)). The raw

@@ -115,3 +115,44 @@ func TestTotalBudget(t *testing.T) {
 		t.Errorf("TotalBudget with 1 attempt = %v, want 0", got)
 	}
 }
+
+func TestMaxElapsedValidation(t *testing.T) {
+	p := DefaultPolicy()
+	p.MaxElapsed = -sim.Second
+	if err := p.Validate(); err == nil {
+		t.Error("negative MaxElapsed should fail validation")
+	}
+	p.MaxElapsed = 0
+	if err := p.Validate(); err != nil {
+		t.Errorf("zero MaxElapsed (no budget) should validate: %v", err)
+	}
+	p.MaxElapsed = sim.Minute
+	if err := p.Validate(); err != nil {
+		t.Errorf("positive MaxElapsed should validate: %v", err)
+	}
+}
+
+func TestExpiredElapsedBudget(t *testing.T) {
+	start := sim.Time(10 * sim.Second)
+	cases := []struct {
+		name    string
+		elapsed sim.Duration
+		at      sim.Time
+		want    bool
+	}{
+		{"zero budget never expires", 0, start + sim.Time(sim.Hour), false},
+		{"inside budget", 30 * sim.Second, start + sim.Time(20*sim.Second), false},
+		{"exactly at budget", 30 * sim.Second, start + sim.Time(30*sim.Second), false},
+		{"past budget", 30 * sim.Second, start + sim.Time(30*sim.Second) + 1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := Policy{Base: sim.Second, Cap: sim.Minute, Multiplier: 2,
+				MaxAttempts: 6, MaxElapsed: c.elapsed}
+			if got := p.Expired(start, c.at); got != c.want {
+				t.Errorf("Expired(%v, %v) with budget %v = %v, want %v",
+					start, c.at, c.elapsed, got, c.want)
+			}
+		})
+	}
+}

@@ -126,6 +126,29 @@ func (k *Kernel) QueueHighWatermark() int { return k.queueHighWater }
 // single virtual timestamp.
 func (k *Kernel) MaxEventsPerTick() uint64 { return k.maxTickEvents }
 
+// Seq returns the next schedule sequence number. Together with Now it
+// is the kernel's progress marker: two deterministic runs that agree on
+// (Now, Seq, EventsProcessed) have executed the same schedule prefix.
+func (k *Kernel) Seq() uint64 { return k.seq }
+
+// Checkpoint is the kernel's restorable progress marker: the virtual
+// clock, the schedule sequence counter, and the number of events
+// executed. The event queue itself holds closures and cannot be
+// serialized; checkpoint/restore of a simulation therefore replays the
+// deterministic schedule from zero and uses Checkpoint equality to
+// verify that the replay reached exactly the checkpointed state (see
+// internal/journal).
+type Checkpoint struct {
+	Now    Time   `json:"now_ns"`
+	Seq    uint64 `json:"seq"`
+	Events uint64 `json:"events"`
+}
+
+// Checkpoint captures the kernel's current progress marker.
+func (k *Kernel) Checkpoint() Checkpoint {
+	return Checkpoint{Now: k.now, Seq: k.seq, Events: k.nEvent}
+}
+
 // arenaSize reports the total number of arena slots ever grown (for
 // tests and capacity introspection).
 func (k *Kernel) arenaSize() int { return len(k.slots) }

@@ -3,6 +3,7 @@ package testbed
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -29,6 +30,26 @@ var (
 	// succeed; scaling down will not help.
 	ErrBackendTransient = errors.New("testbed: transient back-end failure")
 )
+
+// Release failure modes. A remediation supervisor tearing down a slice
+// after a site outage needs to tell "the sliver is already gone" (benign
+// — the testbed reaped it first; treat as released) apart from a forged
+// or misdirected release (a caller bug that must stay loud).
+var (
+	// ErrAlreadyReleased: the sliver was released before — by us or by
+	// the testbed reaping it during an outage.
+	ErrAlreadyReleased = errors.New("testbed: sliver already released")
+	// ErrWrongSite: the sliver belongs to a different site.
+	ErrWrongSite = errors.New("testbed: sliver belongs to another site")
+	// ErrUnknownSliver: the site never granted this sliver (forged or
+	// mismatched pointer).
+	ErrUnknownSliver = errors.New("testbed: unknown sliver")
+)
+
+// IsGone reports whether a Release error means the sliver no longer
+// exists (already released/reaped) — the outcome the releasing caller
+// wanted anyway — rather than a forged or misdirected release.
+func IsGone(err error) bool { return errors.Is(err, ErrAlreadyReleased) }
 
 // IsResourceExhaustion reports whether err is a scale-down-able shortage
 // rather than a back-end fault.
@@ -57,6 +78,11 @@ func DefaultListenerVM() VMRequest {
 type SliceRequest struct {
 	Name string
 	VMs  []VMRequest
+	// AvoidNICs lists dedicated-NIC IDs the allocator must not grant —
+	// the exclusion list a remediation supervisor builds from a failed
+	// sliver so a re-allocation lands on different hardware. IDs not in
+	// the site's free pool are ignored.
+	AvoidNICs []int
 }
 
 // totals sums the request's resource demands.
@@ -74,10 +100,15 @@ func (r SliceRequest) totals() VMRequest {
 
 // Sliver is a granted allocation at one site.
 type Sliver struct {
-	ID       int
-	Site     string
-	Request  SliceRequest
-	Granted  sim.Time
+	ID      int
+	Site    string
+	Request SliceRequest
+	Granted sim.Time
+	// NICs are the dedicated-NIC IDs granted to this sliver, ascending.
+	// They return to the site's free pool on Release and feed the
+	// AvoidNICs exclusion list when a supervisor re-allocates away from
+	// suspect hardware.
+	NICs     []int
 	released bool
 }
 
@@ -146,9 +177,10 @@ func (s *Site) canAllocate(now sim.Time, req SliceRequest) error {
 	}
 	t := req.totals()
 	switch {
-	case t.DedicatedNICs > s.freeDedNICs:
-		return fmt.Errorf("site %s wants %d dedicated NICs, %d free: %w",
-			s.Spec.Name, t.DedicatedNICs, s.freeDedNICs, ErrNoDedicatedNICs)
+	case t.DedicatedNICs > len(s.grantableNICs(req.AvoidNICs)):
+		return fmt.Errorf("site %s wants %d dedicated NICs, %d grantable (%d free, %d excluded): %w",
+			s.Spec.Name, t.DedicatedNICs, len(s.grantableNICs(req.AvoidNICs)),
+			len(s.nicFree), len(req.AvoidNICs), ErrNoDedicatedNICs)
 	case t.FPGANICs > s.freeFPGANICs:
 		return fmt.Errorf("site %s wants %d FPGAs, %d free: %w",
 			s.Spec.Name, t.FPGANICs, s.freeFPGANICs, ErrNoFPGA)
@@ -178,36 +210,78 @@ func (s *Site) Allocate(now sim.Time, req SliceRequest) (*Sliver, error) {
 	s.freeCores -= t.Cores
 	s.freeRAM -= t.RAM
 	s.freeStorage -= t.Storage
-	s.freeDedNICs -= t.DedicatedNICs
 	s.freeFPGANICs -= t.FPGANICs
+	nics := s.takeNICs(t.DedicatedNICs, req.AvoidNICs)
 	s.nextID++
-	sl := &Sliver{ID: s.nextID, Site: s.Spec.Name, Request: req, Granted: now}
+	sl := &Sliver{ID: s.nextID, Site: s.Spec.Name, Request: req, Granted: now, NICs: nics}
 	s.slivers[sl.ID] = sl
 	return sl, nil
 }
 
+// grantableNICs returns the free NIC IDs not on the avoid list,
+// ascending. The lowest-first order makes allocation deterministic.
+func (s *Site) grantableNICs(avoid []int) []int {
+	if len(avoid) == 0 {
+		return s.nicFree
+	}
+	excluded := make(map[int]bool, len(avoid))
+	for _, id := range avoid {
+		excluded[id] = true
+	}
+	out := make([]int, 0, len(s.nicFree))
+	for _, id := range s.nicFree {
+		if !excluded[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// takeNICs removes and returns n grantable NICs (lowest IDs first).
+// Callers must have verified availability via canAllocate.
+func (s *Site) takeNICs(n int, avoid []int) []int {
+	if n == 0 {
+		return nil
+	}
+	granted := append([]int(nil), s.grantableNICs(avoid)[:n]...)
+	taken := make(map[int]bool, n)
+	for _, id := range granted {
+		taken[id] = true
+	}
+	kept := s.nicFree[:0]
+	for _, id := range s.nicFree {
+		if !taken[id] {
+			kept = append(kept, id)
+		}
+	}
+	s.nicFree = kept
+	return granted
+}
+
 // Release returns a sliver's resources. Releasing twice, releasing at
-// the wrong site, or releasing a sliver the site never granted is an
-// error, and none of them touch the free-resource accounting.
+// the wrong site, or releasing a sliver the site never granted is a
+// typed error (ErrAlreadyReleased / ErrWrongSite / ErrUnknownSliver —
+// see IsGone), and none of them touch the free-resource accounting.
 func (s *Site) Release(sl *Sliver) error {
 	if sl == nil {
-		return fmt.Errorf("testbed: release of nil sliver at %s", s.Spec.Name)
+		return fmt.Errorf("release of nil sliver at %s: %w", s.Spec.Name, ErrUnknownSliver)
 	}
 	if sl.released {
-		return fmt.Errorf("testbed: sliver %d at %s already released", sl.ID, sl.Site)
+		return fmt.Errorf("sliver %d at %s: %w", sl.ID, sl.Site, ErrAlreadyReleased)
 	}
 	if sl.Site != s.Spec.Name {
-		return fmt.Errorf("testbed: sliver %d belongs to %s, not %s", sl.ID, sl.Site, s.Spec.Name)
+		return fmt.Errorf("sliver %d belongs to %s, not %s: %w", sl.ID, sl.Site, s.Spec.Name, ErrWrongSite)
 	}
 	if got, ok := s.slivers[sl.ID]; !ok || got != sl {
-		return fmt.Errorf("testbed: sliver %d unknown at %s", sl.ID, sl.Site)
+		return fmt.Errorf("sliver %d at %s: %w", sl.ID, sl.Site, ErrUnknownSliver)
 	}
 	t := sl.Request.totals()
 	s.freeCores += t.Cores
 	s.freeRAM += t.RAM
 	s.freeStorage += t.Storage
-	s.freeDedNICs += t.DedicatedNICs
 	s.freeFPGANICs += t.FPGANICs
+	s.nicFree = append(s.nicFree, sl.NICs...)
+	sort.Ints(s.nicFree)
 	sl.released = true
 	delete(s.slivers, sl.ID)
 	return nil
@@ -215,7 +289,7 @@ func (s *Site) Release(sl *Sliver) error {
 
 // FreeDedicatedNICs reports currently free dedicated NICs — the quantity
 // Patchwork's discovery step queries before formulating its request.
-func (s *Site) FreeDedicatedNICs() int { return s.freeDedNICs }
+func (s *Site) FreeDedicatedNICs() int { return len(s.nicFree) }
 
 // FreeFPGANICs reports currently free FPGA NICs.
 func (s *Site) FreeFPGANICs() int { return s.freeFPGANICs }

@@ -78,8 +78,11 @@ type Site struct {
 	freeCores    int
 	freeRAM      units.ByteSize
 	freeStorage  units.ByteSize
-	freeDedNICs  int
 	freeFPGANICs int
+	// nicFree is the pool of free dedicated-NIC IDs (0-based, ascending).
+	// NICs have identity — a re-allocation can exclude the exact NICs a
+	// failed sliver held via SliceRequest.AvoidNICs.
+	nicFree []int
 
 	// outages holds injected transient back-end failure windows.
 	outages []outage
@@ -131,9 +134,12 @@ func NewFederation(k *sim.Kernel, specs []SiteSpec) (*Federation, error) {
 			freeCores:    spec.Cores,
 			freeRAM:      spec.RAM,
 			freeStorage:  spec.Storage,
-			freeDedNICs:  spec.DedicatedNICs,
 			freeFPGANICs: spec.FPGANICs,
+			nicFree:      make([]int, spec.DedicatedNICs),
 			slivers:      make(map[int]*Sliver),
+		}
+		for i := range s.nicFree {
+			s.nicFree[i] = i
 		}
 		f.sites = append(f.sites, s)
 		f.byName[spec.Name] = s

@@ -347,3 +347,81 @@ func TestWireBackbone(t *testing.T) {
 		}
 	}
 }
+
+func TestReleaseTypedErrors(t *testing.T) {
+	f := twoSiteFederation(t)
+	star, tacc := f.Site("STAR"), f.Site("TACC")
+	req := SliceRequest{Name: "pw", VMs: []VMRequest{DefaultListenerVM()}}
+	sl, err := star.Allocate(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releasing at the wrong site is a forged release, not "already gone".
+	if err := tacc.Release(sl); !errors.Is(err, ErrWrongSite) {
+		t.Errorf("wrong-site release err = %v, want ErrWrongSite", err)
+	} else if IsGone(err) {
+		t.Error("wrong-site release must not count as already-gone")
+	}
+	if err := star.Release(sl); err != nil {
+		t.Fatalf("first release: %v", err)
+	}
+	// Double release: the sliver is already gone — remediation treats
+	// this as success.
+	err = star.Release(sl)
+	if !errors.Is(err, ErrAlreadyReleased) {
+		t.Errorf("double release err = %v, want ErrAlreadyReleased", err)
+	}
+	if !IsGone(err) {
+		t.Error("double release should be IsGone")
+	}
+	if err := star.Release(nil); !errors.Is(err, ErrUnknownSliver) {
+		t.Errorf("nil sliver err = %v, want ErrUnknownSliver", err)
+	}
+	if IsGone(ErrUnknownSliver) {
+		t.Error("unknown sliver must not count as already-gone")
+	}
+}
+
+func TestNICPoolIdentityAndAvoidance(t *testing.T) {
+	f := twoSiteFederation(t)
+	s := f.Site("STAR") // 4 dedicated NICs: 0,1,2,3
+	req := SliceRequest{Name: "a", VMs: []VMRequest{DefaultListenerVM()}}
+	a, err := s.Allocate(0, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grants are lowest-first, so the first sliver holds NIC 0.
+	if len(a.NICs) != 1 || a.NICs[0] != 0 {
+		t.Fatalf("first sliver NICs = %v, want [0]", a.NICs)
+	}
+	// Excluding the free NICs 1 and 2 must grant 3.
+	req2 := SliceRequest{Name: "b", VMs: []VMRequest{DefaultListenerVM()}, AvoidNICs: []int{1, 2}}
+	b, err := s.Allocate(0, req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.NICs) != 1 || b.NICs[0] != 3 {
+		t.Errorf("avoiding [1 2]: NICs = %v, want [3]", b.NICs)
+	}
+	// Excluding every remaining free NIC is exhaustion, not success.
+	req3 := SliceRequest{Name: "c", VMs: []VMRequest{DefaultListenerVM()}, AvoidNICs: []int{1, 2}}
+	if _, err := s.Allocate(0, req3); !errors.Is(err, ErrNoDedicatedNICs) {
+		t.Errorf("all grantable NICs excluded: err = %v, want ErrNoDedicatedNICs", err)
+	}
+	// Free count ignores exclusions (they are per-request).
+	if s.FreeDedicatedNICs() != 2 {
+		t.Errorf("free NICs = %d, want 2", s.FreeDedicatedNICs())
+	}
+	// Releases return identities to the pool; the next unconstrained
+	// grant takes the lowest again.
+	if err := s.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Allocate(0, SliceRequest{Name: "d", VMs: []VMRequest{DefaultListenerVM()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.NICs) != 1 || c.NICs[0] != 0 {
+		t.Errorf("after releasing NIC 0: NICs = %v, want [0]", c.NICs)
+	}
+}

@@ -8,7 +8,10 @@
 # the wire-format parsers (seed corpus plus a few seconds of mutation —
 # enough to catch regressions in the option/length walkers), and a
 # validate-only dry run of every health-alert rule file (the embedded
-# defaults always, plus any rules/*.json).
+# defaults always, plus any rules/*.json), and a crash/resume gate: a
+# journaled campaign is killed at an injected crash point (exit 3),
+# resumed, and its metrics and WAL must be byte-identical to an
+# uninterrupted baseline of the same seed.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,8 +28,35 @@ go test -race -short ./...
 sh scripts/bench.sh -smoke
 go test -run='^$' -fuzz='^FuzzParsePacket$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzTCPOptions$' -fuzztime=5s ./internal/wire
+go test -run='^$' -fuzz='^FuzzParsePolicy$' -fuzztime=5s ./internal/remedy
 
 go run ./cmd/pwhealth -validate
 if ls rules/*.json >/dev/null 2>&1; then
     go run ./cmd/pwhealth -validate rules/*.json
 fi
+
+# Crash/resume gate: baseline (crash points journaled but ignored),
+# then a killed run that must exit 3, then a resume that must converge
+# on the baseline's exact metrics and WAL.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/patchwork" ./cmd/patchwork
+cat >"$tmp/plan.json" <<'EOF'
+{"name": "ci-crash", "crash_points": [{"at_sec": 7}]}
+EOF
+common="-federation-sites 2 -runs 1 -samples 2 -sample-sec 2 -seed 7 \
+    -remedy -checkpoint-sec 5 -faults $tmp/plan.json"
+"$tmp/patchwork" $common -journal "$tmp/base" -out "$tmp/base-out" \
+    -metrics "$tmp/base.prom" -no-kill >/dev/null
+rc=0
+"$tmp/patchwork" $common -journal "$tmp/crash" -out "$tmp/crash-out" \
+    -metrics "$tmp/crash.prom" >/dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "crash run exited $rc, want 3" >&2
+    exit 1
+fi
+"$tmp/patchwork" -resume "$tmp/crash" -out "$tmp/crash-out" \
+    -metrics "$tmp/crash.prom" >/dev/null
+cmp "$tmp/base.prom" "$tmp/crash.prom"
+cmp "$tmp/base/wal.jsonl" "$tmp/crash/wal.jsonl"
+echo "crash/resume gate: metrics and WAL byte-identical"
