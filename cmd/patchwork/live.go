@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/livemon"
+)
+
+// newLiveServer starts the live telemetry plane for this process: the
+// ring and address-rendezvous file live under <out>/livemon/, so a
+// probe can discover the ephemeral port and a crashed campaign's ring
+// is recovered on resume from the same directory. When hold is set the
+// SIGINT/SIGTERM handler is installed now, before the run starts: a
+// signal that arrives mid-run is latched and released at holdServe
+// instead of killing the process before its artifacts are written.
+func newLiveServer(out, addr string, pprofOn, hold bool) (*livemon.Server, chan os.Signal, error) {
+	dir := filepath.Join(out, "livemon")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s, err := livemon.New(livemon.Config{
+		Addr:     addr,
+		Dir:      filepath.Join(dir, "ring"),
+		AddrFile: filepath.Join(dir, "addr"),
+		Pprof:    pprofOn,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := s.ListenAndServe(); err != nil {
+		s.Close()
+		return nil, nil, err
+	}
+	fmt.Printf("live telemetry on http://%s (metrics, api, events)\n", s.Addr())
+	var sig chan os.Signal
+	if hold {
+		sig = make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	}
+	return s, sig, nil
+}
+
+// holdServe keeps the telemetry server up after the run finishes until
+// SIGINT/SIGTERM, so the final state can be inspected (and CI can probe
+// a known-complete server before asking the process to exit).
+func holdServe(s *livemon.Server, sig chan os.Signal) {
+	fmt.Printf("holding live telemetry on http://%s — SIGINT/SIGTERM to exit\n", s.Addr())
+	<-sig
+	signal.Stop(sig)
+}

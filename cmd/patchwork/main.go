@@ -30,6 +30,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/health"
 	"repro/internal/hostsim"
+	"repro/internal/livemon"
 	"repro/internal/obs"
 	"repro/internal/remedy"
 	"repro/internal/sim"
@@ -65,6 +66,10 @@ func main() {
 		resume     = flag.String("resume", "", "resume the campaign journaled in this directory")
 		cpSec      = flag.Int("checkpoint-sec", 60, "checkpoint cadence in (virtual) seconds (campaign mode)")
 		noKill     = flag.Bool("no-kill", false, "journal injected crash points without honoring them (baseline run)")
+
+		serveAddr  = flag.String("serve", "", `serve live telemetry (metrics/status/SSE) on this address (":0" for an ephemeral port; bound address lands in <out>/livemon/addr)`)
+		servePprof = flag.Bool("serve-pprof", false, "also mount /debug/pprof/ on the telemetry server")
+		serveHold  = flag.Bool("serve-hold", false, "keep serving after the run finishes until SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -76,7 +81,18 @@ func main() {
 			faultPlan: *faultPlan, healthRules: *healthRules,
 			remedyPolicy: *remedyPol, journalDir: *journalDir, resume: *resume,
 			checkpointSec: *cpSec, noKill: *noKill,
+			serveAddr: *serveAddr, servePprof: *servePprof, serveHold: *serveHold,
 		}))
+	}
+
+	var live *livemon.Server
+	var holdSig chan os.Signal
+	if *serveAddr != "" {
+		var lerr error
+		if live, holdSig, lerr = newLiveServer(*out, *serveAddr, *servePprof, *serveHold); lerr != nil {
+			fatal(lerr)
+		}
+		defer live.Close()
 	}
 
 	var m patchwork.Mode
@@ -120,7 +136,7 @@ func main() {
 	// two runs with the same seed emit byte-identical files.
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metrics != "" || *watch {
+	if *metrics != "" || *watch || live != nil {
 		reg = obs.NewKernelRegistry(k)
 		obs.CollectKernel(reg, k)
 		fed.SetObs(reg)
@@ -222,9 +238,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	prof, err := coord.Run()
-	if err != nil {
-		fatal(err)
+	var prof *patchwork.Profile
+	if live == nil {
+		prof, err = coord.Run()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		// With live telemetry the drive loop is explicit: publishing
+		// happens between kernel steps, never as a scheduled event, so
+		// the run's outputs match an unserved run byte-for-byte.
+		live.Attach(reg, monitor)
+		var runErr error
+		finished := false
+		coord.Start(func(p *patchwork.Profile, err error) {
+			prof, runErr = p, err
+			finished = true
+		})
+		var publishNext sim.Time
+		for !finished {
+			if !k.Step() {
+				fatal(fmt.Errorf("simulation stalled before completion"))
+			}
+			if k.Now() >= publishNext {
+				live.PublishTick(k.Now())
+				publishNext = k.Now() + live.Interval()
+			}
+		}
+		live.PublishTick(k.Now())
+		if runErr != nil {
+			fatal(runErr)
+		}
 	}
 	for _, d := range drivers {
 		d.Stop()
@@ -273,6 +317,9 @@ func main() {
 		}
 	}
 	fmt.Printf("output written to %s\n", *out)
+	if live != nil && *serveHold {
+		holdServe(live, holdSig)
+	}
 }
 
 // writeProfile persists each bundle's pcaps and logs.
@@ -383,16 +430,34 @@ type campaignFlags struct {
 	remedyPolicy, journalDir, resume string
 	checkpointSec                    int
 	noKill                           bool
+	serveAddr                        string
+	servePprof, serveHold            bool
 }
 
 // campaignMain runs the journaled, self-healing campaign path and
 // returns the process exit code: 0 on completion, 3 on a crash-point
 // abort (resume the journal directory to continue), 1 on error.
 func campaignMain(fl campaignFlags) int {
+	var live *livemon.Server
+	var holdSig chan os.Signal
+	if fl.serveAddr != "" {
+		var lerr error
+		if live, holdSig, lerr = newLiveServer(fl.out, fl.serveAddr, fl.servePprof, fl.serveHold); lerr != nil {
+			fmt.Fprintln(os.Stderr, "patchwork:", lerr)
+			return 1
+		}
+		defer live.Close()
+	}
+	// The nil-interface trap: passing a typed nil *livemon.Server as a
+	// campaign.LiveSink would make the != nil check inside run() true.
+	var sink campaign.LiveSink
+	if live != nil {
+		sink = live
+	}
 	var res *campaign.Result
 	var err error
 	if fl.resume != "" {
-		res, err = campaign.Resume(fl.resume, !fl.noKill)
+		res, err = campaign.ResumeLive(fl.resume, !fl.noKill, sink)
 	} else {
 		spec, serr := specFromFlags(fl)
 		if serr != nil {
@@ -403,7 +468,7 @@ func campaignMain(fl campaignFlags) int {
 		if dir == "" {
 			dir = filepath.Join(fl.out, "journal")
 		}
-		res, err = campaign.Run(spec, dir, !fl.noKill)
+		res, err = campaign.RunLive(spec, dir, !fl.noKill, sink)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "patchwork:", err)
@@ -416,6 +481,9 @@ func campaignMain(fl campaignFlags) int {
 		fmt.Fprintf(os.Stderr, "patchwork: campaign crashed at t=%v (injected crash point)\n", res.CrashedAt)
 		fmt.Fprintf(os.Stderr, "patchwork: journal preserved in %s — resume with: patchwork -resume %s\n",
 			res.Dir, res.Dir)
+		if live != nil && fl.serveHold {
+			holdServe(live, holdSig)
+		}
 		return 3
 	}
 
@@ -447,6 +515,9 @@ func campaignMain(fl campaignFlags) int {
 	fmt.Printf("campaign complete: %d sites in %v of virtual time (journal %s)\n",
 		len(prof.Bundles), prof.Finished-prof.Started, res.Dir)
 	fmt.Printf("success rate: %.0f%%\n", prof.SuccessRate()*100)
+	if live != nil && fl.serveHold {
+		holdServe(live, holdSig)
+	}
 	return 0
 }
 

@@ -12,9 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/livemon"
 )
 
 func main() {
@@ -27,9 +30,40 @@ func main() {
 		par   = flag.Int("parallel", 0, "worker count for -all (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 		out   = flag.String("out", "", "directory to write per-experiment CSV files (with -all)")
 		obsD  = flag.String("obs", "", "directory to write per-experiment metrics (.prom) and traces (.jsonl) for experiments that support observability")
+
+		serve     = flag.String("serve", "", `serve live worker progress over HTTP on this address (":0" for an ephemeral port) while -all runs`)
+		serveHold = flag.Bool("serve-hold", false, "keep serving after -all finishes until SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	experiments.Observe = *obsD != ""
+
+	// The suite has no single kernel or registry, so the telemetry
+	// server runs registry-less with a memory-only ring: /metrics shows
+	// runtime + RunMany progress gauges, /events streams progress.
+	var live *livemon.Server
+	var holdSig chan os.Signal
+	progress := func(experiments.Progress) {}
+	if *serve != "" {
+		var err error
+		if live, err = livemon.New(livemon.Config{Addr: *serve}); err != nil {
+			fatal(err)
+		}
+		defer live.Close()
+		if err := live.ListenAndServe(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("live telemetry on http://%s\n", live.Addr())
+		progress = func(p experiments.Progress) {
+			live.PublishProgress(p.Worker, p.ID, p.State, p.Done, p.Total)
+		}
+		if *serveHold {
+			// Install the handler before the run: a SIGTERM that lands
+			// mid-suite is latched and released at the hold instead of
+			// killing the process.
+			holdSig = make(chan os.Signal, 1)
+			signal.Notify(holdSig, os.Interrupt, syscall.SIGTERM)
+		}
+	}
 
 	switch {
 	case *list:
@@ -52,7 +86,7 @@ func main() {
 			fatal(err)
 		}
 	case *all:
-		results, err := experiments.RunMany(experiments.IDs(), *seed, *par)
+		results, err := experiments.RunManyWithProgress(experiments.IDs(), *seed, *par, progress)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,6 +117,11 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if live != nil && *serveHold {
+		fmt.Printf("holding live telemetry on http://%s — SIGINT/SIGTERM to exit\n", live.Addr())
+		<-holdSig
+		signal.Stop(holdSig)
 	}
 }
 

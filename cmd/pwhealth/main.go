@@ -6,6 +6,12 @@
 //
 //	pwhealth -validate rules/*.json
 //
+// Check-prom mode validates Prometheus text-exposition files (exported
+// artifacts or saved /metrics scrapes) for syntax and histogram
+// monotonicity:
+//
+//	pwhealth -check-prom out/metrics.prom
+//
 // Run mode drives a profiling campaign on the simulated federation with
 // the health monitor attached and renders the live per-site status
 // table as virtual time advances, then the alert transitions and
@@ -33,6 +39,7 @@ import (
 func main() {
 	var (
 		validate  = flag.Bool("validate", false, "parse-check the rule files given as arguments and exit")
+		checkProm = flag.Bool("check-prom", false, "validate the Prometheus text-exposition files given as arguments and exit")
 		rulesPath = flag.String("rules", "", "alert rule JSON (default: bundled rules)")
 		seed      = flag.Uint64("seed", 1, "deterministic seed")
 		nSites    = flag.Int("federation-sites", 3, "number of sites in the simulated federation")
@@ -45,6 +52,9 @@ func main() {
 
 	if *validate {
 		os.Exit(validateRules(flag.Args()))
+	}
+	if *checkProm {
+		os.Exit(checkPromFiles(flag.Args()))
 	}
 
 	rules := health.DefaultRules()
@@ -182,6 +192,33 @@ func validateRules(paths []string) int {
 			continue
 		}
 		fmt.Printf("%s: %d signals, %d rules — ok\n", p, len(rs.Signals), len(rs.Rules))
+	}
+	return code
+}
+
+// checkPromFiles runs the exposition validator over each file. Returns
+// the process exit code.
+func checkPromFiles(paths []string) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(os.Stderr, "pwhealth: -check-prom needs at least one file")
+		return 2
+	}
+	code := 0
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pwhealth: %v\n", err)
+			code = 1
+			continue
+		}
+		n, err := obs.ValidateExposition(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pwhealth: %s: %v\n", p, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s: %d samples — ok\n", p, n)
 	}
 	return code
 }

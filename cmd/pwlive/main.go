@@ -1,0 +1,173 @@
+// Command pwlive probes a running live telemetry server (patchwork
+// -serve / pwexperiments -serve): it discovers the address from the
+// rendezvous file the server writes, scrapes /metrics and the JSON
+// endpoints, and validates what it gets. CI uses it as the smoke test
+// that the telemetry plane actually serves a parseable exposition while
+// a campaign runs; exit status 0 means every check passed.
+//
+// Usage:
+//
+//	pwlive -addr-file out/livemon/addr [-wait-sec 10]
+//	pwlive -addr 127.0.0.1:8080 -series sim_events_processed -min-points 2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "server address (host:port)")
+		addrFile  = flag.String("addr-file", "", "poll this file for the server address (written by -serve)")
+		waitSec   = flag.Int("wait-sec", 10, "seconds to wait for the address file and first successful fetch")
+		series    = flag.String("series", "", "also query /api/series for this metric name")
+		minPoints = flag.Int("min-points", 1, "minimum points the -series query must return")
+	)
+	flag.Parse()
+
+	deadline := time.Now().Add(time.Duration(*waitSec) * time.Second)
+	target, err := resolveAddr(*addr, *addrFile, deadline)
+	if err != nil {
+		fatal(err)
+	}
+	base := "http://" + target
+
+	body, err := fetch(base+"/metrics", deadline)
+	if err != nil {
+		fatal(err)
+	}
+	samples, err := obs.ValidateExposition(strings.NewReader(body))
+	if err != nil {
+		fatal(fmt.Errorf("/metrics invalid: %w", err))
+	}
+	if !strings.Contains(body, "patchwork_build_info") {
+		fatal(fmt.Errorf("/metrics missing patchwork_build_info"))
+	}
+	fmt.Printf("/metrics: %d samples — ok\n", samples)
+
+	var status struct {
+		SimNs     int64 `json:"sim_ns"`
+		Published int   `json:"published"`
+		Ring      struct {
+			Records int    `json:"records"`
+			Err     string `json:"err"`
+		} `json:"ring"`
+	}
+	if err := fetchJSON(base+"/api/status", deadline, &status); err != nil {
+		fatal(err)
+	}
+	if status.Ring.Err != "" {
+		fatal(fmt.Errorf("/api/status reports ring error: %s", status.Ring.Err))
+	}
+	fmt.Printf("/api/status: sim_ns=%d published=%d ring_records=%d — ok\n",
+		status.SimNs, status.Published, status.Ring.Records)
+
+	var bi struct {
+		GoVersion string `json:"go_version"`
+	}
+	if err := fetchJSON(base+"/api/buildinfo", deadline, &bi); err != nil {
+		fatal(err)
+	}
+	if bi.GoVersion == "" {
+		fatal(fmt.Errorf("/api/buildinfo missing go_version"))
+	}
+	fmt.Printf("/api/buildinfo: %s — ok\n", bi.GoVersion)
+
+	var alerts struct {
+		Active []json.RawMessage `json:"active"`
+	}
+	if err := fetchJSON(base+"/api/alerts", deadline, &alerts); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("/api/alerts: %d active — ok\n", len(alerts.Active))
+
+	if *series != "" {
+		var sr struct {
+			Series []struct {
+				Points []json.RawMessage `json:"points"`
+			} `json:"series"`
+		}
+		if err := fetchJSON(base+"/api/series?name="+*series, deadline, &sr); err != nil {
+			fatal(err)
+		}
+		points := 0
+		for _, s := range sr.Series {
+			points += len(s.Points)
+		}
+		if points < *minPoints {
+			fatal(fmt.Errorf("/api/series?name=%s returned %d points, want >= %d", *series, points, *minPoints))
+		}
+		fmt.Printf("/api/series?name=%s: %d points — ok\n", *series, points)
+	}
+}
+
+// resolveAddr returns the probe target, polling the address file until
+// the deadline when one was given.
+func resolveAddr(addr, addrFile string, deadline time.Time) (string, error) {
+	if addr != "" {
+		return addr, nil
+	}
+	if addrFile == "" {
+		return "", fmt.Errorf("need -addr or -addr-file")
+	}
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil {
+			if a := strings.TrimSpace(string(data)); a != "" {
+				return a, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("address file %s never appeared", addrFile)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// fetch GETs a URL, retrying connection errors until the deadline (the
+// server may still be binding when the probe starts).
+func fetch(url string, deadline time.Time) (string, error) {
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return "", rerr
+			}
+			if resp.StatusCode != http.StatusOK {
+				return "", fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+			}
+			return string(body), nil
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("GET %s: %w", url, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fetchJSON(url string, deadline time.Time, into any) error {
+	body, err := fetch(url, deadline)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal([]byte(body), into); err != nil {
+		return fmt.Errorf("%s: %w in %s", url, err, body)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pwlive:", err)
+	os.Exit(1)
+}

@@ -184,12 +184,35 @@ type Result struct {
 	Dir      string
 }
 
+// LiveSink is the live telemetry plane's view of a running campaign
+// (implemented by livemon.Server). The campaign calls PublishTick from
+// its drive loop between kernel steps — never from a scheduled kernel
+// event, so attaching a sink cannot change the event sequence and the
+// campaign's artifacts stay byte-identical with or without one.
+type LiveSink interface {
+	// Attach wires the sim-time registry and health monitor before the
+	// simulation starts.
+	Attach(reg *obs.Registry, mon *health.Monitor)
+	// Runtime is the sink's wall-clock registry, where the campaign
+	// registers journal-progress gauges.
+	Runtime() *obs.Registry
+	// Interval is the sim-time cadence PublishTick should be driven at.
+	Interval() sim.Duration
+	// PublishTick snapshots and publishes; called on the sim goroutine.
+	PublishTick(now sim.Time)
+}
+
 // Run starts a fresh campaign in dir (which must not already hold
 // one). When kill is true, injected crash points abort the run —
 // Result.Crashed reports the abort; resume the directory to continue.
 // When kill is false, crash points are journaled but not honored: the
 // uninterrupted baseline whose outputs a kill+resume pair must match.
 func Run(spec Spec, dir string, kill bool) (*Result, error) {
+	return RunLive(spec, dir, kill, nil)
+}
+
+// RunLive is Run with an optional live telemetry sink.
+func RunLive(spec Spec, dir string, kill bool, live LiveSink) (*Result, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -202,7 +225,7 @@ func Run(spec Spec, dir string, kill bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return run(spec, w, dir, kill)
+	return run(spec, w, dir, kill, live)
 }
 
 // Resume reopens the campaign journaled in dir, rebuilds the world from
@@ -211,6 +234,11 @@ func Run(spec Spec, dir string, kill bool) (*Result, error) {
 // already in the WAL are skipped; new ones abort again when kill is
 // true.
 func Resume(dir string, kill bool) (*Result, error) {
+	return ResumeLive(dir, kill, nil)
+}
+
+// ResumeLive is Resume with an optional live telemetry sink.
+func ResumeLive(dir string, kill bool, live LiveSink) (*Result, error) {
 	w, manifest, _, _, err := journal.OpenResume(dir)
 	if err != nil {
 		return nil, err
@@ -225,7 +253,7 @@ func Resume(dir string, kill bool) (*Result, error) {
 		w.Close()
 		return nil, err
 	}
-	return run(spec, w, dir, kill)
+	return run(spec, w, dir, kill, live)
 }
 
 // campaign holds the run's journaling state shared by the mutation
@@ -280,9 +308,31 @@ func (c *campaign) onCrashPoint(at sim.Time) {
 	}
 }
 
+// wireJournalGauges registers campaign-progress gauges on the sink's
+// wall-clock registry: WAL append/replay/checkpoint counters and the
+// checkpoint lag (sim time since the last checkpoint). They refresh on
+// every scrape via a collector reading the writer's atomic stats.
+func wireJournalGauges(r *obs.Registry, w *journal.Writer) {
+	r.Help("patchwork_campaign_wal_appended", "WAL records appended by this life")
+	r.Help("patchwork_campaign_wal_replayed", "WAL prefix records verified during resume replay")
+	r.Help("patchwork_campaign_checkpoints", "checkpoints handled by this life")
+	r.Help("patchwork_campaign_checkpoint_lag_sim_sec", "sim seconds between the last WAL record and the last checkpoint")
+	appended := r.Gauge("patchwork_campaign_wal_appended")
+	replayed := r.Gauge("patchwork_campaign_wal_replayed")
+	checkpoints := r.Gauge("patchwork_campaign_checkpoints")
+	lag := r.Gauge("patchwork_campaign_checkpoint_lag_sim_sec")
+	r.RegisterCollector(func() {
+		st := w.Stats()
+		appended.Set(float64(st.Appended))
+		replayed.Set(float64(st.Replayed))
+		checkpoints.Set(float64(st.Checkpoints))
+		lag.Set(float64(st.LastAppendSimNs-st.LastCheckpointSimNs) / float64(sim.Second))
+	})
+}
+
 // run builds the world described by spec around the journal writer and
 // drives it to completion, crash, or divergence.
-func run(spec Spec, w *journal.Writer, dir string, kill bool) (*Result, error) {
+func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink) (*Result, error) {
 	defer w.Close()
 	capMethod, err := spec.method()
 	if err != nil {
@@ -419,6 +469,16 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool) (*Result, error) {
 	}
 	k.Every(sim.Duration(spec.CheckpointSec)*sim.Second, checkpoint)
 
+	// Live telemetry publishes from the drive loop, between kernel
+	// steps, on the sim goroutine. Nothing is scheduled on the kernel:
+	// the event sequence — and therefore every sim-time artifact — is
+	// byte-identical whether or not a sink is attached.
+	var publishNext sim.Time
+	if live != nil {
+		live.Attach(reg, monitor)
+		wireJournalGauges(live.Runtime(), w)
+	}
+
 	var prof *patchwork.Profile
 	var runErr error
 	finished := false
@@ -430,9 +490,18 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool) (*Result, error) {
 		if !k.Step() {
 			return nil, fmt.Errorf("campaign: simulation stalled before completion")
 		}
+		if live != nil && k.Now() >= publishNext {
+			live.PublishTick(k.Now())
+			publishNext = k.Now() + live.Interval()
+		}
 	}
 	if c.err != nil {
 		return nil, c.err
+	}
+	if live != nil {
+		// One final publish so the served view reflects the end state
+		// (completion or the crash point).
+		live.PublishTick(k.Now())
 	}
 
 	res := &Result{

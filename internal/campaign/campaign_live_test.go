@@ -1,0 +1,152 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/livemon"
+	"repro/internal/sim"
+)
+
+// liveServer builds a livemon server with an on-disk ring under dir.
+func liveServer(t *testing.T, dir string) *livemon.Server {
+	t.Helper()
+	s, err := livemon.New(livemon.Config{Dir: dir, PublishEvery: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// walBytes reads the raw WAL file — the byte-identity artifact.
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func metricsProm(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLiveSinkDoesNotPerturbArtifacts is the determinism gate for the
+// telemetry plane: the same seeded campaign run with and without a live
+// sink attached must produce byte-identical WALs and metric exports.
+// The sink publishes from the drive loop, so attaching it must not add
+// a single kernel event.
+func TestLiveSinkDoesNotPerturbArtifacts(t *testing.T) {
+	spec := smallSpec()
+
+	plainDir := t.TempDir()
+	plain, err := Run(spec, plainDir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	servedDir := t.TempDir()
+	live := liveServer(t, t.TempDir())
+	served, err := RunLive(spec, servedDir, true, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(walBytes(t, plainDir), walBytes(t, servedDir)) {
+		t.Fatal("WAL differs between served and unserved runs")
+	}
+	if !bytes.Equal(metricsProm(t, plain), metricsProm(t, served)) {
+		t.Fatal("metrics export differs between served and unserved runs")
+	}
+	// The sink actually saw the run: snapshots in the ring, journal
+	// gauges on the runtime registry.
+	if live.RingRef().Len() == 0 {
+		t.Fatal("live ring holds no records after a served campaign")
+	}
+	found := false
+	for _, mp := range live.Runtime().Snapshot() {
+		if mp.Name == "patchwork_campaign_wal_appended" && mp.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("runtime registry missing campaign WAL gauges")
+	}
+}
+
+// TestLiveCrashResumeRecoversRing runs a crashing campaign with a live
+// sink, resumes it with a fresh sink over the same ring directory, and
+// checks (a) the resumed WAL byte-matches an uninterrupted baseline and
+// (b) the ring suppresses replayed history instead of duplicating it.
+func TestLiveCrashResumeRecoversRing(t *testing.T) {
+	spec := smallSpec()
+	spec.Faults = &faults.Plan{CrashPoints: []faults.CrashPoint{{AtSec: 6}}}
+
+	baseDir := t.TempDir()
+	if _, err := Run(spec, baseDir, false); err != nil { // no-kill baseline
+		t.Fatal(err)
+	}
+
+	crashDir, ringDir := t.TempDir(), t.TempDir()
+	live := liveServer(t, ringDir)
+	res, err := RunLive(spec, crashDir, true, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("campaign did not crash at the injected crash point")
+	}
+	if live.RingRef().Len() == 0 {
+		t.Fatal("ring empty at crash")
+	}
+	if err := live.Close(); err != nil { // the "process" died; flush like its exit handler would
+		t.Fatal(err)
+	}
+
+	// Resume with a fresh server over the same ring directory — the
+	// recovered frontier suppresses the replayed prefix.
+	live2 := liveServer(t, ringDir)
+	if live2.RingRef().Recovered() == 0 {
+		t.Fatal("reopened ring recovered nothing")
+	}
+	res2, err := ResumeLive(crashDir, true, live2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Crashed || res2.Profile == nil {
+		t.Fatalf("resume did not finish: crashed=%v", res2.Crashed)
+	}
+	if res2.Replayed == 0 {
+		t.Fatal("resume verified no journal records")
+	}
+
+	if !bytes.Equal(walBytes(t, baseDir), walBytes(t, crashDir)) {
+		t.Fatal("crash+resume WAL differs from uninterrupted baseline")
+	}
+
+	// No snapshot in the ring may predate the recovered frontier twice:
+	// sequence numbers must stay strictly increasing across both lives.
+	var last uint64
+	ok := true
+	live2.RingRef().Scan(func(rec livemon.Record) bool {
+		if rec.Seq <= last {
+			ok = false
+			return false
+		}
+		last = rec.Seq
+		return true
+	})
+	if !ok {
+		t.Fatal("ring sequence numbers not strictly increasing after resume")
+	}
+}

@@ -193,6 +193,26 @@ func RunAll(seed uint64) ([]*Result, error) {
 // that precede the first (in ids order) failing experiment, exactly as a
 // serial run that stopped there would.
 func RunMany(ids []string, seed uint64, parallel int) ([]*Result, error) {
+	return RunManyWithProgress(ids, seed, parallel, nil)
+}
+
+// Progress is one worker-pool transition: Worker started or finished
+// experiment ID, with Done of Total already complete across the pool.
+// State is "start" or "done".
+type Progress struct {
+	Worker int
+	ID     string
+	State  string
+	Done   int
+	Total  int
+}
+
+// RunManyWithProgress is RunMany with a progress callback. The callback
+// runs on worker goroutines as experiments start and finish, so it must
+// be safe for concurrent use; progress ordering reflects wall-clock
+// scheduling and is NOT deterministic — only the results are. A nil
+// callback is RunMany exactly.
+func RunManyWithProgress(ids []string, seed uint64, parallel int, progress func(Progress)) ([]*Result, error) {
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -201,9 +221,22 @@ func RunMany(ids []string, seed uint64, parallel int) ([]*Result, error) {
 	}
 	results := make([]*Result, len(ids))
 	errs := make([]error, len(ids))
+	var done atomic.Int64
+	runOne := func(worker, i int) {
+		if progress != nil {
+			progress(Progress{Worker: worker, ID: ids[i], State: "start",
+				Done: int(done.Load()), Total: len(ids)})
+		}
+		results[i], errs[i] = Run(ids[i], seed)
+		n := int(done.Add(1))
+		if progress != nil {
+			progress(Progress{Worker: worker, ID: ids[i], State: "done",
+				Done: n, Total: len(ids)})
+		}
+	}
 	if parallel <= 1 {
-		for i, id := range ids {
-			results[i], errs[i] = Run(id, seed)
+		for i := range ids {
+			runOne(0, i)
 		}
 	} else {
 		var next atomic.Int64
@@ -211,16 +244,16 @@ func RunMany(ids []string, seed uint64, parallel int) ([]*Result, error) {
 		var wg sync.WaitGroup
 		for w := 0; w < parallel; w++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1))
 					if i >= len(ids) {
 						return
 					}
-					results[i], errs[i] = Run(ids[i], seed)
+					runOne(worker, i)
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -111,4 +112,51 @@ func firstDiff(a, b []byte) string {
 		}
 	}
 	return fmt.Sprintf("one output is a prefix of the other (%d vs %d lines)", len(al), len(bl))
+}
+
+// TestRunManyWithProgress checks the progress callback contract: every
+// experiment reports a start and a done from worker goroutines, the
+// done counter ends at the total, and reporting progress does not
+// perturb the results.
+func TestRunManyWithProgress(t *testing.T) {
+	ids := cheapIDs[:4]
+	baseline := mustRunMany(t, ids, 7, 1)
+
+	var mu sync.Mutex
+	starts := map[string]int{}
+	dones := map[string]int{}
+	final := 0
+	results, err := RunManyWithProgress(ids, 7, 4, func(p Progress) {
+		if p.State != "start" && p.State != "done" {
+			t.Errorf("unknown progress state %q", p.State)
+		}
+		if p.Total != len(ids) {
+			t.Errorf("progress total = %d, want %d", p.Total, len(ids))
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		switch p.State {
+		case "start":
+			starts[p.ID]++
+		case "done":
+			dones[p.ID]++
+			if p.Done > final {
+				final = p.Done
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if starts[id] != 1 || dones[id] != 1 {
+			t.Fatalf("%s: starts=%d dones=%d, want 1/1", id, starts[id], dones[id])
+		}
+	}
+	if final != len(ids) {
+		t.Fatalf("final done count = %d, want %d", final, len(ids))
+	}
+	if got := suiteCSV(t, results); !bytes.Equal(got, baseline) {
+		t.Fatal("progress callback changed results")
+	}
 }

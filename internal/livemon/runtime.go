@@ -1,0 +1,133 @@
+package livemon
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// wallClock stamps the runtime registry with the wall clock. Runtime
+// metrics live in their own registry precisely so this nondeterminism
+// never reaches the sim-time registry or any exported artifact.
+func wallClock() sim.Time { return sim.Time(time.Now().UnixNano()) }
+
+// BuildInfo is the /api/buildinfo payload, extracted once at startup
+// from the binary's embedded build information.
+type BuildInfo struct {
+	GoVersion     string `json:"go_version"`
+	ModulePath    string `json:"module_path,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	VCSRevision   string `json:"vcs_revision,omitempty"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	VCSModified   bool   `json:"vcs_modified,omitempty"`
+}
+
+// readBuildInfo digests runtime/debug.ReadBuildInfo; a binary built
+// without module support still reports its Go version.
+func readBuildInfo() BuildInfo {
+	out := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	out.ModulePath = bi.Main.Path
+	out.ModuleVersion = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.VCSRevision = s.Value
+		case "vcs.time":
+			out.VCSTime = s.Value
+		case "vcs.modified":
+			out.VCSModified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// newRuntimeRegistry builds the wall-clock registry: Go runtime health
+// (goroutines, heap, GC), the build-info gauge, and — when the host
+// wires them — RunMany worker progress and campaign journal gauges.
+// Everything here refreshes on scrape via collectors; nothing is ever
+// written to a sim-time artifact.
+func newRuntimeRegistry(bi BuildInfo) *obs.Registry {
+	r := obs.NewRegistry(wallClock)
+	r.Help("patchwork_build_info", "build metadata as labels, value always 1")
+	labels := []obs.Label{obs.L("goversion", bi.GoVersion)}
+	if bi.ModuleVersion != "" {
+		labels = append(labels, obs.L("version", bi.ModuleVersion))
+	}
+	if bi.VCSRevision != "" {
+		labels = append(labels, obs.L("revision", bi.VCSRevision))
+	}
+	r.Gauge("patchwork_build_info", labels...).Set(1)
+
+	r.Help("patchwork_runtime_goroutines", "live goroutines in the serving process")
+	r.Help("patchwork_runtime_heap_alloc_bytes", "bytes of allocated heap objects")
+	r.Help("patchwork_runtime_heap_sys_bytes", "heap memory obtained from the OS")
+	r.Help("patchwork_runtime_gc_runs_total", "completed GC cycles")
+	r.Help("patchwork_runtime_gc_pause_total_ns", "cumulative GC stop-the-world pause")
+	r.Help("patchwork_runtime_gomaxprocs", "scheduler parallelism")
+	goroutines := r.Gauge("patchwork_runtime_goroutines")
+	heapAlloc := r.Gauge("patchwork_runtime_heap_alloc_bytes")
+	heapSys := r.Gauge("patchwork_runtime_heap_sys_bytes")
+	gcRuns := r.Gauge("patchwork_runtime_gc_runs_total")
+	gcPause := r.Gauge("patchwork_runtime_gc_pause_total_ns")
+	maxprocs := r.Gauge("patchwork_runtime_gomaxprocs")
+	r.RegisterCollector(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gcRuns.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs))
+		maxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+	})
+	return r
+}
+
+// progressEvent is the SSE payload for RunMany worker progress.
+type progressEvent struct {
+	Worker int    `json:"worker"`
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Done   int    `json:"done"`
+	Total  int    `json:"total"`
+}
+
+// PublishProgress records live RunMany worker progress: per-worker
+// busy/current-experiment gauges and overall done/total in the runtime
+// registry, plus a "progress" SSE event. Safe to call from any worker
+// goroutine. Progress is wall-clock territory — worker interleaving is
+// nondeterministic — so none of it touches the sim registry or ring
+// determinism (progress records carry sim time zero).
+func (s *Server) PublishProgress(worker int, id, state string, done, total int) {
+	if s == nil {
+		return
+	}
+	wl := obs.L("worker", strconv.Itoa(worker))
+	s.runtime.Help("patchwork_runmany_total", "experiments in the current RunMany batch")
+	s.runtime.Help("patchwork_runmany_done", "experiments completed in the current RunMany batch")
+	s.runtime.Help("patchwork_runmany_worker_busy", "1 while the worker is running an experiment")
+	s.runtime.Gauge("patchwork_runmany_total").Set(float64(total))
+	s.runtime.Gauge("patchwork_runmany_done").Set(float64(done))
+	busy := 0.0
+	if state == "start" {
+		busy = 1
+	}
+	s.runtime.Gauge("patchwork_runmany_worker_busy", wl).Set(busy)
+	data := mustJSON(progressEvent{Worker: worker, ID: id, State: state, Done: done, Total: total})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq, stored := s.ring.Append(KindProgress, 0, data); stored {
+		s.broadcastLocked(sseEvent{id: seq, typ: KindProgress, data: data})
+	}
+}

@@ -67,9 +67,18 @@ func promTimestampMillis(t sim.Time) int64 { return int64(t) / int64(sim.Millise
 // format, families sorted by name, each sample stamped with its last
 // observation's sim time in milliseconds.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheusPoints(w, r.Snapshot())
+}
+
+// WritePrometheusPoints renders a frozen snapshot (as returned by
+// Snapshot) in the Prometheus text exposition format. Splitting the
+// renderer from the registry lets a consistent snapshot taken on the
+// simulation goroutine be served later from any goroutine — the live
+// telemetry server's /metrics endpoint works this way.
+func WritePrometheusPoints(w io.Writer, points []MetricPoint) error {
 	bw := bufio.NewWriter(w)
 	var lastFamily string
-	for _, mp := range r.Snapshot() {
+	for _, mp := range points {
 		if mp.Name != lastFamily {
 			lastFamily = mp.Name
 			if mp.Help != "" {
@@ -92,14 +101,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 					return err
 				}
 			}
+			// Guard the +Inf bucket and _count against a point whose
+			// count lags its bucket sum (a snapshot taken mid-Observe):
+			// the exposition must stay cumulative-monotonic.
+			count := int64(mp.Value)
+			if cum > count {
+				count = cum
+			}
 			if _, err := fmt.Fprintf(bw, "%s_bucket%s %d %d\n", mp.Name,
-				promLabels(mp.Labels, L("le", "+Inf")), int64(mp.Value), ts); err != nil {
+				promLabels(mp.Labels, L("le", "+Inf")), count, ts); err != nil {
 				return err
 			}
 			if _, err := fmt.Fprintf(bw, "%s_sum%s %d %d\n", mp.Name, promLabels(mp.Labels), mp.Sum, ts); err != nil {
 				return err
 			}
-			if _, err := fmt.Fprintf(bw, "%s_count%s %d %d\n", mp.Name, promLabels(mp.Labels), int64(mp.Value), ts); err != nil {
+			if _, err := fmt.Fprintf(bw, "%s_count%s %d %d\n", mp.Name, promLabels(mp.Labels), count, ts); err != nil {
 				return err
 			}
 			for _, pq := range [...]struct {

@@ -367,10 +367,12 @@ func (h *Histogram) LastUpdate() sim.Time {
 
 // Quantile estimates the q-quantile (q in [0, 1]) by linear
 // interpolation inside the log2 bucket containing the target rank, the
-// same scheme Prometheus applies to its histograms. Returns NaN on an
-// empty (or nil) histogram.
+// same scheme Prometheus applies to its histograms. An empty (or nil)
+// histogram has no quantiles: the defined sentinel is NaN, checked
+// explicitly here rather than left to the bucket interpolation's edge
+// behavior, and exporters render it with the Prometheus "NaN" spelling.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil {
+	if h == nil || h.count.Load() == 0 {
 		return math.NaN()
 	}
 	var bs []BucketCount
@@ -480,12 +482,22 @@ func (r *Registry) Snapshot() []MetricPoint {
 				mp.Value = float64(inst.h.Count())
 				mp.Sum = inst.h.Sum()
 				mp.At = inst.h.LastUpdate()
+				var cum int64
 				for i := 0; i < histBuckets; i++ {
 					if c := inst.h.Bucket(i); c > 0 {
+						cum += c
 						mp.Buckets = append(mp.Buckets, BucketCount{
 							UpperBound: 1 << uint(i+1), Count: c,
 						})
 					}
+				}
+				// Observe bumps the bucket before the total count, so a
+				// snapshot racing a recording can see one more bucketed
+				// observation than counted. Clamp the count up to the
+				// bucket sum so the exposition's +Inf bucket stays
+				// cumulative-monotonic under concurrent scrapes.
+				if cum > int64(mp.Value) {
+					mp.Value = float64(cum)
 				}
 			}
 			out = append(out, mp)

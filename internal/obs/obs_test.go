@@ -327,3 +327,113 @@ func TestCollectKernel(t *testing.T) {
 		t.Errorf("sim_queue_pending = %v, want 0", snap["sim_queue_pending"])
 	}
 }
+
+// TestEmptyHistogramExports: an instrument that was created but never
+// observed must export the defined quantile sentinel (NaN) through both
+// the Prometheus and CSV paths, and its exposition must still validate
+// — the regression this guards is the quantile math being handed an
+// empty bucket slice and inventing a number.
+func TestEmptyHistogramExports(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Histogram("idle", L("site", "STAR")) // created, never observed
+	if got := r.Histogram("idle", L("site", "STAR")).Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram Quantile = %v, want NaN", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`idle_bucket{site="STAR",le="+Inf"} 0 0`,
+		`idle_count{site="STAR"} 0 0`,
+		`idle_p50{site="STAR"} NaN 0`,
+		`idle_p99{site="STAR"} NaN 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("empty-histogram exposition does not validate: %v", err)
+	}
+	var cs bytes.Buffer
+	if err := r.WriteCSV(&cs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(cs.String()), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], "NaN") {
+		t.Errorf("csv row for empty histogram should carry NaN quantiles:\n%s", cs.String())
+	}
+}
+
+// TestWritePrometheusPointsSkewGuard: a snapshot whose bucket sum ran
+// ahead of its count (possible when a scrape races Observe) must still
+// render a cumulative-monotonic histogram — +Inf and _count are clamped
+// up to the bucket sum.
+func TestWritePrometheusPointsSkewGuard(t *testing.T) {
+	points := []MetricPoint{{
+		Name: "lat", Kind: KindHistogram,
+		Value:   2, // count lags: three observations already bucketed
+		Sum:     15,
+		Buckets: []BucketCount{{UpperBound: 8, Count: 3}},
+	}}
+	var buf bytes.Buffer
+	if err := WritePrometheusPoints(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_bucket{le="+Inf"} 3 0`,
+		`lat_count 3 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("skewed snapshot rendered without clamp, missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Errorf("clamped exposition does not validate: %v", err)
+	}
+}
+
+// TestValidateExposition covers the accept and reject paths of the
+// scrape validator CI runs over artifacts and live scrapes.
+func TestValidateExposition(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Help("req_total", "requests")
+	r.Counter("req_total", L("site", "STAR"), L("path", `a"b\c`)).Add(3)
+	r.Gauge("depth").Set(1.5)
+	h := r.Histogram("lat")
+	for _, v := range []int64{1, 5, 5, 300} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("our own exposition must validate: %v\n%s", err, buf.String())
+	}
+	if n < 5 {
+		t.Errorf("validator counted %d samples, want >= 5", n)
+	}
+	bad := []struct {
+		name, doc string
+	}{
+		{"bad-name", "2metric 1\n"},
+		{"bad-value", "m{a=\"b\"} notanumber\n"},
+		{"bad-timestamp", "m 1 12.5\n"},
+		{"unterminated-labels", "m{a=\"b 1\n"},
+		{"dup-type", "# TYPE m counter\n# TYPE m gauge\nm 1\n"},
+		{"unknown-type", "# TYPE m ring\nm 1\n"},
+		{"non-monotonic-buckets", "# TYPE h histogram\nh_bucket{le=\"2\"} 5\nh_bucket{le=\"+Inf\"} 3\n"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ValidateExposition(strings.NewReader(tc.doc)); err == nil {
+				t.Errorf("validator accepted %q", tc.doc)
+			}
+		})
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format exposition and
+// returns the number of sample lines. It checks the syntax every scrape
+// consumer depends on — metric-name charset, balanced and escaped label
+// quoting, parseable values and timestamps, one TYPE per family — plus
+// the histogram invariant that _bucket samples of one series are
+// cumulative-monotonic and capped by the +Inf bucket. CI runs it over
+// both the exported artifacts and a live /metrics scrape, so a renderer
+// regression fails the build instead of corrupting every scrape.
+func ValidateExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	typeOf := map[string]string{}    // family -> TYPE
+	lastBucket := map[string]int64{} // series (name+labels sans le) -> last cumulative value
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				return samples, fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+			}
+			name, kind := fields[2], fields[3]
+			if !validMetricName(name) {
+				return samples, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+			}
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return samples, fmt.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+			}
+			if prev, dup := typeOf[name]; dup {
+				return samples, fmt.Errorf("line %d: duplicate TYPE for %s (already %s)", lineNo, name, prev)
+			}
+			typeOf[name] = kind
+		case strings.HasPrefix(line, "#"):
+			continue // HELP and free-form comments
+		default:
+			name, labels, value, rest, perr := parseSample(line)
+			if perr != nil {
+				return samples, fmt.Errorf("line %d: %v", lineNo, perr)
+			}
+			if rest != "" {
+				if _, terr := strconv.ParseInt(rest, 10, 64); terr != nil {
+					return samples, fmt.Errorf("line %d: bad timestamp %q", lineNo, rest)
+				}
+			}
+			samples++
+			if base, ok := strings.CutSuffix(name, "_bucket"); ok && typeOf[base] == "histogram" {
+				_, others := splitLE(labels)
+				key := base + "{" + others + "}"
+				cum := int64(value)
+				if last, seen := lastBucket[key]; seen && cum < last {
+					return samples, fmt.Errorf("line %d: histogram %s not cumulative-monotonic (%d after %d)",
+						lineNo, key, cum, last)
+				}
+				lastBucket[key] = cum
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	return samples, nil
+}
+
+// parseSample splits one sample line into name, raw label body, value,
+// and whatever trails the value (a timestamp, validated by the caller).
+func parseSample(line string) (name, labels string, value float64, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", 0, "", fmt.Errorf("sample without value: %q", line)
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", 0, "", fmt.Errorf("bad metric name %q", name)
+	}
+	body := line[i:]
+	if body[0] == '{' {
+		end, lerr := labelEnd(body)
+		if lerr != nil {
+			return "", "", 0, "", lerr
+		}
+		labels = body[1 : end-1]
+		body = body[end:]
+	}
+	fields := strings.Fields(body)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, "", fmt.Errorf("want value [timestamp] after %q, got %q", name, body)
+	}
+	value, verr := strconv.ParseFloat(fields[0], 64)
+	if verr != nil {
+		return "", "", 0, "", fmt.Errorf("bad value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		rest = fields[1]
+	}
+	return name, labels, value, rest, nil
+}
+
+// labelEnd scans a {...} label body starting at s[0]=='{' and returns
+// the index just past the closing brace, honoring quoted values with
+// backslash escapes.
+func labelEnd(s string) (int, error) {
+	inQuote, escaped := false, false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case inQuote && c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			return i + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("unterminated label set in %q", s)
+}
+
+// splitLE removes the le label from a raw label body, returning its
+// value and the remaining labels (order preserved) so bucket series of
+// one instrument share an identity.
+func splitLE(labels string) (le, others string) {
+	if labels == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, part := range splitLabels(labels) {
+		if v, ok := strings.CutPrefix(part, "le="); ok {
+			le = strings.Trim(v, `"`)
+			continue
+		}
+		kept = append(kept, part)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabels splits a raw label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	start, inQuote, escaped := 0, false, false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			escaped = false
+		case inQuote && c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == ',':
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

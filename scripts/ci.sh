@@ -8,10 +8,13 @@
 # the wire-format parsers (seed corpus plus a few seconds of mutation —
 # enough to catch regressions in the option/length walkers), and a
 # validate-only dry run of every health-alert rule file (the embedded
-# defaults always, plus any rules/*.json), and a crash/resume gate: a
+# defaults always, plus any rules/*.json), a crash/resume gate: a
 # journaled campaign is killed at an injected crash point (exit 3),
 # resumed, and its metrics and WAL must be byte-identical to an
-# uninterrupted baseline of the same seed.
+# uninterrupted baseline of the same seed, and a live-telemetry gate: a
+# campaign served with -serve is probed over HTTP (pwlive validates the
+# exposition and JSON endpoints), shut down with SIGTERM, and its
+# artifacts must be byte-identical to the unserved baseline.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -60,3 +63,23 @@ fi
 cmp "$tmp/base.prom" "$tmp/crash.prom"
 cmp "$tmp/base/wal.jsonl" "$tmp/crash/wal.jsonl"
 echo "crash/resume gate: metrics and WAL byte-identical"
+
+# Live-telemetry gate: the same campaign served on an ephemeral port.
+# -serve-hold keeps the server up after completion so the probe sees a
+# finished campaign; pwlive validates /metrics (Prometheus syntax +
+# histogram monotonicity), the JSON endpoints, and a ring time-range
+# query; SIGTERM releases the hold for a graceful exit 0. The served
+# run's artifacts must byte-match the unserved baseline — attaching the
+# telemetry plane must not perturb the simulation.
+go build -o "$tmp/pwlive" ./cmd/pwlive
+"$tmp/patchwork" $common -journal "$tmp/serve" -out "$tmp/serve-out" \
+    -metrics "$tmp/serve.prom" -no-kill -serve :0 -serve-hold >/dev/null &
+serve_pid=$!
+"$tmp/pwlive" -addr-file "$tmp/serve-out/livemon/addr" -wait-sec 30 \
+    -series sim_events_processed -min-points 2 >/dev/null
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+cmp "$tmp/base.prom" "$tmp/serve.prom"
+cmp "$tmp/base/wal.jsonl" "$tmp/serve/wal.jsonl"
+go run ./cmd/pwhealth -check-prom "$tmp/serve.prom" >/dev/null
+echo "live-telemetry gate: probe passed, artifacts byte-identical with -serve"
