@@ -66,6 +66,8 @@ func main() {
 		resume     = flag.String("resume", "", "resume the campaign journaled in this directory")
 		cpSec      = flag.Int("checkpoint-sec", 60, "checkpoint cadence in (virtual) seconds (campaign mode)")
 		noKill     = flag.Bool("no-kill", false, "journal injected crash points without honoring them (baseline run)")
+		lanesN     = flag.Int("lanes", 1, "shard the dataplane into this many parallel per-site lanes (campaign mode; output is byte-identical at any lane count)")
+		laneWk     = flag.Int("lane-workers", 0, "worker goroutines for -lanes (0 = min(lanes, GOMAXPROCS))")
 
 		serveAddr  = flag.String("serve", "", `serve live telemetry (metrics/status/SSE) on this address (":0" for an ephemeral port; bound address lands in <out>/livemon/addr)`)
 		servePprof = flag.Bool("serve-pprof", false, "also mount /debug/pprof/ on the telemetry server")
@@ -73,7 +75,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" {
+	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" || *lanesN > 1 {
 		os.Exit(campaignMain(campaignFlags{
 			mode: *mode, sites: *sitesFlag, runs: *runs, samples: *samples,
 			sampleSec: *sampleSec, method: *method, trunc: *trunc, seed: *seed,
@@ -81,6 +83,7 @@ func main() {
 			faultPlan: *faultPlan, healthRules: *healthRules,
 			remedyPolicy: *remedyPol, journalDir: *journalDir, resume: *resume,
 			checkpointSec: *cpSec, noKill: *noKill,
+			lanes: *lanesN, laneWorkers: *laneWk,
 			serveAddr: *serveAddr, servePprof: *servePprof, serveHold: *serveHold,
 		}))
 	}
@@ -430,6 +433,7 @@ type campaignFlags struct {
 	remedyPolicy, journalDir, resume string
 	checkpointSec                    int
 	noKill                           bool
+	lanes, laneWorkers               int
 	serveAddr                        string
 	servePprof, serveHold            bool
 }
@@ -454,10 +458,11 @@ func campaignMain(fl campaignFlags) int {
 	if live != nil {
 		sink = live
 	}
+	exec := campaign.Exec{Lanes: fl.lanes, Workers: fl.laneWorkers}
 	var res *campaign.Result
 	var err error
 	if fl.resume != "" {
-		res, err = campaign.ResumeLive(fl.resume, !fl.noKill, sink)
+		res, err = campaign.ResumeExecLive(fl.resume, !fl.noKill, exec, sink)
 	} else {
 		spec, serr := specFromFlags(fl)
 		if serr != nil {
@@ -468,7 +473,7 @@ func campaignMain(fl campaignFlags) int {
 		if dir == "" {
 			dir = filepath.Join(fl.out, "journal")
 		}
-		res, err = campaign.RunLive(spec, dir, !fl.noKill, sink)
+		res, err = campaign.RunExecLive(spec, dir, !fl.noKill, exec, sink)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "patchwork:", err)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/hostsim"
 	"repro/internal/journal"
+	"repro/internal/lanes"
 	"repro/internal/obs"
 	"repro/internal/remedy"
 	"repro/internal/sim"
@@ -202,17 +203,42 @@ type LiveSink interface {
 	PublishTick(now sim.Time)
 }
 
+// Exec selects the execution strategy that drives the campaign's
+// simulation. The zero value is the serial kernel. Exec is an execution
+// knob, not part of the campaign Spec: it is never journaled, and every
+// Exec must produce byte-identical artifacts — a campaign journaled
+// under one lane count resumes correctly under any other.
+type Exec struct {
+	// Lanes shards the dataplane into per-site event lanes
+	// (internal/lanes); <= 1 drives the kernel serially.
+	Lanes int
+	// Workers bounds goroutines executing lanes in parallel; 0 defaults
+	// to min(Lanes, GOMAXPROCS).
+	Workers int
+}
+
 // Run starts a fresh campaign in dir (which must not already hold
 // one). When kill is true, injected crash points abort the run —
 // Result.Crashed reports the abort; resume the directory to continue.
 // When kill is false, crash points are journaled but not honored: the
 // uninterrupted baseline whose outputs a kill+resume pair must match.
 func Run(spec Spec, dir string, kill bool) (*Result, error) {
-	return RunLive(spec, dir, kill, nil)
+	return RunExecLive(spec, dir, kill, Exec{}, nil)
 }
 
 // RunLive is Run with an optional live telemetry sink.
 func RunLive(spec Spec, dir string, kill bool, live LiveSink) (*Result, error) {
+	return RunExecLive(spec, dir, kill, Exec{}, live)
+}
+
+// RunExec is Run under an explicit execution strategy.
+func RunExec(spec Spec, dir string, kill bool, exec Exec) (*Result, error) {
+	return RunExecLive(spec, dir, kill, exec, nil)
+}
+
+// RunExecLive is Run with an execution strategy and an optional live
+// telemetry sink.
+func RunExecLive(spec Spec, dir string, kill bool, exec Exec, live LiveSink) (*Result, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -225,7 +251,7 @@ func RunLive(spec Spec, dir string, kill bool, live LiveSink) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return run(spec, w, dir, kill, live)
+	return run(spec, w, dir, kill, live, exec)
 }
 
 // Resume reopens the campaign journaled in dir, rebuilds the world from
@@ -234,11 +260,24 @@ func RunLive(spec Spec, dir string, kill bool, live LiveSink) (*Result, error) {
 // already in the WAL are skipped; new ones abort again when kill is
 // true.
 func Resume(dir string, kill bool) (*Result, error) {
-	return ResumeLive(dir, kill, nil)
+	return ResumeExecLive(dir, kill, Exec{}, nil)
 }
 
 // ResumeLive is Resume with an optional live telemetry sink.
 func ResumeLive(dir string, kill bool, live LiveSink) (*Result, error) {
+	return ResumeExecLive(dir, kill, Exec{}, live)
+}
+
+// ResumeExec is Resume under an explicit execution strategy. The
+// strategy need not match the one the campaign crashed under: the WAL
+// replay verifies the regenerated prefix either way.
+func ResumeExec(dir string, kill bool, exec Exec) (*Result, error) {
+	return ResumeExecLive(dir, kill, exec, nil)
+}
+
+// ResumeExecLive is Resume with an execution strategy and an optional
+// live telemetry sink.
+func ResumeExecLive(dir string, kill bool, exec Exec, live LiveSink) (*Result, error) {
 	w, manifest, _, _, err := journal.OpenResume(dir)
 	if err != nil {
 		return nil, err
@@ -253,7 +292,7 @@ func ResumeLive(dir string, kill bool, live LiveSink) (*Result, error) {
 		w.Close()
 		return nil, err
 	}
-	return run(spec, w, dir, kill, live)
+	return run(spec, w, dir, kill, live, exec)
 }
 
 // campaign holds the run's journaling state shared by the mutation
@@ -332,7 +371,7 @@ func wireJournalGauges(r *obs.Registry, w *journal.Writer) {
 
 // run builds the world described by spec around the journal writer and
 // drives it to completion, crash, or divergence.
-func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink) (*Result, error) {
+func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exec Exec) (*Result, error) {
 	defer w.Close()
 	capMethod, err := spec.method()
 	if err != nil {
@@ -358,6 +397,27 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink) (*R
 	fed, err := testbed.NewFederation(k, specs)
 	if err != nil {
 		return nil, err
+	}
+
+	// Sharded execution: partition sites across dataplane lanes by port
+	// count (a proxy for frames per window) and rebind each site's
+	// dataplane — switch, capture engines, traffic driver — to its
+	// lane. Must happen before any dataplane traffic is scheduled.
+	var world *lanes.World
+	if exec.Lanes > 1 {
+		world = lanes.NewWorld(k, lanes.Config{Lanes: exec.Lanes, Workers: exec.Workers})
+		defer world.Close()
+		loads := make([]lanes.SiteLoad, 0, len(fed.Sites()))
+		for _, s := range fed.Sites() {
+			loads = append(loads, lanes.SiteLoad{
+				Name:   s.Spec.Name,
+				Weight: s.Spec.Downlinks + s.Spec.Uplinks,
+			})
+		}
+		assign := lanes.PartitionSites(loads, exec.Lanes)
+		for _, s := range fed.Sites() {
+			s.SetScheduler(world.Lane(int(assign[s.Spec.Name])))
+		}
 	}
 
 	reg := obs.NewKernelRegistry(k)
@@ -399,7 +459,7 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink) (*R
 	for i, s := range fed.Sites() {
 		poller.Watch(s.Switch)
 		gen := trafficgen.NewGenerator(profiles[i], spec.Seed+uint64(i))
-		d := patchwork.NewTrafficDriver(k, s, gen, nil)
+		d := patchwork.NewTrafficDriver(s.Scheduler(), s, gen, nil)
 		d.WindowFrames = 150
 		drivers = append(drivers, d)
 		d.Start()
@@ -486,8 +546,12 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink) (*R
 		prof, runErr = p, err
 		finished = true
 	})
+	step := k.Step
+	if world != nil {
+		step = world.Step
+	}
 	for !finished && !c.crashed && c.err == nil {
-		if !k.Step() {
+		if !step() {
 			return nil, fmt.Errorf("campaign: simulation stalled before completion")
 		}
 		if live != nil && k.Now() >= publishNext {

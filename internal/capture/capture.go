@@ -202,7 +202,7 @@ type coreState struct {
 // safe for concurrent use; drive it from the simulation goroutine.
 type Engine struct {
 	cfg    Config
-	kernel *sim.Kernel
+	sched  sim.Scheduler
 	cores  []coreState
 	rr     int
 	sample int
@@ -225,8 +225,9 @@ type Engine struct {
 	mReceived, mFiltered, mDropped, mCaptured, mStoredBytes *obs.Counter
 }
 
-// NewEngine builds an engine bound to the simulation kernel.
-func NewEngine(k *sim.Kernel, cfg Config) (*Engine, error) {
+// NewEngine builds an engine bound to a scheduler — the simulation
+// kernel in serial runs, a lane in sharded ones.
+func NewEngine(k sim.Scheduler, cfg Config) (*Engine, error) {
 	if cfg.Cores < 0 || cfg.Cores > 256 {
 		return nil, fmt.Errorf("capture: core count %d out of range", cfg.Cores)
 	}
@@ -235,9 +236,9 @@ func NewEngine(k *sim.Kernel, cfg Config) (*Engine, error) {
 	}
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		cfg:    cfg,
-		kernel: k,
-		cores:  make([]coreState, cfg.Cores),
+		cfg:   cfg,
+		sched: k,
+		cores: make([]coreState, cfg.Cores),
 	}
 	e.doneFn = e.frameDone
 	if reg := cfg.Obs; reg != nil {
@@ -304,7 +305,7 @@ func (e *Engine) perFrameCost(stored, wireLen int) sim.Duration {
 // mirrored port at virtual time now.
 func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 	e.Stats.Received++
-	e.mReceived.Inc()
+	e.mReceived.IncAt(now)
 	e.estimateRate(now)
 
 	// Sampling and filtering. On the FPGA these run on the NIC before
@@ -314,13 +315,13 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		e.sample++
 		if e.sample%e.cfg.SampleEvery != 0 {
 			e.Stats.Filtered++
-			e.mFiltered.Inc()
+			e.mFiltered.IncAt(now)
 			return
 		}
 	}
 	if e.cfg.Filter != nil && !e.cfg.Filter(f.Data) {
 		e.Stats.Filtered++
-		e.mFiltered.Inc()
+		e.mFiltered.IncAt(now)
 		return
 	}
 
@@ -339,18 +340,18 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		slotBytes += tcpdumpSlotOverhead
 		if core.queuedBytes+slotBytes > e.cfg.BufferBytes {
 			e.Stats.Dropped++
-			e.mDropped.Inc()
+			e.mDropped.IncAt(now)
 			return
 		}
 	} else if core.queued >= e.cfg.RxQueueDepth {
 		e.Stats.Dropped++
-		e.mDropped.Inc()
+		e.mDropped.IncAt(now)
 		return
 	}
 
 	core.queued++
 	core.queuedBytes += slotBytes
-	core.occupancy.SetMax(float64(core.queued))
+	core.occupancy.SetMaxAt(float64(core.queued), now)
 	start := core.busyUntil
 	if start < now {
 		start = now
@@ -389,7 +390,7 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 	fd.frame = f
 	fd.stored = stored
 	fd.slot = slotBytes
-	e.kernel.AtArg(done, e.doneFn, fd)
+	e.sched.AtArg(done, e.doneFn, fd)
 }
 
 // frameDone completes one captured frame (the AtArg callback) and
@@ -399,10 +400,11 @@ func (e *Engine) frameDone(a any) {
 	c := fd.core
 	c.queued--
 	c.queuedBytes -= fd.slot
+	now := e.sched.Now()
 	e.Stats.Captured++
 	e.Stats.StoredBytes += int64(fd.stored)
-	e.mCaptured.Inc()
-	e.mStoredBytes.Add(int64(fd.stored))
+	e.mCaptured.IncAt(now)
+	e.mStoredBytes.AddAt(int64(fd.stored), now)
 	if e.cfg.Writer != nil {
 		data := fd.frame.Data
 		if data == nil {
@@ -410,7 +412,7 @@ func (e *Engine) frameDone(a any) {
 		} else if len(data) > fd.stored {
 			data = data[:fd.stored]
 		}
-		_ = e.cfg.Writer.WriteRecord(int64(e.kernel.Now()), data, fd.frame.Size)
+		_ = e.cfg.Writer.WriteRecord(int64(now), data, fd.frame.Size)
 	}
 	fd.core = nil
 	fd.frame = switchsim.Frame{} // drop the data reference before pooling
@@ -423,7 +425,7 @@ func (e *Engine) Flush() {
 	for i := range e.cores {
 		c := &e.cores[i]
 		if c.batchFrames > 0 && e.cfg.Host != nil {
-			lat := e.cfg.Host.Writev(maxTime(e.kernel.Now(), c.busyUntil), c.batchBytes)
+			lat := e.cfg.Host.Writev(maxTime(e.sched.Now(), c.busyUntil), c.batchBytes)
 			c.busyUntil += lat
 		}
 		c.batchFrames = 0

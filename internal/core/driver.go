@@ -12,9 +12,9 @@ import (
 // stands in for the other researchers' experiments running on the
 // testbed: Patchwork itself never generates the traffic it profiles.
 type TrafficDriver struct {
-	kernel *sim.Kernel
-	site   *testbed.Site
-	gen    *trafficgen.Generator
+	sched sim.Scheduler
+	site  *testbed.Site
+	gen   *trafficgen.Generator
 
 	// ActivePorts are the downlink ports carrying traffic. Ports not
 	// listed stay idle (FABRIC utilization is often low).
@@ -27,9 +27,11 @@ type TrafficDriver struct {
 	stopped bool
 }
 
-// NewTrafficDriver builds a driver for one site. activePorts defaults to
-// the first half of the site's downlinks when nil.
-func NewTrafficDriver(k *sim.Kernel, site *testbed.Site, gen *trafficgen.Generator, activePorts []string) *TrafficDriver {
+// NewTrafficDriver builds a driver for one site, scheduling on k — the
+// shared kernel in serial runs, the site's lane in sharded ones.
+// activePorts defaults to the first half of the site's downlinks when
+// nil.
+func NewTrafficDriver(k sim.Scheduler, site *testbed.Site, gen *trafficgen.Generator, activePorts []string) *TrafficDriver {
 	if activePorts == nil {
 		for _, n := range site.Switch.PortNames() {
 			if p := site.Switch.Port(n); p != nil && p.Role == switchsim.RoleDownlink {
@@ -39,7 +41,7 @@ func NewTrafficDriver(k *sim.Kernel, site *testbed.Site, gen *trafficgen.Generat
 		activePorts = activePorts[:(len(activePorts)+1)/2]
 	}
 	return &TrafficDriver{
-		kernel: k, site: site, gen: gen,
+		sched: k, site: site, gen: gen,
 		ActivePorts:  activePorts,
 		WindowFrames: 400,
 		Window:       sim.Second,
@@ -62,7 +64,7 @@ func (d *TrafficDriver) window() {
 	if d.stopped || len(d.ActivePorts) == 0 {
 		return
 	}
-	base := d.kernel.Now()
+	base := d.sched.Now()
 	for pi, port := range d.ActivePorts {
 		frames, err := d.gen.Sample(trafficgen.SampleConfig{
 			Duration:  d.Window,
@@ -76,7 +78,7 @@ func (d *TrafficDriver) window() {
 		peer := d.ActivePorts[(pi+1)%len(d.ActivePorts)]
 		for _, tf := range frames {
 			tf := tf
-			d.kernel.At(base+tf.At, func() {
+			d.sched.At(base+tf.At, func() {
 				f := switchsim.NewFrame(tf.Data)
 				if tf.Dir == trafficgen.DirForward {
 					_ = d.site.Switch.Transit(port, switchsim.DirRx, f)
@@ -88,5 +90,5 @@ func (d *TrafficDriver) window() {
 			})
 		}
 	}
-	d.kernel.At(base+d.Window, d.window)
+	d.sched.At(base+d.Window, d.window)
 }

@@ -647,7 +647,7 @@ func (si *siteInstance) checkCongestion(mirrored, egress string) {
 // with the instance's standing configuration — used at cycle start and
 // again when a remediation restarts a stalled listener in place.
 func (si *siteInstance) buildEngine(w *pcap.Writer) (*capture.Engine, error) {
-	return capture.NewEngine(si.kernel, capture.Config{
+	return capture.NewEngine(si.site.Scheduler(), capture.Config{
 		Method:    si.cfg.Method,
 		SnapLen:   si.cfg.TruncateBytes,
 		Cores:     si.cfg.CaptureCores,
@@ -804,9 +804,17 @@ func (si *siteInstance) remediateRotateStorage() (string, error) {
 	return note, nil
 }
 
-// harvestCycle compresses each engine's pcap stream into the bundle.
+// harvestCycle compresses each engine's pcap stream into the bundle,
+// in egress-port order so the bundle layout is deterministic (map
+// iteration order would shuffle pcaps between runs of the same seed).
 func (si *siteInstance) harvestCycle() {
-	for eg, eng := range si.engines {
+	egs := make([]string, 0, len(si.engines))
+	for eg := range si.engines {
+		egs = append(egs, eg)
+	}
+	sort.Strings(egs)
+	for _, eg := range egs {
+		eng := si.engines[eg]
 		eng.Flush()
 		buf := si.bufs[eg]
 		if buf == nil || buf.Len() == 0 {

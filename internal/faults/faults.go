@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -259,6 +260,15 @@ const (
 	KindCrashPoint         = "crash-point"
 )
 
+// kinds enumerates every fault kind, so injection state can be fully
+// pre-allocated: fault hooks run on dataplane lanes during parallel
+// window execution, and must never grow a map or resolve an instrument.
+var kinds = []string{
+	KindAllocatorTransient, KindSiteOutage, KindPortFlap,
+	KindMirrorCorruption, KindStorageSlowdown, KindCaptureStall,
+	KindCrashPoint,
+}
+
 // Engine drives one plan through a federation. Create it with NewEngine,
 // optionally attach a metrics registry, then Arm it on the federation
 // before the experiment starts. An Engine is bound to one kernel and one
@@ -278,7 +288,7 @@ type Engine struct {
 	stalls    map[string][]*stallState
 	slowdowns map[string][]StorageSlowdown
 
-	injected map[string]int64
+	injected map[string]*atomic.Int64
 	reg      *obs.Registry
 	counters map[string]*obs.Counter
 }
@@ -295,11 +305,15 @@ func NewEngine(k *sim.Kernel, seed uint64, plan Plan) (*Engine, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
+	injected := make(map[string]*atomic.Int64, len(kinds))
+	for _, kind := range kinds {
+		injected[kind] = new(atomic.Int64)
+	}
 	return &Engine{
 		kernel:   k,
 		plan:     plan,
 		root:     rng.New(seed ^ 0x6661756c74), // "fault"
-		injected: make(map[string]int64),
+		injected: injected,
 	}, nil
 }
 
@@ -317,28 +331,29 @@ func (e *Engine) SetObs(reg *obs.Registry) {
 	e.reg = reg
 	if reg != nil {
 		reg.Help("faults_injected_total", "injected faults by kind")
-		e.counters = make(map[string]*obs.Counter)
-	}
-}
-
-// note records one injected fault of the given kind.
-func (e *Engine) note(kind string) {
-	e.injected[kind]++
-	if e.reg != nil {
-		c := e.counters[kind]
-		if c == nil {
-			c = e.reg.Counter("faults_injected_total", obs.L("kind", kind))
-			e.counters[kind] = c
+		e.counters = make(map[string]*obs.Counter, len(kinds))
+		for _, kind := range kinds {
+			e.counters[kind] = reg.Counter("faults_injected_total", obs.L("kind", kind))
 		}
-		c.Inc()
 	}
 }
 
-// Injected returns a copy of the per-kind injection counts so far.
+// note records one injected fault of the given kind at virtual time now.
+// It is lane-safe: the count is atomic and the counter pre-resolved, so
+// hooks firing on parallel dataplane lanes never touch shared maps.
+func (e *Engine) note(kind string, now sim.Time) {
+	e.injected[kind].Add(1)
+	e.counters[kind].IncAt(now)
+}
+
+// Injected returns a copy of the per-kind injection counts so far
+// (kinds with zero injections are omitted).
 func (e *Engine) Injected() map[string]int64 {
-	out := make(map[string]int64, len(e.injected))
+	out := make(map[string]int64)
 	for k, v := range e.injected {
-		out[k] = v
+		if n := v.Load(); n > 0 {
+			out[k] = n
+		}
 	}
 	return out
 }
@@ -347,27 +362,28 @@ func (e *Engine) Injected() map[string]int64 {
 func (e *Engine) InjectedTotal() int64 {
 	var total int64
 	for _, v := range e.injected {
-		total += v
+		total += v.Load()
 	}
 	return total
 }
 
 // Summary renders the per-kind counts, sorted by kind, for CLI output.
 func (e *Engine) Summary() string {
-	if len(e.injected) == 0 {
+	injected := e.Injected()
+	if len(injected) == 0 {
 		return "no faults injected"
 	}
-	kinds := make([]string, 0, len(e.injected))
-	for k := range e.injected {
-		kinds = append(kinds, k)
+	names := make([]string, 0, len(injected))
+	for k := range injected {
+		names = append(names, k)
 	}
-	sort.Strings(kinds)
+	sort.Strings(names)
 	s := ""
-	for _, k := range kinds {
+	for _, k := range names {
 		if s != "" {
 			s += " "
 		}
-		s += fmt.Sprintf("%s=%d", k, e.injected[k])
+		s += fmt.Sprintf("%s=%d", k, injected[k])
 	}
 	return s
 }
@@ -420,7 +436,7 @@ func (e *Engine) Arm(fed *testbed.Federation) error {
 		s.SetAllocFault(func(now sim.Time) error {
 			for _, t := range ts {
 				if t.spec.During(now) && t.r.Bool(t.spec.Rate) {
-					e.note(KindAllocatorTransient)
+					e.note(KindAllocatorTransient, now)
 					return testbed.ErrBackendTransient
 				}
 			}
@@ -437,7 +453,8 @@ func (e *Engine) Arm(fed *testbed.Federation) error {
 		}
 		for _, s := range sites {
 			s.AddOutage(secs(o.FromSec), secs(o.ToSec))
-			e.kernel.At(secs(o.FromSec), func() { e.note(KindSiteOutage) })
+			onset := secs(o.FromSec)
+			e.kernel.At(onset, func() { e.note(KindSiteOutage, onset) })
 		}
 	}
 
@@ -456,7 +473,7 @@ func (e *Engine) Arm(fed *testbed.Federation) error {
 			down := secs(f.AtSec + float64(rep)*f.EverySec)
 			up := down + secs(f.DownSec)
 			e.kernel.At(down, func() {
-				e.note(KindPortFlap)
+				e.note(KindPortFlap, down)
 				_ = sw.SetPortDown(port, true)
 			})
 			e.kernel.At(up, func() { _ = sw.SetPortDown(port, false) })
@@ -487,7 +504,7 @@ func (e *Engine) Arm(fed *testbed.Federation) error {
 		s.Switch.SetCloneFault(func(now sim.Time) bool {
 			for _, c := range cs {
 				if c.spec.During(now) && c.r.Bool(c.spec.Rate) {
-					e.note(KindMirrorCorruption)
+					e.note(KindMirrorCorruption, now)
 					return true
 				}
 			}
@@ -522,7 +539,7 @@ func (e *Engine) Arm(fed *testbed.Federation) error {
 	for _, c := range e.plan.CrashPoints {
 		at := secs(c.AtSec)
 		e.kernel.At(at, func() {
-			e.note(KindCrashPoint)
+			e.note(KindCrashPoint, at)
 			if e.crashFn != nil {
 				e.crashFn(at)
 			}
@@ -543,7 +560,7 @@ func (e *Engine) CaptureStallFn(site string) func(now sim.Time) sim.Duration {
 	return func(now sim.Time) sim.Duration {
 		for _, s := range ss {
 			if s.spec.During(now) && s.r.Bool(s.spec.Rate) {
-				e.note(KindCaptureStall)
+				e.note(KindCaptureStall, now)
 				return secs(s.spec.StallSec)
 			}
 		}
@@ -567,7 +584,7 @@ func (e *Engine) StorageFaultFn(site string) func(now sim.Time, n int, lat sim.D
 			}
 		}
 		if out > lat {
-			e.note(KindStorageSlowdown)
+			e.note(KindStorageSlowdown, now)
 		}
 		return out
 	}

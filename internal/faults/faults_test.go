@@ -299,9 +299,9 @@ func TestSummary(t *testing.T) {
 	if got := e.Summary(); got != "no faults injected" {
 		t.Errorf("empty Summary = %q", got)
 	}
-	e.note(KindPortFlap)
-	e.note(KindPortFlap)
-	e.note(KindAllocatorTransient)
+	e.note(KindPortFlap, 0)
+	e.note(KindPortFlap, 0)
+	e.note(KindAllocatorTransient, 0)
 	if got := e.Summary(); got != "allocator-transient=1 port-flap=2" {
 		t.Errorf("Summary = %q", got)
 	}

@@ -212,9 +212,9 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 	var lat sim.Duration
 	throttledNow := h.dirty >= h.midBytes
 	if throttledNow && !h.inThrottle {
-		h.mThrottleEnter.Inc()
+		h.mThrottleEnter.IncAt(now)
 	} else if !throttledNow && h.inThrottle {
-		h.mThrottleExit.Inc()
+		h.mThrottleExit.IncAt(now)
 	}
 	h.inThrottle = throttledNow
 	switch {
@@ -239,7 +239,7 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 		// drains back to the hard threshold, then pays device time for
 		// its own bytes.
 		h.Stats.BlockedCalls++
-		h.mBlocked.Inc()
+		h.mBlocked.IncAt(now)
 		excess := h.dirty - h.hardBytes
 		drainTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(int(excess)))
 		deviceTime := sim.Duration(h.cfg.StorageWriteRate.TransmitNanos(n))
@@ -259,7 +259,7 @@ func (h *Host) Writev(now sim.Time, n int) sim.Duration {
 		}
 	}
 	h.WritevHist.Record(int64(lat))
-	h.mWritevLat.Observe(int64(lat))
+	h.mWritevLat.ObserveAt(int64(lat), now)
 	return lat
 }
 

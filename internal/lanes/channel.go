@@ -1,0 +1,122 @@
+package lanes
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Channel is the only sanctioned path for cross-lane traffic: a
+// bounded, timestamped, fixed-latency link from one source lane to one
+// destination lane. Its latency must be at least the world's lookahead,
+// which guarantees every delivery lands at or beyond the sending
+// window's horizon — so a delivery never has to execute inside the
+// window that produced it, and the conservative synchronization stays
+// sound.
+//
+// Capacity models a bounded link buffer: at most capacity messages may
+// be in flight (sent but not yet delivered); sends beyond that are
+// dropped and counted. All Channel state is owned by the source lane
+// (Send must be called from source-lane events), so no locking is
+// needed and drops are deterministic.
+type Channel struct {
+	latency sim.Duration
+	capac   int
+	recv    func(at sim.Time, msg any)
+
+	// Laned binding (src != nil) or serial binding (k != nil).
+	src     *Lane
+	dstLane int32
+	k       *sim.Kernel
+
+	// sendAts are the send timestamps of in-flight messages, oldest
+	// first; entries older than one latency have been delivered.
+	sendAts []sim.Time
+
+	// Sent and Dropped count accepted and rejected sends. Plain fields:
+	// owned by the source lane like the rest of the channel.
+	Sent    int64
+	Dropped int64
+}
+
+// delivery carries one message to the destination via the zero-closure
+// AtArg path.
+type delivery struct {
+	c   *Channel
+	at  sim.Time
+	msg any
+}
+
+func deliverMsg(a any) {
+	d := a.(*delivery)
+	d.c.recv(d.at, d.msg)
+}
+
+// NewChannel builds a laned channel from src to dst. recv runs on the
+// destination lane at send-time + latency. The latency must be at least
+// the world's lookahead.
+func (w *World) NewChannel(src, dst *Lane, latency sim.Duration, capacity int, recv func(at sim.Time, msg any)) (*Channel, error) {
+	if latency < w.cfg.Lookahead {
+		return nil, fmt.Errorf("lanes: channel latency %v below lookahead %v", latency, w.cfg.Lookahead)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("lanes: channel capacity %d < 1", capacity)
+	}
+	return &Channel{latency: latency, capac: capacity, recv: recv, src: src, dstLane: dst.id}, nil
+}
+
+// NewSerialChannel builds the serial twin of a laned channel: identical
+// latency, capacity, and drop behavior, scheduled directly on the
+// kernel. Differential harnesses pair it with NewChannel to check that
+// laned delivery order and drops match the serial baseline exactly.
+func NewSerialChannel(k *sim.Kernel, latency sim.Duration, capacity int, recv func(at sim.Time, msg any)) (*Channel, error) {
+	if latency <= 0 {
+		return nil, fmt.Errorf("lanes: channel latency %v must be positive", latency)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("lanes: channel capacity %d < 1", capacity)
+	}
+	return &Channel{latency: latency, capac: capacity, recv: recv, k: k}, nil
+}
+
+// Send offers a message at the given time (the sending event's Now). It
+// returns false and counts a drop when the link buffer is full. Must be
+// called from the source lane (or, for a serial channel, from any
+// kernel event).
+func (c *Channel) Send(now sim.Time, msg any) bool {
+	// Prune delivered messages: anything sent at or before now-latency
+	// has already arrived.
+	keep := 0
+	for keep < len(c.sendAts) && c.sendAts[keep]+sim.Time(c.latency) <= now {
+		keep++
+	}
+	if keep > 0 {
+		n := copy(c.sendAts, c.sendAts[keep:])
+		c.sendAts = c.sendAts[:n]
+	}
+	if len(c.sendAts) >= c.capac {
+		c.Dropped++
+		return false
+	}
+	c.sendAts = append(c.sendAts, now)
+	c.Sent++
+	at := now + sim.Time(c.latency)
+	d := &delivery{c: c, at: at, msg: msg}
+	if c.src != nil {
+		c.src.sendTo(c.dstLane, at, deliverMsg, d)
+	} else {
+		c.k.AtArg(at, deliverMsg, d)
+	}
+	return true
+}
+
+// InFlight reports messages sent but not yet delivered as of now.
+func (c *Channel) InFlight(now sim.Time) int {
+	n := 0
+	for _, s := range c.sendAts {
+		if s+sim.Time(c.latency) > now {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package lanes
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestChannelLatencyValidation(t *testing.T) {
+	k := sim.NewKernel()
+	w := NewWorld(k, Config{Lanes: 2, Workers: 1, Lookahead: 50 * sim.Millisecond})
+	defer w.Close()
+	if _, err := w.NewChannel(w.Lane(1), w.Lane(2), 10*sim.Millisecond, 4, func(sim.Time, any) {}); err == nil {
+		t.Fatal("latency below lookahead must be rejected")
+	}
+	if _, err := w.NewChannel(w.Lane(1), w.Lane(2), 50*sim.Millisecond, 0, func(sim.Time, any) {}); err == nil {
+		t.Fatal("zero capacity must be rejected")
+	}
+	if _, err := w.NewChannel(w.Lane(1), w.Lane(2), 50*sim.Millisecond, 4, func(sim.Time, any) {}); err != nil {
+		t.Fatalf("valid channel rejected: %v", err)
+	}
+}
+
+func TestChannelBoundedDrops(t *testing.T) {
+	k := sim.NewKernel()
+	var got []sim.Time
+	c, err := NewSerialChannel(k, 10*sim.Millisecond, 2, func(at sim.Time, msg any) {
+		got = append(got, at)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.At(sim.Millisecond, func() {
+		now := k.Now()
+		// Three rapid sends into a capacity-2 link: third drops.
+		for i := 0; i < 3; i++ {
+			c.Send(now, i)
+		}
+		if c.Sent != 2 || c.Dropped != 1 {
+			t.Errorf("sent/dropped = %d/%d, want 2/1", c.Sent, c.Dropped)
+		}
+		if inf := c.InFlight(now); inf != 2 {
+			t.Errorf("in-flight = %d, want 2", inf)
+		}
+	})
+	// After one latency the buffer has drained; capacity is available
+	// again.
+	k.At(20*sim.Millisecond, func() {
+		if !c.Send(k.Now(), 99) {
+			t.Error("send after drain should succeed")
+		}
+	})
+	k.Run()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d messages, want 3", len(got))
+	}
+	if got[0] != sim.Millisecond+10*sim.Millisecond {
+		t.Errorf("first delivery at %v", got[0])
+	}
+}
+
+// TestChannelCrossLaneDelivery checks a laned send arrives on the
+// destination lane at exactly send-time + latency.
+func TestChannelCrossLaneDelivery(t *testing.T) {
+	k := sim.NewKernel()
+	w := NewWorld(k, Config{Lanes: 2, Workers: 2, Lookahead: 5 * sim.Millisecond})
+	defer w.Close()
+	src, dst := w.Lane(1), w.Lane(2)
+	var deliveredAt sim.Time
+	var onLaneNow sim.Time
+	c, err := w.NewChannel(src, dst, 5*sim.Millisecond, 4, func(at sim.Time, msg any) {
+		deliveredAt = at
+		onLaneNow = dst.Now()
+		if msg.(string) != "frame" {
+			t.Errorf("payload = %v", msg)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.At(3*sim.Millisecond, func() {
+		if !c.Send(src.Now(), "frame") {
+			t.Error("send failed")
+		}
+	})
+	w.Run()
+	want := 3*sim.Millisecond + 5*sim.Millisecond
+	if deliveredAt != want || onLaneNow != want {
+		t.Fatalf("delivered at %v (lane now %v), want %v", deliveredAt, onLaneNow, want)
+	}
+}

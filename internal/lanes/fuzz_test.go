@@ -1,0 +1,76 @@
+package lanes
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzLanePartition checks the partitioner's invariants on arbitrary
+// layouts: every site lands on exactly one lane, every lane id is in
+// range, the result is input-order independent, and partitioning is
+// site-granular (so a switch's ports can never split across lanes —
+// ports belong to sites, and sites are the atoms).
+func FuzzLanePartition(f *testing.F) {
+	f.Add(uint64(1), 8, 4)
+	f.Add(uint64(42), 28, 1)
+	f.Add(uint64(7), 3, 16)
+	f.Add(uint64(0), 1, 1)
+	f.Add(uint64(99), 30, 7)
+	f.Fuzz(func(t *testing.T, seed uint64, nSites, lanes int) {
+		if nSites < 1 || nSites > 256 {
+			t.Skip()
+		}
+		if lanes < 1 || lanes > 64 {
+			t.Skip()
+		}
+		// Derive site weights from the seed — a cheap deterministic
+		// stream keeps the corpus compact.
+		sites := make([]SiteLoad, nSites)
+		s := seed
+		for i := range sites {
+			s = s*6364136223846793005 + 1442695040888963407
+			sites[i] = SiteLoad{Name: fmt.Sprintf("site-%03d", i), Weight: int(s>>33) % 1000}
+		}
+		got := PartitionSites(sites, lanes)
+
+		// Every site exactly once (map covers each name; count matches).
+		if len(got) != nSites {
+			t.Fatalf("%d assignments for %d sites", len(got), nSites)
+		}
+		for _, site := range sites {
+			id, ok := got[site.Name]
+			if !ok {
+				t.Fatalf("site %q unassigned", site.Name)
+			}
+			if id < 1 || int(id) > lanes {
+				t.Fatalf("site %q on lane %d, want [1, %d]", site.Name, id, lanes)
+			}
+		}
+
+		// Input order independence: reverse the slice, same partition.
+		rev := make([]SiteLoad, nSites)
+		for i, site := range sites {
+			rev[nSites-1-i] = site
+		}
+		got2 := PartitionSites(rev, lanes)
+		for name, id := range got {
+			if got2[name] != id {
+				t.Fatalf("order-dependent partition: %q %d vs %d", name, id, got2[name])
+			}
+		}
+
+		// Balance sanity: with more lanes than sites no lane holds two
+		// sites while another holds none and has weight to take.
+		if lanes >= nSites {
+			used := map[int32]int{}
+			for _, id := range got {
+				used[id]++
+			}
+			for id, n := range used {
+				if n > 1 {
+					t.Fatalf("lane %d holds %d sites with %d lanes for %d sites", id, n, lanes, nSites)
+				}
+			}
+		}
+	})
+}

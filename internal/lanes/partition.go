@@ -1,0 +1,56 @@
+package lanes
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SiteLoad is one site's name and its expected event weight (for
+// Patchwork campaigns: switch port count, a proxy for frames per
+// window).
+type SiteLoad struct {
+	Name   string
+	Weight int
+}
+
+// PartitionSites assigns every site to exactly one lane, balancing
+// total weight across lanes with the LPT greedy heuristic: sites in
+// descending weight (name-ascending tiebreak), each placed on the
+// currently lightest lane (lowest id on ties). The result is
+// deterministic for a given input, lane ids are 1-based (0 is the
+// global control plane), every lane id is in [1, lanes], and a site
+// never spans two lanes — its switch, capture engine, and traffic
+// driver all follow it.
+func PartitionSites(sites []SiteLoad, lanes int) map[string]int32 {
+	if lanes < 1 {
+		lanes = 1
+	}
+	ordered := make([]SiteLoad, len(sites))
+	copy(ordered, sites)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Weight != ordered[j].Weight {
+			return ordered[i].Weight > ordered[j].Weight
+		}
+		return ordered[i].Name < ordered[j].Name
+	})
+	load := make([]int64, lanes)
+	out := make(map[string]int32, len(sites))
+	for _, s := range ordered {
+		if _, dup := out[s.Name]; dup {
+			panic(fmt.Sprintf("lanes: duplicate site %q in partition input", s.Name))
+		}
+		best := 0
+		for i := 1; i < lanes; i++ {
+			if load[i] < load[best] {
+				best = i
+			}
+		}
+		w := int64(s.Weight)
+		if w < 0 {
+			w = 0
+		}
+		load[best] += w
+		out[s.Name] = int32(best + 1)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package lanes
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionSitesCoversAll(t *testing.T) {
+	sites := []SiteLoad{
+		{"STAR", 30}, {"NCSA", 25}, {"UCSD", 20}, {"MICH", 18},
+		{"MASS", 15}, {"UTAH", 12}, {"TACC", 10}, {"WASH", 5},
+	}
+	for _, lanes := range []int{1, 2, 3, 4, 8, 16} {
+		got := PartitionSites(sites, lanes)
+		if len(got) != len(sites) {
+			t.Fatalf("lanes=%d: %d assignments, want %d", lanes, len(got), len(sites))
+		}
+		for _, s := range sites {
+			id, ok := got[s.Name]
+			if !ok {
+				t.Fatalf("lanes=%d: site %q unassigned", lanes, s.Name)
+			}
+			if id < 1 || int(id) > lanes {
+				t.Fatalf("lanes=%d: site %q on lane %d out of range", lanes, s.Name, id)
+			}
+		}
+	}
+}
+
+func TestPartitionSitesBalances(t *testing.T) {
+	// 4 equal heavy sites over 4 lanes must land one per lane.
+	sites := []SiteLoad{{"A", 10}, {"B", 10}, {"C", 10}, {"D", 10}}
+	got := PartitionSites(sites, 4)
+	used := map[int32]bool{}
+	for _, id := range got {
+		if used[id] {
+			t.Fatalf("lane %d assigned twice: %v", id, got)
+		}
+		used[id] = true
+	}
+	// LPT: one big site plus many small ones — the big site gets a lane
+	// roughly to itself.
+	sites = []SiteLoad{{"BIG", 100}, {"s1", 10}, {"s2", 10}, {"s3", 10}, {"s4", 10}}
+	got = PartitionSites(sites, 2)
+	bigLane := got["BIG"]
+	for name, id := range got {
+		if name != "BIG" && id == bigLane {
+			t.Fatalf("small site %q shares lane %d with BIG: %v", name, id, got)
+		}
+	}
+}
+
+func TestPartitionSitesDeterministic(t *testing.T) {
+	sites := []SiteLoad{{"c", 5}, {"a", 5}, {"b", 7}, {"d", 3}}
+	want := PartitionSites(sites, 3)
+	for i := 0; i < 10; i++ {
+		if got := PartitionSites(sites, 3); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: %v != %v", i, got, want)
+		}
+	}
+	// Input order must not matter: the sort key is (weight, name).
+	shuffled := []SiteLoad{{"d", 3}, {"b", 7}, {"a", 5}, {"c", 5}}
+	if got := PartitionSites(shuffled, 3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("input order changed the partition: %v != %v", got, want)
+	}
+}
+
+func TestPartitionSitesMoreLanesThanSites(t *testing.T) {
+	sites := []SiteLoad{{"A", 1}, {"B", 2}}
+	got := PartitionSites(sites, 8)
+	for name, id := range got {
+		if id < 1 || id > 8 {
+			t.Fatalf("site %q on lane %d", name, id)
+		}
+	}
+}
+
+func TestPartitionSitesDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate site must panic")
+		}
+	}()
+	PartitionSites([]SiteLoad{{"A", 1}, {"A", 2}}, 2)
+}
+
+func ExamplePartitionSites() {
+	assign := PartitionSites([]SiteLoad{
+		{Name: "STAR", Weight: 24}, {Name: "NCSA", Weight: 18}, {Name: "UCSD", Weight: 12},
+	}, 2)
+	fmt.Println(assign["STAR"] != assign["NCSA"], len(assign))
+	// Output: true 3
+}

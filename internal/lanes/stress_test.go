@@ -1,0 +1,56 @@
+package lanes
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestLanedStressRandomTopologies is the race-gated stress suite: many
+// small randomized networks with aggressive cross-lane traffic, each
+// checked against its serial baseline. Topology parameters are drawn
+// from a seeded generator and logged, so any failure replays exactly.
+// It runs under `go test -race` in CI short mode (the per-topology
+// workload is deliberately small).
+func TestLanedStressRandomTopologies(t *testing.T) {
+	const masterSeed = 0x5eed1a9e5
+	topologies := 24
+	if testing.Short() {
+		topologies = 10
+	}
+	r := rng.New(masterSeed)
+	workers := []int{2, 4, runtime.NumCPU()}
+	for i := 0; i < topologies; i++ {
+		// Draw everything up front so the scenario is fully determined
+		// by (masterSeed, i) and replayable from the log line alone.
+		cfg := netConfig{
+			nodes:  2 + r.Intn(10),
+			lanesN: 1 + r.Intn(6),
+			seed:   r.Uint64(),
+			// Short horizons keep the whole suite race-budget friendly.
+			horizon:    sim.Time(100+r.Intn(400)) * sim.Millisecond,
+			stepPeriod: sim.Duration(2+r.Intn(10)) * sim.Millisecond,
+			lookahead:  sim.Duration(1+r.Intn(20)) * sim.Millisecond,
+			maxWindow:  1 << uint(3+r.Intn(8)), // 8..1024
+			chanCap:    1 + r.Intn(8),
+			sendProb:   0.2 + 0.75*r.Float64(), // aggressive cross-lane traffic
+		}
+		cfg.jitterMax = cfg.lookahead*sim.Duration(1+r.Intn(4)) + sim.Millisecond
+		cfg.chanLatency = cfg.lookahead + sim.Duration(r.Intn(10))*sim.Millisecond
+		cfg.decoyGlobals = r.Intn(32)
+		wk := workers[i%len(workers)]
+
+		t.Logf("topology %d: nodes=%d lanes=%d seed=%#x horizon=%v step=%v jitter=%v lookahead=%v maxWindow=%d chanLat=%v chanCap=%d sendProb=%.2f decoys=%d workers=%d",
+			i, cfg.nodes, cfg.lanesN, cfg.seed, cfg.horizon, cfg.stepPeriod, cfg.jitterMax,
+			cfg.lookahead, cfg.maxWindow, cfg.chanLatency, cfg.chanCap, cfg.sendProb, cfg.decoyGlobals, wk)
+
+		serial := runNet(t, cfg, -1)
+		got := runNet(t, cfg, wk)
+		diffResults(t, "stress", serial, got)
+		if t.Failed() {
+			t.Fatalf("topology %d diverged; replay with the logged parameters above", i)
+		}
+	}
+}

@@ -217,6 +217,21 @@ func (r *Registry) Collect() {
 	}
 }
 
+// casMax raises a to at least v, atomically. Used for the last-update
+// stamps of the explicit-time recording variants: in a simulation,
+// virtual time is monotonic over the serial event order, so "time of
+// the last write" equals "maximum write time" — and the maximum is
+// order-independent, which keeps the stamp deterministic when parallel
+// dataplane lanes record into a shared instrument concurrently.
+func casMax(a *atomic.Int64, v int64) {
+	for {
+		old := a.Load()
+		if v <= old || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
 // Counter is a monotonically increasing count. Safe for concurrent use;
 // all methods are no-ops on a nil receiver.
 type Counter struct {
@@ -236,6 +251,22 @@ func (c *Counter) Add(n int64) {
 
 // Inc increments by one.
 func (c *Counter) Inc() { c.Add(1) }
+
+// AddAt increments by n stamping the observation at an explicit sim
+// time instead of reading the registry clock. Frame-path call sites
+// inside parallel dataplane lanes use this: the kernel clock is only
+// folded forward at window barriers, so the event's own timestamp is
+// the value a serial run would have stamped.
+func (c *Counter) AddAt(n int64, at sim.Time) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+	casMax(&c.at, int64(at))
+}
+
+// IncAt increments by one at an explicit sim time (see AddAt).
+func (c *Counter) IncAt(at sim.Time) { c.AddAt(1, at) }
 
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() int64 {
@@ -288,6 +319,35 @@ func (g *Gauge) SetMax(v float64) {
 	}
 }
 
+// SetAt stores v stamping the observation at an explicit sim time (see
+// Counter.AddAt).
+func (g *Gauge) SetAt(v float64, at sim.Time) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+	casMax(&g.at, int64(at))
+}
+
+// SetMaxAt is SetMax with an explicit sim-time stamp (see Counter.AddAt):
+// the stamp only moves when the value actually rises, matching SetMax's
+// "time of the last high-watermark raise" semantics.
+func (g *Gauge) SetMaxAt(v float64, at sim.Time) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			casMax(&g.at, int64(at))
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 on nil).
 func (g *Gauge) Value() float64 {
 	if g == nil {
@@ -331,6 +391,22 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 	h.sum.Add(v)
 	h.at.Store(int64(h.clock()))
+}
+
+// ObserveAt records one value stamping the observation at an explicit
+// sim time (see Counter.AddAt).
+func (h *Histogram) ObserveAt(v int64, at sim.Time) {
+	if h == nil {
+		return
+	}
+	b := 0
+	if v >= 1 {
+		b = bits.Len64(uint64(v)) - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	casMax(&h.at, int64(at))
 }
 
 // Count returns the number of observations.

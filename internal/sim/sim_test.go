@@ -234,30 +234,44 @@ func TestQueueHighWatermark(t *testing.T) {
 	if k.QueueHighWatermark() != 0 {
 		t.Fatalf("fresh kernel watermark = %d, want 0", k.QueueHighWatermark())
 	}
+	// The watermark samples at tick boundaries: the first event of each
+	// distinct timestamp counts itself plus everything still queued.
 	for i := 0; i < 5; i++ {
 		k.After(Duration(i+1), func() {})
 	}
-	if got := k.QueueHighWatermark(); got != 5 {
-		t.Errorf("watermark after 5 scheduled = %d, want 5", got)
+	if got := k.QueueHighWatermark(); got != 0 {
+		t.Errorf("watermark before any execution = %d, want 0", got)
 	}
 	k.Run()
-	// Draining does not lower the high watermark.
+	// The first tick (t=1) sees all 5 events queued: 4 remaining + itself.
 	if got := k.QueueHighWatermark(); got != 5 {
 		t.Errorf("watermark after drain = %d, want 5", got)
 	}
-	// Scheduling fewer events than the watermark leaves it unchanged;
-	// exceeding it raises it.
+	// A smaller burst leaves the watermark unchanged; a larger one
+	// raises it.
 	for i := 0; i < 3; i++ {
 		k.After(Duration(i+1), func() {})
 	}
+	k.Run()
 	if got := k.QueueHighWatermark(); got != 5 {
 		t.Errorf("watermark after smaller burst = %d, want 5", got)
 	}
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 7; i++ {
 		k.After(Duration(i+1), func() {})
 	}
+	k.Run()
 	if got := k.QueueHighWatermark(); got != 7 {
 		t.Errorf("watermark after larger burst = %d, want 7", got)
+	}
+	// Events landing on an already-executing tick do not resample: two
+	// events at one timestamp never push the watermark above the
+	// tick-boundary view.
+	k2 := NewKernel()
+	k2.At(10, func() {})
+	k2.At(10, func() {})
+	k2.Run()
+	if got := k2.QueueHighWatermark(); got != 2 {
+		t.Errorf("same-tick watermark = %d, want 2", got)
 	}
 }
 

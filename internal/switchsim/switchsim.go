@@ -149,7 +149,7 @@ type Switch struct {
 	Name string
 
 	mu      sync.Mutex
-	kernel  *sim.Kernel
+	sched   sim.Scheduler
 	ports   map[string]*Port
 	order   []string // deterministic iteration order
 	mirrors map[string]*MirrorSession
@@ -214,16 +214,26 @@ func (s *Switch) SetObs(reg *obs.Registry) {
 	}
 }
 
-// New creates a switch bound to a simulation kernel.
-func New(name string, k *sim.Kernel) *Switch {
+// New creates a switch bound to a scheduler — the simulation kernel in
+// a serial world, or a dataplane lane (internal/lanes) in a laned one.
+func New(name string, sched sim.Scheduler) *Switch {
 	s := &Switch{
 		Name:    name,
-		kernel:  k,
+		sched:   sched,
 		ports:   make(map[string]*Port),
 		mirrors: make(map[string]*MirrorSession),
 	}
 	s.cloneFn = s.deliverClone
 	return s
+}
+
+// SetScheduler rebinds the switch to a different scheduler. Used when a
+// site is assigned to a dataplane lane after the federation is built;
+// must not be called while the simulation is running.
+func (s *Switch) SetScheduler(sched sim.Scheduler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sched = sched
 }
 
 // AddPort creates a port. Adding a duplicate name panics: port layout is
@@ -364,7 +374,7 @@ func (s *Switch) Transit(port string, dir Direction, f Frame) error {
 	if !ok {
 		return fmt.Errorf("switchsim: no port %q on %q", port, s.Name)
 	}
-	now := s.kernel.Now()
+	now := s.sched.Now()
 	if p.down {
 		p.counters.DownDrops++
 		return nil
@@ -388,13 +398,13 @@ func (s *Switch) Transit(port string, dir Direction, f Frame) error {
 func (s *Switch) cloneLocked(now sim.Time, m *MirrorSession, f Frame) {
 	if s.cloneFault != nil && s.cloneFault(now) {
 		m.FaultDrops++
-		m.faultDropsC.Inc()
+		m.faultDropsC.IncAt(now)
 		return
 	}
 	eg := s.ports[m.Egress]
 	if eg.down {
 		m.CloneDrops++
-		m.dropsC.Inc()
+		m.dropsC.IncAt(now)
 		eg.counters.TxDrops++
 		return
 	}
@@ -407,14 +417,14 @@ func (s *Switch) cloneLocked(now sim.Time, m *MirrorSession, f Frame) {
 	backlogBytes := eg.LineRate.BytesInNanos(backlogNanos)
 	if backlogBytes+int64(f.Size) > eg.queueCap {
 		m.CloneDrops++
-		m.dropsC.Inc()
+		m.dropsC.IncAt(now)
 		eg.counters.TxDrops++
 		return
 	}
 	txNanos := eg.LineRate.TransmitNanos(f.Size)
 	eg.queueFree += sim.Time(txNanos)
 	m.Cloned++
-	m.clonedC.Inc()
+	m.clonedC.IncAt(now)
 	eg.counters.TxBytes += uint64(f.Size)
 	eg.counters.TxFrames++
 	if r := eg.receiver; r != nil {
@@ -425,7 +435,7 @@ func (s *Switch) cloneLocked(now sim.Time, m *MirrorSession, f Frame) {
 			s.cloneFree = cd.next
 		}
 		cd.r, cd.at, cd.f = r, eg.queueFree, f
-		s.kernel.AtArg(eg.queueFree, s.cloneFn, cd)
+		s.sched.AtArg(eg.queueFree, s.cloneFn, cd)
 	}
 }
 

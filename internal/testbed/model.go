@@ -74,6 +74,11 @@ type Site struct {
 	Spec   SiteSpec
 	Switch *switchsim.Switch
 
+	// sched is the scheduler the site's dataplane runs on: the shared
+	// kernel by default, or a per-site lane in sharded execution
+	// (internal/lanes).
+	sched sim.Scheduler
+
 	// Free capacity (allocations subtract, releases add back).
 	freeCores    int
 	freeRAM      units.ByteSize
@@ -131,6 +136,7 @@ func NewFederation(k *sim.Kernel, specs []SiteSpec) (*Federation, error) {
 		s := &Site{
 			Spec:         spec,
 			Switch:       sw,
+			sched:        k,
 			freeCores:    spec.Cores,
 			freeRAM:      spec.RAM,
 			freeStorage:  spec.Storage,
@@ -158,6 +164,17 @@ func (f *Federation) SetObs(reg *obs.Registry) {
 		s.obsReg = reg
 		s.Switch.SetObs(reg)
 	}
+}
+
+// Scheduler returns the scheduler the site's dataplane events run on.
+func (s *Site) Scheduler() sim.Scheduler { return s.sched }
+
+// SetScheduler rebinds the site's dataplane — including its switch — to
+// a new scheduler (a per-site lane). Call before any dataplane traffic
+// is scheduled.
+func (s *Site) SetScheduler(sched sim.Scheduler) {
+	s.sched = sched
+	s.Switch.SetScheduler(sched)
 }
 
 // Sites returns all sites in declaration order.

@@ -45,7 +45,53 @@ go build -o "$tmp/benchjson" ./cmd/benchjson
 echo "== kernel micro-benchmarks (internal/sim) =="
 go test -run '^$' -bench . -benchmem ${benchtime:+-benchtime $benchtime} \
     -count "$count" ./internal/sim | tee "$tmp/kernel.txt"
-"$tmp/benchjson" < "$tmp/kernel.txt" > "$kernel_out"
+
+# Laned campaign wall time: the same journaled campaign driven serially
+# and through sharded dataplane lanes. The speedup is hardware-dependent
+# (it needs real cores; on one core the window barrier is pure
+# overhead), so it is recorded, not gated — what IS gated, in -smoke
+# mode, is that lanes with one worker stay within noise of serial and
+# that both runs leave byte-identical metrics and WALs.
+echo "== laned campaign wall time: serial vs -lanes 4 =="
+go build -o "$tmp/patchwork" ./cmd/patchwork
+if [ "$smoke" -eq 1 ]; then
+    laned_runs=1
+else
+    laned_runs=3
+fi
+laned_wall_ms() {
+    start=$(date +%s%N)
+    "$tmp/patchwork" -federation-sites 4 -runs "$laned_runs" -samples 2 \
+        -sample-sec 2 -seed 9 -remedy -checkpoint-sec 10 \
+        -journal "$tmp/lw-$1-$2" -out "$tmp/lw-out-$1-$2" \
+        -metrics "$tmp/lw-$1-$2.prom" \
+        -lanes "$1" -lane-workers "$2" > /dev/null
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 ))
+}
+laned_serial_ms=$(laned_wall_ms 1 0)
+laned_w1_ms=$(laned_wall_ms 4 1)
+laned_w4_ms=$(laned_wall_ms 4 4)
+cmp "$tmp/lw-1-0.prom" "$tmp/lw-4-1.prom"
+cmp "$tmp/lw-1-0.prom" "$tmp/lw-4-4.prom"
+cmp "$tmp/lw-1-0/wal.jsonl" "$tmp/lw-4-1/wal.jsonl"
+cmp "$tmp/lw-1-0/wal.jsonl" "$tmp/lw-4-4/wal.jsonl"
+echo "laned campaign: serial ${laned_serial_ms} ms, lanes=4/w=1 ${laned_w1_ms} ms, lanes=4/w=4 ${laned_w4_ms} ms (artifacts byte-identical)"
+if [ "$smoke" -eq 1 ]; then
+    # Noise gate: one worker must not cost more than 2x serial (+25 ms
+    # floor so sub-50ms runs don't trip on scheduler jitter).
+    limit=$(( laned_serial_ms * 2 + 25 ))
+    if [ "$laned_w1_ms" -gt "$limit" ]; then
+        echo "laned(1 worker) took ${laned_w1_ms} ms, over noise limit ${limit} ms (serial ${laned_serial_ms} ms)" >&2
+        exit 1
+    fi
+fi
+
+"$tmp/benchjson" \
+    -add "LanedCampaignWallSerial:ms:$laned_serial_ms" \
+    -add "LanedCampaignWall1Worker:ms:$laned_w1_ms" \
+    -add "LanedCampaignWall4Workers:ms:$laned_w4_ms" \
+    < "$tmp/kernel.txt" > "$kernel_out"
 
 echo "== experiment benchmarks (repro root) =="
 # The figure/table benchmarks regenerate full paper artifacts per

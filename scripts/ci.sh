@@ -11,7 +11,11 @@
 # defaults always, plus any rules/*.json), a crash/resume gate: a
 # journaled campaign is killed at an injected crash point (exit 3),
 # resumed, and its metrics and WAL must be byte-identical to an
-# uninterrupted baseline of the same seed, and a live-telemetry gate: a
+# uninterrupted baseline of the same seed — repeated under sharded
+# dataplane lanes (-lanes), where the laned run, the killed-and-resumed
+# laned run, and the serial baseline must all byte-match (the short-mode
+# race run above also carries the laned randomized-topology stress
+# suite), and a live-telemetry gate: a
 # campaign served with -serve is probed over HTTP (pwlive validates the
 # exposition and JSON endpoints), shut down with SIGTERM, and its
 # artifacts must be byte-identical to the unserved baseline.
@@ -32,6 +36,7 @@ sh scripts/bench.sh -smoke
 go test -run='^$' -fuzz='^FuzzParsePacket$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzTCPOptions$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzParsePolicy$' -fuzztime=5s ./internal/remedy
+go test -run='^$' -fuzz='^FuzzLanePartition$' -fuzztime=5s ./internal/lanes
 
 go run ./cmd/pwhealth -validate
 if ls rules/*.json >/dev/null 2>&1; then
@@ -63,6 +68,27 @@ fi
 cmp "$tmp/base.prom" "$tmp/crash.prom"
 cmp "$tmp/base/wal.jsonl" "$tmp/crash/wal.jsonl"
 echo "crash/resume gate: metrics and WAL byte-identical"
+
+# Laned crash/resume gate: the same campaign sharded across dataplane
+# lanes. The uninterrupted laned run must byte-match the serial
+# baseline; a laned run killed at the crash point and resumed (under a
+# different worker count) must byte-match both.
+"$tmp/patchwork" $common -journal "$tmp/lbase" -out "$tmp/lbase-out" \
+    -metrics "$tmp/lbase.prom" -no-kill -lanes 2 -lane-workers 2 >/dev/null
+cmp "$tmp/base.prom" "$tmp/lbase.prom"
+cmp "$tmp/base/wal.jsonl" "$tmp/lbase/wal.jsonl"
+rc=0
+"$tmp/patchwork" $common -journal "$tmp/lcrash" -out "$tmp/lcrash-out" \
+    -metrics "$tmp/lcrash.prom" -lanes 2 -lane-workers 2 >/dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "laned crash run exited $rc, want 3" >&2
+    exit 1
+fi
+"$tmp/patchwork" -resume "$tmp/lcrash" -out "$tmp/lcrash-out" \
+    -metrics "$tmp/lcrash.prom" -lanes 2 -lane-workers 1 >/dev/null
+cmp "$tmp/base.prom" "$tmp/lcrash.prom"
+cmp "$tmp/base/wal.jsonl" "$tmp/lcrash/wal.jsonl"
+echo "laned crash/resume gate: artifacts byte-identical to serial baseline"
 
 # Live-telemetry gate: the same campaign served on an ephemeral port.
 # -serve-hold keeps the server up after completion so the probe sees a
