@@ -68,6 +68,8 @@ func main() {
 		noKill     = flag.Bool("no-kill", false, "journal injected crash points without honoring them (baseline run)")
 		lanesN     = flag.Int("lanes", 1, "shard the dataplane into this many parallel per-site lanes (campaign mode; output is byte-identical at any lane count)")
 		laneWk     = flag.Int("lane-workers", 0, "worker goroutines for -lanes (0 = min(lanes, GOMAXPROCS))")
+		provOn     = flag.Bool("provenance", false, "record the causal event DAG to <out>/prof/provenance.trace (campaign mode; analyze with pwprof)")
+		profOn     = flag.Bool("profile", false, "profile the lane scheduler's wall clock into <out>/prof/lane-trace.json and lane-summary.json (requires -lanes > 1)")
 
 		serveAddr  = flag.String("serve", "", `serve live telemetry (metrics/status/SSE) on this address (":0" for an ephemeral port; bound address lands in <out>/livemon/addr)`)
 		servePprof = flag.Bool("serve-pprof", false, "also mount /debug/pprof/ on the telemetry server")
@@ -75,7 +77,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" || *lanesN > 1 {
+	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" || *lanesN > 1 || *provOn || *profOn {
 		os.Exit(campaignMain(campaignFlags{
 			mode: *mode, sites: *sitesFlag, runs: *runs, samples: *samples,
 			sampleSec: *sampleSec, method: *method, trunc: *trunc, seed: *seed,
@@ -84,6 +86,7 @@ func main() {
 			remedyPolicy: *remedyPol, journalDir: *journalDir, resume: *resume,
 			checkpointSec: *cpSec, noKill: *noKill,
 			lanes: *lanesN, laneWorkers: *laneWk,
+			provenance: *provOn, profile: *profOn,
 			serveAddr: *serveAddr, servePprof: *servePprof, serveHold: *serveHold,
 		}))
 	}
@@ -434,6 +437,7 @@ type campaignFlags struct {
 	checkpointSec                    int
 	noKill                           bool
 	lanes, laneWorkers               int
+	provenance, profile              bool
 	serveAddr                        string
 	servePprof, serveHold            bool
 }
@@ -458,7 +462,14 @@ func campaignMain(fl campaignFlags) int {
 	if live != nil {
 		sink = live
 	}
-	exec := campaign.Exec{Lanes: fl.lanes, Workers: fl.laneWorkers}
+	if fl.profile && fl.lanes <= 1 {
+		fmt.Fprintln(os.Stderr, "patchwork: -profile measures the lane scheduler; it requires -lanes > 1")
+		return 1
+	}
+	exec := campaign.Exec{Lanes: fl.lanes, Workers: fl.laneWorkers, Profile: fl.profile}
+	if fl.provenance {
+		exec.ProvenancePath = filepath.Join(fl.out, "prof", "provenance.trace")
+	}
 	var res *campaign.Result
 	var err error
 	if fl.resume != "" {
@@ -515,6 +526,10 @@ func campaignMain(fl campaignFlags) int {
 	}
 	if res.Injector != nil {
 		fmt.Printf("faults injected: %s\n", res.Injector.Summary())
+	}
+	if err := writeProfArtifacts(fl, res); err != nil {
+		fmt.Fprintln(os.Stderr, "patchwork:", err)
+		return 1
 	}
 	prof := res.Profile
 	fmt.Printf("campaign complete: %d sites in %v of virtual time (journal %s)\n",
@@ -605,6 +620,46 @@ func writeRemedyArtifacts(dir string, sup *remedy.Supervisor) error {
 	}
 	fmt.Printf("remediation artifacts written to %s (%d decisions, %d quarantined)\n",
 		remedyDir, len(sup.Actions()), len(sup.Quarantined()))
+	return nil
+}
+
+// writeProfArtifacts persists the wall-plane lane profile under
+// <out>/prof/ and reports where the provenance trace landed. The
+// provenance trace itself was streamed during the run by the campaign
+// engine; only the pointer is printed here.
+func writeProfArtifacts(fl campaignFlags, res *campaign.Result) error {
+	if fl.provenance {
+		fmt.Printf("provenance trace: %d events in %s (analyze with pwprof)\n",
+			res.ProvRecords, filepath.Join(fl.out, "prof", "provenance.trace"))
+	}
+	if res.LaneProfiler == nil {
+		return nil
+	}
+	profDir := filepath.Join(fl.out, "prof")
+	if err := os.MkdirAll(profDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(profDir, "lane-trace.json"))
+	if err != nil {
+		return err
+	}
+	err = res.LaneProfiler.WriteChromeTrace(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	sum := res.LaneProfiler.Summary()
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(profDir, "lane-summary.json"), append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("lane profile: %d windows, est speedup %.2fx, efficiency %.0f%% (%s)\n",
+		sum.Windows, sum.EstSpeedup, sum.ParallelEfficiency*100, profDir)
 	return nil
 }
 

@@ -1,0 +1,110 @@
+// Command pwprof analyzes a causal provenance trace recorded by
+// patchwork -provenance: it prints the sim-time critical path through
+// the event DAG, blame tables attributing that path to sites and
+// callbacks, and fan-out statistics, and can export the critical path
+// as a Chrome trace for chrome://tracing / Perfetto.
+//
+// Usage:
+//
+//	pwprof [-top 10] [-chrome out.json] [-json] <provenance.trace>
+//	pwprof -trace patchwork-out/prof/provenance.trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/prof"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "provenance trace file (or pass it as the positional argument)")
+		top       = flag.Int("top", 10, "rows per blame table / critical-path steps to print")
+		chrome    = flag.String("chrome", "", "also export the critical path as a Chrome trace to this file")
+		asJSON    = flag.Bool("json", false, "emit the analysis as JSON instead of the text report")
+	)
+	flag.Parse()
+	path := *tracePath
+	if path == "" && flag.NArg() == 1 {
+		path = flag.Arg(0)
+	}
+	if path == "" || flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: pwprof [-top N] [-chrome out.json] [-json] <provenance.trace>")
+		os.Exit(2)
+	}
+	if err := run(path, *top, *chrome, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "pwprof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int, chromeOut string, asJSON bool) error {
+	t, err := prof.LoadTrace(path)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		if err := writeJSON(os.Stdout, t); err != nil {
+			return err
+		}
+	} else if err := prof.WriteReport(os.Stdout, t, top); err != nil {
+		return err
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		err = prof.WriteChromeCriticalPath(f, t)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("critical path exported to %s (open in chrome://tracing)\n", chromeOut)
+	}
+	return nil
+}
+
+// writeJSON emits the machine-readable analysis: overall stats, the
+// critical path, and both blame tables.
+func writeJSON(w *os.File, t *prof.Trace) error {
+	path := t.CriticalPath()
+	byFn, byTag := t.Blame(path)
+	fan := t.FanOut()
+	type step struct {
+		Seq     uint64 `json:"seq"`
+		Parent  int64  `json:"parent"`
+		AtNs    int64  `json:"at_ns"`
+		DeltaNs int64  `json:"delta_ns"`
+		Fn      string `json:"fn"`
+		Tag     string `json:"tag"`
+	}
+	steps := make([]step, 0, len(path))
+	for _, s := range path {
+		steps = append(steps, step{
+			Seq: s.Ev.Seq, Parent: s.Ev.Parent,
+			AtNs: int64(s.Ev.At), DeltaNs: int64(s.Delta),
+			Fn: t.FnName(s.Ev.Fn), Tag: t.TagName(s.Ev.Tag),
+		})
+	}
+	out := struct {
+		Events       int               `json:"events"`
+		SpanNs       int64             `json:"span_ns"`
+		Torn         bool              `json:"torn,omitempty"`
+		FanOut       prof.FanOutStats  `json:"fan_out"`
+		CriticalPath []step            `json:"critical_path"`
+		BlameByFn    []prof.BlameEntry `json:"blame_by_callback"`
+		BlameByTag   []prof.BlameEntry `json:"blame_by_site"`
+	}{
+		Events: len(t.Events), SpanNs: int64(t.Span()), Torn: t.Torn,
+		FanOut: fan, CriticalPath: steps, BlameByFn: byFn, BlameByTag: byTag,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sort"
 
 	"repro/internal/capture"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/lanes"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/remedy"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -183,6 +185,12 @@ type Result struct {
 	// (zero on a fresh run).
 	Replayed int
 	Dir      string
+	// ProvRecords counts provenance records streamed to
+	// Exec.ProvenancePath (zero when provenance was off).
+	ProvRecords uint64
+	// LaneProfiler is the wall-clock lane profiler (nil unless
+	// Exec.Profile was set on a laned run).
+	LaneProfiler *lanes.Profiler
 }
 
 // LiveSink is the live telemetry plane's view of a running campaign
@@ -203,6 +211,18 @@ type LiveSink interface {
 	PublishTick(now sim.Time)
 }
 
+// profSink is the optional live-sink capability for serving profiling
+// state (implemented by livemon.Server). Checked by type assertion so
+// LiveSink implementations without it keep working unchanged. The
+// callbacks are safe to invoke from HTTP goroutines mid-run.
+type profSink interface {
+	// SetProfSources wires the wall-plane lane profiler (summary and
+	// Chrome trace; both nil when profiling is off) and the provenance
+	// trace (path empty when provenance is off; provFlush drains
+	// buffered frames before a download).
+	SetProfSources(summary func() any, chrome func(io.Writer) error, provenancePath string, provFlush func() error)
+}
+
 // Exec selects the execution strategy that drives the campaign's
 // simulation. The zero value is the serial kernel. Exec is an execution
 // knob, not part of the campaign Spec: it is never journaled, and every
@@ -215,6 +235,31 @@ type Exec struct {
 	// Workers bounds goroutines executing lanes in parallel; 0 defaults
 	// to min(Lanes, GOMAXPROCS).
 	Workers int
+	// ProvenancePath, when set, streams the causal event DAG (one
+	// record per schedule call, with the scheduling event as parent) to
+	// a CRC-framed trace at this path. Pure observation: the trace is
+	// byte-identical for the same seed under any Lanes/Workers setting,
+	// and enabling it does not perturb the sim artifacts.
+	ProvenancePath string
+	// Profile attaches the wall-clock lane profiler (laned execution
+	// only): per-worker busy timelines, barrier stalls, merge costs.
+	// Wall-plane data never enters sim-time artifacts.
+	Profile bool
+}
+
+// defaultSpanCap bounds the tracer's retained spans/counter samples on
+// long campaigns (satisfied drops count into
+// patchwork_trace_dropped_total). Generous enough that short runs never
+// trip it, so artifacts match earlier unbounded behavior.
+const defaultSpanCap = 1 << 20
+
+// defaultTraceCounters are the registry series sampled into the tracer
+// as Chrome-trace counter events on every health tick, so flame views
+// show load alongside spans.
+var defaultTraceCounters = []string{
+	"sim_events_processed",
+	"capture_frames_captured_total",
+	"capture_frames_dropped_total",
 }
 
 // Run starts a fresh campaign in dir (which must not already hold
@@ -394,6 +439,19 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 		specs = append(specs, s.Spec)
 	}
 	k = sim.NewKernel()
+
+	// Causal provenance streams every schedule call from here on; the
+	// hook is installed before the federation is built so the trace
+	// covers setup events too.
+	var pw *prof.Writer
+	if exec.ProvenancePath != "" {
+		if pw, err = prof.CreateTrace(exec.ProvenancePath); err != nil {
+			return nil, err
+		}
+		defer pw.Close()
+		k.SetProvenance(pw.Record)
+	}
+
 	fed, err := testbed.NewFederation(k, specs)
 	if err != nil {
 		return nil, err
@@ -403,20 +461,41 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 	// count (a proxy for frames per window) and rebind each site's
 	// dataplane — switch, capture engines, traffic driver — to its
 	// lane. Must happen before any dataplane traffic is scheduled.
+	// With provenance on, each site's scheduler is additionally wrapped
+	// so its schedule calls carry the site's tag — in serial and laned
+	// mode alike, keeping the traces byte-identical.
 	var world *lanes.World
+	var profiler *lanes.Profiler
 	if exec.Lanes > 1 {
 		world = lanes.NewWorld(k, lanes.Config{Lanes: exec.Lanes, Workers: exec.Workers})
 		defer world.Close()
-		loads := make([]lanes.SiteLoad, 0, len(fed.Sites()))
-		for _, s := range fed.Sites() {
-			loads = append(loads, lanes.SiteLoad{
-				Name:   s.Spec.Name,
-				Weight: s.Spec.Downlinks + s.Spec.Uplinks,
-			})
+		if exec.Profile {
+			profiler = world.EnableProfiling(0)
 		}
-		assign := lanes.PartitionSites(loads, exec.Lanes)
-		for _, s := range fed.Sites() {
-			s.SetScheduler(world.Lane(int(assign[s.Spec.Name])))
+	}
+	if world != nil || pw != nil {
+		var assign map[string]int32
+		if world != nil {
+			loads := make([]lanes.SiteLoad, 0, len(fed.Sites()))
+			for _, s := range fed.Sites() {
+				loads = append(loads, lanes.SiteLoad{
+					Name:   s.Spec.Name,
+					Weight: s.Spec.Downlinks + s.Spec.Uplinks,
+				})
+			}
+			assign = lanes.PartitionSites(loads, exec.Lanes)
+		}
+		for i, s := range fed.Sites() {
+			var sched sim.Scheduler = k
+			if world != nil {
+				sched = world.Lane(int(assign[s.Spec.Name]))
+			}
+			if pw != nil {
+				tag := int32(i + 1)
+				pw.DefTag(tag, s.Spec.Name)
+				sched = prof.TagScheduler(sched, tag)
+			}
+			s.SetScheduler(sched)
 		}
 	}
 
@@ -424,6 +503,8 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 	obs.CollectKernel(reg, k)
 	fed.SetObs(reg)
 	tracer := obs.NewKernelTracer(k)
+	reg.Help("patchwork_trace_dropped_total", "spans and counter samples dropped by the tracer's memory cap")
+	tracer.SetSpanCap(defaultSpanCap, reg.Counter("patchwork_trace_dropped_total"))
 
 	c := &campaign{k: k, w: w, kill: kill}
 
@@ -446,7 +527,10 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 			return nil, err
 		}
 	}
-	monitor, err := health.NewMonitor(k, reg, tracer, health.Config{Rules: rules})
+	monitor, err := health.NewMonitor(k, reg, tracer, health.Config{
+		Rules:         rules,
+		TraceCounters: defaultTraceCounters,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -537,6 +621,19 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 	if live != nil {
 		live.Attach(reg, monitor)
 		wireJournalGauges(live.Runtime(), w)
+		if ps, ok := live.(profSink); ok && (profiler != nil || pw != nil) {
+			var summary func() any
+			var chrome func(io.Writer) error
+			if profiler != nil {
+				summary = func() any { return profiler.Summary() }
+				chrome = profiler.WriteChromeTrace
+			}
+			var provFlush func() error
+			if pw != nil {
+				provFlush = pw.Flush
+			}
+			ps.SetProfSources(summary, chrome, exec.ProvenancePath, provFlush)
+		}
 	}
 
 	var prof *patchwork.Profile
@@ -572,6 +669,13 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 		Registry: reg, Tracer: tracer, Monitor: monitor,
 		Supervisor: sup, Injector: injector, Federation: fed,
 		Replayed: replayed, Dir: dir,
+		LaneProfiler: profiler,
+	}
+	if pw != nil {
+		res.ProvRecords = pw.Records()
+		if err := pw.Close(); err != nil {
+			return nil, fmt.Errorf("campaign: provenance trace: %w", err)
+		}
 	}
 	if c.crashed {
 		// The simulated process died here: no teardown, no final

@@ -2,6 +2,7 @@ package health
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -487,5 +488,67 @@ func TestResolveAndRefireSameWindow(t *testing.T) {
 	}
 	if dumps[0].Name == dumps[1].Name {
 		t.Errorf("both dumps share the name %q; firings must freeze distinct dumps", dumps[0].Name)
+	}
+}
+
+// TestTraceCountersSampled checks Config.TraceCounters feeds selected
+// registry series into the tracer as Chrome counter events — labelled
+// series suffixed with their label identity — while leaving the span
+// JSONL artifact untouched.
+func TestTraceCountersSampled(t *testing.T) {
+	k := sim.NewKernel()
+	reg := obs.NewKernelRegistry(k)
+	tracer := obs.NewKernelTracer(k)
+	m, err := NewMonitor(k, reg, tracer, Config{
+		TraceCounters: []string{"frames", "drops"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := reg.Counter("frames")
+	drops := reg.Counter("drops", obs.L("site", "A"))
+	reg.Counter("ignored") // not listed: must not be sampled
+	m.Start()
+	k.At(1500*sim.Time(sim.Millisecond), func() { frames.Add(7); drops.Add(2) })
+	k.RunUntil(3 * sim.Time(sim.Second))
+
+	var chrome bytes.Buffer
+	if err := tracer.WriteChromeTrace(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(chrome.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	var lastFrames float64
+	for _, e := range events {
+		if e["ph"] != "C" {
+			continue
+		}
+		name := e["name"].(string)
+		byName[name]++
+		if name == "frames" {
+			lastFrames = e["args"].(map[string]any)["value"].(float64)
+		}
+	}
+	if byName["frames"] < 2 {
+		t.Errorf("frames sampled %d times, want one per tick (>= 2)", byName["frames"])
+	}
+	if byName["drops{site=A}"] == 0 {
+		t.Error("labelled series not sampled under its label identity")
+	}
+	if byName["ignored"] != 0 {
+		t.Error("unlisted metric was sampled")
+	}
+	if lastFrames != 7 {
+		t.Errorf("last frames sample = %v, want 7", lastFrames)
+	}
+	var jsonl bytes.Buffer
+	if err := tracer.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(jsonl.Bytes(), []byte("frames")) {
+		t.Error("counter sampling leaked into the span JSONL artifact")
 	}
 }

@@ -29,6 +29,12 @@ type Config struct {
 	// DumpSink, when set, receives each flight-recorder dump as it is
 	// frozen. When nil, dumps accumulate in memory (see Dumps).
 	DumpSink func(name string, data []byte) error
+	// TraceCounters lists metric names to sample into the tracer as
+	// Chrome-trace counter events on every tick (labelled instruments
+	// sample one series per label set, suffixed "{labels}"). Sampling
+	// only feeds the Chrome export — span JSONL artifacts and the event
+	// schedule are untouched. Empty means no counter sampling.
+	TraceCounters []string
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +105,8 @@ type Monitor struct {
 	// subscribers are notified of every transition after OnTransition,
 	// in subscription order (see Subscribe).
 	subscribers []func(AlertEvent)
+
+	traceSet map[string]bool // Config.TraceCounters as a set
 }
 
 // Dump is one frozen flight-recorder capture.
@@ -127,6 +135,10 @@ func NewMonitor(k *sim.Kernel, reg *obs.Registry, tracer *obs.Tracer, cfg Config
 		byMetric: make(map[string][]*instance),
 		sigHelp:  make(map[string]bool),
 		states:   make(map[string]*alertState),
+		traceSet: make(map[string]bool, len(cfg.TraceCounters)),
+	}
+	for _, n := range cfg.TraceCounters {
+		m.traceSet[n] = true
 	}
 	m.rec = newRecorder(cfg.Recorder)
 	return m, nil
@@ -257,6 +269,21 @@ func (m *Monitor) tick(now sim.Time) {
 			m.byMetric[mp.Name] = append(m.byMetric[mp.Name], inst)
 		}
 		inst.s.push(Point{T: now, V: mp.Value, Sum: float64(mp.Sum), At: mp.At})
+	}
+	if m.tracer != nil && len(m.traceSet) > 0 {
+		// Counter sampling for the Chrome exporter: pure observation of
+		// the sorted snapshot, so it is deterministic and schedules
+		// nothing.
+		for _, mp := range snap {
+			if !m.traceSet[mp.Name] {
+				continue
+			}
+			name := mp.Name
+			if id := labelID(mp.Labels); id != "" {
+				name += "{" + id + "}"
+			}
+			m.tracer.RecordCounter(name, mp.Value)
+		}
 	}
 	m.rec.snapshot(now, snap)
 	m.publishSignals()

@@ -53,6 +53,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -128,6 +129,11 @@ type World struct {
 	closed  bool
 
 	windows uint64 // windows executed (introspection)
+
+	// Wall-clock profiler (nil when disabled; see profile.go). Wall
+	// time never feeds back into the simulation — this is the "wall
+	// plane", kept strictly out of sim-time artifacts.
+	profr *Profiler
 }
 
 // NewWorld builds a laned executor over k. Call Close when done to stop
@@ -142,12 +148,12 @@ func NewWorld(k *sim.Kernel, cfg Config) *World {
 	if cfg.Workers > 1 {
 		w.roundCh = make(chan struct{})
 		for i := 0; i < cfg.Workers-1; i++ {
-			go func() {
+			go func(worker int) {
 				for range w.roundCh {
-					w.drainLanes()
+					w.drainLanes(worker)
 					w.doneWg.Done()
 				}
-			}()
+			}(i + 1) // worker 0 is the coordinator
 		}
 	}
 	return w
@@ -189,6 +195,12 @@ func (w *World) Step() bool {
 		return false
 	}
 	if lane == sim.GlobalLane {
+		if p := w.profr; p != nil {
+			start := time.Now()
+			ok := w.k.Step()
+			p.recordGlobal(time.Since(start))
+			return ok
+		}
 		return w.k.Step()
 	}
 	w.window()
@@ -204,8 +216,16 @@ func (w *World) Run() {
 // window pops one lane window, executes it across the pool, and folds
 // the results back into the kernel.
 func (w *World) window() {
+	p := w.profr
+	var t0, tPop, tExec, tStall time.Time
+	if p != nil {
+		t0 = time.Now()
+	}
 	w.win, w.evBuf, w.reapBuf = w.k.PopLaneWindow(w.cfg.Lookahead, w.cfg.MaxWindow, w.evBuf[:0], w.reapBuf[:0])
 	win := w.win
+	if p != nil {
+		tPop = time.Now()
+	}
 
 	// Group the popped prefix into per-lane runqueues (order within a
 	// lane is serial order — the prefix was popped in serial order).
@@ -237,22 +257,42 @@ func (w *World) window() {
 	for i := 0; i < extra; i++ {
 		w.roundCh <- struct{}{}
 	}
-	w.drainLanes()
+	w.drainLanes(0)
+	if p != nil {
+		tExec = time.Now()
+	}
 	w.doneWg.Wait()
+	if p != nil {
+		tStall = time.Now()
+	}
 
 	w.barrier(win)
+	if p != nil {
+		p.recordWindow(w.windows, win, len(w.active), t0, tPop, tExec, tStall, time.Now())
+	}
 	w.windows++
 }
 
 // drainLanes claims and executes lanes off the shared cursor until none
-// remain. Runs on the coordinator and on pool workers.
-func (w *World) drainLanes() {
+// remain. Runs on the coordinator (worker 0) and on pool workers.
+func (w *World) drainLanes(worker int) {
 	for {
 		n := int(w.next.Add(1)) - 1
 		if n >= len(w.active) {
 			return
 		}
-		w.active[n].exec()
+		l := w.active[n]
+		if p := w.profr; p != nil {
+			start := time.Now()
+			l.exec()
+			var events uint64
+			for i := range l.ticks {
+				events += l.ticks[i].Exec
+			}
+			p.recordExec(w.windows, l.id, worker, start, time.Now(), events)
+		} else {
+			l.exec()
+		}
 	}
 }
 
@@ -272,6 +312,11 @@ func (w *World) barrier(win sim.Window) {
 		l.ptr = 0
 		total += len(l.calls)
 	}
+	// Schedule calls merged here bypassed Kernel.schedule, so the
+	// barrier emits their provenance records instead — in assigned-seq
+	// order with the resolved serial key as the causal parent, exactly
+	// the records a serial kernel would have produced.
+	prov := w.k.Provenance()
 	seq := win.SeqBase
 	for n := 0; n < total; n++ {
 		var best *Lane
@@ -294,6 +339,12 @@ func (w *World) barrier(win sim.Window) {
 		best.ptr++
 		c.seq = seq
 		seq++
+		if prov != nil {
+			prov(sim.ProvRecord{
+				Seq: c.seq, Parent: bestSeq, At: c.at,
+				PC: sim.CallbackPC(c.fn, c.argFn), Tag: c.tag,
+			})
+		}
 		if !c.local {
 			w.k.FlushLane(c.lane, c.at, c.seq, c.fn, c.argFn, c.arg)
 		}
@@ -387,6 +438,7 @@ type stagedCall struct {
 	argFn func(any)
 	arg   any
 	lane  int32 // destination lane
+	tag   int32 // provenance domain tag at stage time (0 = untagged)
 	local bool  // executed inside the window; consumes a seq but is not flushed
 	seq   uint64
 }
@@ -416,10 +468,28 @@ type Lane struct {
 	curSeq      uint64
 	curIdx      int32
 	ptr         int // barrier merge cursor
+
+	// provTag is the provenance domain applied to staged calls (see
+	// SetProvTag). Owned by whichever goroutine owns the lane: the
+	// executing worker during a window, the coordinator otherwise.
+	provTag int32
 }
 
 // ID returns the lane id (1-based; 0 is the global control plane).
 func (l *Lane) ID() int32 { return l.id }
+
+// SetProvTag sets the provenance domain tag applied to subsequent
+// schedule calls made through this lane (the lane-executor counterpart
+// of Kernel.SetProvTag). During a window the tag rides on the staged
+// call; outside one it forwards to the kernel, which will emit the
+// record directly.
+func (l *Lane) SetProvTag(tag int32) {
+	if l.running {
+		l.provTag = tag
+		return
+	}
+	l.w.k.SetProvTag(tag)
+}
 
 func (l *Lane) beginWindow(win sim.Window) {
 	l.calls = l.calls[:0]
@@ -480,7 +550,7 @@ func (l *Lane) stage(dst int32, t sim.Time, fn func(), argFn func(any), arg any)
 	l.ticks[len(l.ticks)-1].Push++
 	rec := stagedCall{
 		schedAt: l.curAt, schedSeq: l.curSeq, schedIdx: l.curIdx,
-		at: t, fn: fn, argFn: argFn, arg: arg, lane: dst,
+		at: t, fn: fn, argFn: argFn, arg: arg, lane: dst, tag: l.provTag,
 	}
 	if dst == l.id && t < l.execHorizon {
 		rec.local = true

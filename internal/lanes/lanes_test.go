@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/prof"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -33,6 +34,10 @@ type netConfig struct {
 	sendProb    float64
 	// hostile extras
 	decoyGlobals int // cancelled global events littering the heap
+	// provenance/profiling extras (prov_test.go, profile_test.go)
+	prov    func(sim.ProvRecord) // provenance hook to install on the kernel
+	tagged  bool                 // wrap node schedulers with prof.TagScheduler
+	profile bool                 // attach a wall-clock profiler to the World
 }
 
 // node is one synthetic dataplane endpoint. All its state is touched
@@ -109,6 +114,7 @@ type netResult struct {
 	hw        int
 	maxTick   uint64
 	windows   uint64
+	profr     *Profiler
 }
 
 // runNet executes one scenario. workers < 0 selects the serial kernel
@@ -123,6 +129,12 @@ func runNet(t *testing.T, cfg netConfig, workers int) netResult {
 			Lookahead: cfg.lookahead, MaxWindow: cfg.maxWindow,
 		})
 		defer w.Close()
+		if cfg.profile {
+			w.EnableProfiling(0)
+		}
+	}
+	if cfg.prov != nil {
+		k.SetProvenance(cfg.prov)
 	}
 
 	nodes := make([]*node, cfg.nodes)
@@ -153,6 +165,15 @@ func runNet(t *testing.T, cfg netConfig, workers int) netResult {
 		}
 		n.out = c
 		chans[i] = c
+	}
+
+	// Tag wrapping happens after channel creation (which needs the raw
+	// *Lane) and before the initial schedule, so every node-originated
+	// event is attributed to its node in both modes.
+	if cfg.tagged {
+		for _, n := range nodes {
+			n.sched = prof.TagScheduler(n.sched, int32(n.id+1))
+		}
 	}
 
 	// Initial schedule, same call order in both modes so sequence
@@ -210,6 +231,7 @@ func runNet(t *testing.T, cfg netConfig, workers int) netResult {
 	}
 	if w != nil {
 		res.windows = w.Windows()
+		res.profr = w.Profiler()
 	}
 	for _, n := range nodes {
 		res.nodeDigs = append(res.nodeDigs, n.dig)

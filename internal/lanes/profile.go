@@ -1,0 +1,281 @@
+// Wall-clock lane profiler — the "wall plane" of the profiling
+// subsystem. It measures where real time goes in a laned run: per-worker
+// busy timelines (each lane execution, attributed to the worker that
+// claimed it), the coordinator's window phases (heap pop, barrier stall
+// while waiting for stragglers, k-way merge), serial global-phase steps,
+// and an events-per-window series. Everything here is wall time and
+// therefore machine-dependent and non-deterministic; it is exported only
+// through its own Chrome trace and summary, never into sim-time
+// artifacts (the livemon runtime-registry split applied to profiling).
+package lanes
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DefaultProfileCap bounds retained timeline records (lane executions
+// plus windows). Totals keep accumulating past the cap; only the Chrome
+// trace loses detail, and DroppedRecords reports how much.
+const DefaultProfileCap = 1 << 18
+
+// laneExec is one lane execution claimed by a worker inside a window.
+type laneExec struct {
+	window  uint64
+	lane    int32
+	worker  int32
+	startNs int64 // relative to the profiler epoch
+	endNs   int64
+	events  uint64
+}
+
+// windowRec is one window from the coordinator's perspective.
+type windowRec struct {
+	window   uint64
+	simStart sim.Time
+	horizon  sim.Time
+	events   int
+	lanes    int
+	startNs  int64
+	popEndNs int64 // pop phase ends
+	execEnd  int64 // coordinator's own drain ends
+	stallEnd int64 // doneWg.Wait returns (barrier stall)
+	endNs    int64 // merge/apply done
+}
+
+// Profiler collects wall-clock timelines for one World. Safe for
+// concurrent use: workers record lane executions while the coordinator
+// records window phases, and HTTP handlers may snapshot mid-run.
+type Profiler struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	workers int
+	lanes   int
+	cap     int
+
+	execs   []laneExec
+	windows []windowRec
+	dropped uint64
+
+	// Running totals, independent of the record cap.
+	totWindows   uint64
+	totEvents    uint64 // events executed inside windows
+	totGlobal    uint64 // serial global-phase steps
+	globalNs     int64
+	windowWallNs int64 // sum of window spans (coordinator t0..end)
+	popNs        int64
+	stallNs      int64
+	mergeNs      int64
+	busyNs       []int64 // per worker
+	execsPerW    []uint64
+	lastNs       int64
+}
+
+func newProfiler(workers, lanes, capRecords int) *Profiler {
+	if workers < 1 {
+		workers = 1
+	}
+	if capRecords <= 0 {
+		capRecords = DefaultProfileCap
+	}
+	return &Profiler{
+		epoch:     time.Now(),
+		workers:   workers,
+		lanes:     lanes,
+		cap:       capRecords,
+		busyNs:    make([]int64, workers),
+		execsPerW: make([]uint64, workers),
+	}
+}
+
+// EnableProfiling attaches a wall-clock profiler to the World. Call
+// before Run/Step; capRecords bounds retained timeline records (0
+// selects DefaultProfileCap). Profiling never changes the event
+// schedule — laned output stays byte-identical to serial.
+func (w *World) EnableProfiling(capRecords int) *Profiler {
+	w.profr = newProfiler(w.cfg.Workers, len(w.lanes), capRecords)
+	return w.profr
+}
+
+// Profiler returns the attached profiler, or nil.
+func (w *World) Profiler() *Profiler { return w.profr }
+
+func (p *Profiler) rel(t time.Time) int64 { return t.Sub(p.epoch).Nanoseconds() }
+
+func (p *Profiler) recordExec(window uint64, lane int32, worker int, start, end time.Time, events uint64) {
+	s, e := p.rel(start), p.rel(end)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if worker >= 0 && worker < p.workers {
+		p.busyNs[worker] += e - s
+		p.execsPerW[worker]++
+	}
+	if e > p.lastNs {
+		p.lastNs = e
+	}
+	if len(p.execs)+len(p.windows) >= p.cap {
+		p.dropped++
+		return
+	}
+	p.execs = append(p.execs, laneExec{
+		window: window, lane: lane, worker: int32(worker),
+		startNs: s, endNs: e, events: events,
+	})
+}
+
+func (p *Profiler) recordWindow(window uint64, win sim.Window, lanes int, t0, tPop, tExec, tStall, tEnd time.Time) {
+	s := p.rel(t0)
+	e := p.rel(tEnd)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.totWindows++
+	p.totEvents += uint64(win.N)
+	p.windowWallNs += e - s
+	p.popNs += tPop.Sub(t0).Nanoseconds()
+	p.stallNs += tStall.Sub(tExec).Nanoseconds()
+	p.mergeNs += tEnd.Sub(tStall).Nanoseconds()
+	if e > p.lastNs {
+		p.lastNs = e
+	}
+	if len(p.execs)+len(p.windows) >= p.cap {
+		p.dropped++
+		return
+	}
+	p.windows = append(p.windows, windowRec{
+		window: window, simStart: win.Start, horizon: win.Horizon,
+		events: win.N, lanes: lanes,
+		startNs: s, popEndNs: p.rel(tPop), execEnd: p.rel(tExec),
+		stallEnd: p.rel(tStall), endNs: e,
+	})
+}
+
+func (p *Profiler) recordGlobal(d time.Duration) {
+	p.mu.Lock()
+	p.totGlobal++
+	p.globalNs += d.Nanoseconds()
+	p.mu.Unlock()
+}
+
+// WorkerSummary is one worker's aggregate in a WallSummary.
+type WorkerSummary struct {
+	Worker int    `json:"worker"`
+	Execs  uint64 `json:"lane_execs"`
+	BusyNs int64  `json:"busy_ns"`
+	// Utilization is BusyNs over the total wall time spent inside
+	// windows (idle time inside windows is barrier wait or lane
+	// starvation).
+	Utilization float64 `json:"utilization"`
+}
+
+// WallSummary aggregates the wall plane of a laned run.
+type WallSummary struct {
+	Workers      int             `json:"workers"`
+	Lanes        int             `json:"lanes"`
+	Windows      uint64          `json:"windows"`
+	WindowEvents uint64          `json:"window_events"`
+	GlobalSteps  uint64          `json:"global_steps"`
+	WallNs       int64           `json:"wall_ns"`        // epoch to last record
+	WindowWallNs int64           `json:"window_wall_ns"` // Σ window spans
+	GlobalNs     int64           `json:"global_ns"`      // Σ serial global steps
+	PopNs        int64           `json:"pop_ns"`
+	StallNs      int64           `json:"barrier_stall_ns"`
+	MergeNs      int64           `json:"merge_ns"`
+	BusyNs       int64           `json:"busy_ns"` // Σ worker lane-exec time
+	PerWorker    []WorkerSummary `json:"per_worker"`
+	// ParallelEfficiency is BusyNs / (Workers × WindowWallNs): how much
+	// of the pool's capacity inside windows did useful lane work.
+	ParallelEfficiency float64 `json:"parallel_efficiency"`
+	// EstSpeedup estimates the gain over executing the same lane work
+	// serially: (GlobalNs + BusyNs) / (GlobalNs + WindowWallNs).
+	EstSpeedup     float64 `json:"est_speedup"`
+	DroppedRecords uint64  `json:"dropped_records"`
+}
+
+// Summary computes the speedup/efficiency aggregate. Safe mid-run.
+func (p *Profiler) Summary() WallSummary {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := WallSummary{
+		Workers: p.workers, Lanes: p.lanes,
+		Windows: p.totWindows, WindowEvents: p.totEvents,
+		GlobalSteps: p.totGlobal,
+		WallNs:      p.lastNs, WindowWallNs: p.windowWallNs,
+		GlobalNs: p.globalNs, PopNs: p.popNs,
+		StallNs: p.stallNs, MergeNs: p.mergeNs,
+		DroppedRecords: p.dropped,
+	}
+	for i := 0; i < p.workers; i++ {
+		ws := WorkerSummary{Worker: i, Execs: p.execsPerW[i], BusyNs: p.busyNs[i]}
+		if p.windowWallNs > 0 {
+			ws.Utilization = float64(ws.BusyNs) / float64(p.windowWallNs)
+		}
+		s.BusyNs += ws.BusyNs
+		s.PerWorker = append(s.PerWorker, ws)
+	}
+	if p.windowWallNs > 0 {
+		s.ParallelEfficiency = float64(s.BusyNs) / (float64(p.workers) * float64(p.windowWallNs))
+	}
+	if denom := p.globalNs + p.windowWallNs; denom > 0 {
+		s.EstSpeedup = float64(p.globalNs+s.BusyNs) / float64(denom)
+	}
+	return s
+}
+
+// WriteChromeTrace renders the wall plane as a Chrome trace-viewer JSON
+// array (load in chrome://tracing or Perfetto): one row per lane worker
+// with an "X" slice per lane execution, coordinator rows for the window
+// phases (pop / stall / merge), and a counter track of events per
+// window. Timestamps are wall microseconds since the profiler epoch —
+// deliberately a separate timebase from obs.Tracer's sim-time traces.
+func (p *Profiler) WriteChromeTrace(w io.Writer) error {
+	p.mu.Lock()
+	execs := append([]laneExec(nil), p.execs...)
+	windows := append([]windowRec(nil), p.windows...)
+	workers := p.workers
+	p.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&b, format, args...)
+	}
+	micros := func(ns int64) string {
+		return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+	}
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("worker %d", i)
+		if i == 0 {
+			name = "worker 0 (coordinator)"
+		}
+		emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, i, name)
+	}
+	for i := range execs {
+		e := &execs[i]
+		emit(`{"name":"lane %d","cat":"lane","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":%d,"args":{"window":%d,"events":%d}}`,
+			e.lane, micros(e.startNs), micros(e.endNs-e.startNs), e.worker, e.window, e.events)
+	}
+	for i := range windows {
+		wr := &windows[i]
+		emit(`{"name":"pop","cat":"window","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":0,"args":{"window":%d,"events":%d,"lanes":%d,"sim_start_ns":%d}}`,
+			micros(wr.startNs), micros(wr.popEndNs-wr.startNs), wr.window, wr.events, wr.lanes, int64(wr.simStart))
+		emit(`{"name":"barrier stall","cat":"window","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":0,"args":{"window":%d}}`,
+			micros(wr.execEnd), micros(wr.stallEnd-wr.execEnd), wr.window)
+		emit(`{"name":"merge","cat":"window","ph":"X","ts":%s,"dur":%s,"pid":1,"tid":0,"args":{"window":%d}}`,
+			micros(wr.stallEnd), micros(wr.endNs-wr.stallEnd), wr.window)
+		emit(`{"name":"events/window","ph":"C","pid":1,"tid":0,"ts":%s,"args":{"events":%d}}`,
+			micros(wr.startNs), wr.events)
+	}
+	b.WriteString("\n]\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

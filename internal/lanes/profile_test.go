@@ -1,0 +1,129 @@
+package lanes
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestProfilerSummary runs a laned scenario with the wall-clock
+// profiler attached and sanity-checks the aggregate — and, critically,
+// that profiling never perturbs the simulation's observables.
+func TestProfilerSummary(t *testing.T) {
+	cfg := provConfig()
+	cfg.tagged = false
+	serial := runNet(t, cfg, -1)
+
+	profCfg := cfg
+	profCfg.profile = true
+	res := runNet(t, profCfg, 2)
+	diffResults(t, "profiled", serial, res)
+
+	if res.profr == nil {
+		t.Fatal("no profiler attached")
+	}
+	s := res.profr.Summary()
+	if s.Workers != 2 {
+		t.Errorf("workers = %d, want 2", s.Workers)
+	}
+	if s.Lanes != cfg.lanesN {
+		t.Errorf("lanes = %d, want %d", s.Lanes, cfg.lanesN)
+	}
+	if s.Windows == 0 || s.Windows != res.windows {
+		t.Errorf("windows = %d, world saw %d", s.Windows, res.windows)
+	}
+	if s.WindowEvents == 0 {
+		t.Error("no window events recorded")
+	}
+	if s.GlobalSteps == 0 {
+		t.Error("no serial global steps recorded (decoys guarantee some)")
+	}
+	if s.BusyNs <= 0 || s.WindowWallNs <= 0 {
+		t.Errorf("busy/windowWall = %d/%d, want positive", s.BusyNs, s.WindowWallNs)
+	}
+	if len(s.PerWorker) != s.Workers {
+		t.Fatalf("per-worker rows = %d, want %d", len(s.PerWorker), s.Workers)
+	}
+	var busy int64
+	for _, w := range s.PerWorker {
+		busy += w.BusyNs
+	}
+	if busy != s.BusyNs {
+		t.Errorf("per-worker busy sums to %d, total %d", busy, s.BusyNs)
+	}
+	if s.ParallelEfficiency <= 0 || s.ParallelEfficiency > 1 {
+		t.Errorf("parallel efficiency = %v, want in (0, 1]", s.ParallelEfficiency)
+	}
+	if s.EstSpeedup <= 0 {
+		t.Errorf("est speedup = %v, want positive", s.EstSpeedup)
+	}
+	if s.DroppedRecords != 0 {
+		t.Errorf("dropped %d records under the default cap", s.DroppedRecords)
+	}
+}
+
+// TestProfilerChromeTrace checks the wall-plane export is valid Chrome
+// trace JSON with worker metadata and lane slices.
+func TestProfilerChromeTrace(t *testing.T) {
+	cfg := provConfig()
+	cfg.tagged = false
+	cfg.profile = true
+	res := runNet(t, cfg, 2)
+
+	var buf bytes.Buffer
+	if err := res.profr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	var meta, lanes, stalls, counters int
+	for _, e := range events {
+		switch {
+		case e["ph"] == "M":
+			meta++
+		case e["cat"] == "lane":
+			lanes++
+		case e["name"] == "barrier stall":
+			stalls++
+		case e["ph"] == "C":
+			counters++
+		}
+	}
+	if meta != 2 {
+		t.Errorf("%d thread_name records, want 2 (one per worker)", meta)
+	}
+	if lanes == 0 || stalls == 0 || counters == 0 {
+		t.Errorf("lane/stall/counter events = %d/%d/%d, want all nonzero", lanes, stalls, counters)
+	}
+}
+
+// TestProfilerCap checks the record cap drops detail but keeps totals.
+func TestProfilerCap(t *testing.T) {
+	k := sim.NewKernel()
+	w := NewWorld(k, Config{Lanes: 2, Workers: 1, Lookahead: sim.Millisecond, MaxWindow: 16})
+	defer w.Close()
+	p := w.EnableProfiling(4)
+	for i := 1; i <= 2; i++ {
+		l := w.Lane(i)
+		var tick func()
+		n := 0
+		tick = func() {
+			if n++; n < 50 {
+				l.After(100*sim.Microsecond, tick)
+			}
+		}
+		l.After(sim.Microsecond, tick)
+	}
+	w.Run()
+	s := p.Summary()
+	if s.DroppedRecords == 0 {
+		t.Error("tiny cap never tripped")
+	}
+	if s.Windows == 0 || s.BusyNs <= 0 {
+		t.Errorf("totals lost under cap: windows=%d busy=%d", s.Windows, s.BusyNs)
+	}
+}

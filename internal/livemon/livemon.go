@@ -22,6 +22,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -89,6 +90,15 @@ type Server struct {
 	sseDropped uint64
 	closed     chan struct{}
 	closeOnce  sync.Once
+
+	// Profiling sources (SetProfSources); any may be unset. The summary
+	// and chrome functions snapshot under the profiler's own lock, and
+	// provFlush drains the provenance writer's buffer, so serving them
+	// from HTTP goroutines never touches sim-owned state.
+	profSummary func() any
+	profChrome  func(io.Writer) error
+	provPath    string
+	provFlush   func() error
 }
 
 // New builds a Server: opens (and, after a crash, recovers) the ring
@@ -319,6 +329,54 @@ func (s *Server) PublishEvent(kind string, at sim.Time, data []byte) {
 	}
 }
 
+// SetProfSources wires the profiling surfaces: summary renders the lane
+// profiler's speedup/efficiency aggregate on /api/prof, chrome streams
+// its wall-plane Chrome trace on /api/prof/chrome, and provenancePath +
+// provFlush serve the on-disk causal trace on /api/prof/provenance
+// (flushed first so the download sees every record so far). Any argument
+// may be nil/empty; the corresponding endpoint answers 404. Call before
+// the simulation starts running.
+func (s *Server) SetProfSources(summary func() any, chrome func(io.Writer) error, provenancePath string, provFlush func() error) {
+	s.profSummary = summary
+	s.profChrome = chrome
+	s.provPath = provenancePath
+	s.provFlush = provFlush
+}
+
+func (s *Server) handleProf(w http.ResponseWriter, _ *http.Request) {
+	if s.profSummary == nil {
+		http.Error(w, "no lane profiler attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.profSummary())
+}
+
+func (s *Server) handleProfChrome(w http.ResponseWriter, _ *http.Request) {
+	if s.profChrome == nil {
+		http.Error(w, "no lane profiler attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="lane-trace.json"`)
+	s.profChrome(w)
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if s.provPath == "" {
+		http.Error(w, "no provenance trace attached", http.StatusNotFound)
+		return
+	}
+	if s.provFlush != nil {
+		if err := s.provFlush(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="provenance.trace"`)
+	http.ServeFile(w, r, s.provPath)
+}
+
 // Handler builds the route table. Exposed separately from
 // ListenAndServe so tests can drive it with httptest.
 func (s *Server) Handler() http.Handler {
@@ -329,6 +387,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/alerts", s.handleAlerts)
 	mux.HandleFunc("/api/series", s.handleSeries)
 	mux.HandleFunc("/api/buildinfo", s.handleBuildinfo)
+	mux.HandleFunc("/api/prof", s.handleProf)
+	mux.HandleFunc("/api/prof/chrome", s.handleProfChrome)
+	mux.HandleFunc("/api/prof/provenance", s.handleProvenance)
 	mux.HandleFunc("/events", s.handleEvents)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -352,6 +413,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /api/alerts     active alerts")
 	fmt.Fprintln(w, "  /api/series     ?name=&from=&to= time-range query over the ring")
 	fmt.Fprintln(w, "  /api/buildinfo  module version, VCS revision, Go version")
+	fmt.Fprintln(w, "  /api/prof       lane profiler summary (speedup, efficiency)")
+	fmt.Fprintln(w, "  /api/prof/chrome      wall-plane Chrome trace download")
+	fmt.Fprintln(w, "  /api/prof/provenance  causal provenance trace download")
 	fmt.Fprintln(w, "  /events         SSE stream (alerts, status diffs, progress)")
 	if s.cfg.Pprof {
 		fmt.Fprintln(w, "  /debug/pprof/   profiling")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
 	"repro/internal/sim"
@@ -20,6 +21,23 @@ type Tracer struct {
 	mu    sync.Mutex
 	next  uint64
 	spans []*Span
+
+	// Memory bound (SetSpanCap). 0 means unbounded; past the cap new
+	// spans and counter samples are dropped and counted.
+	spanCap  int
+	dropped  uint64
+	droppedC *Counter
+
+	// Counter samples recorded for the Chrome exporter's "C" events
+	// (RecordCounter); not part of the JSONL span artifact.
+	counters []counterSample
+}
+
+// counterSample is one RecordCounter observation.
+type counterSample struct {
+	name string
+	at   sim.Time
+	v    float64
 }
 
 // NewTracer builds a tracer stamping spans with clock (nil clock stamps
@@ -51,12 +69,51 @@ func (t *Tracer) Start(name string, attrs ...Label) *Span {
 	return t.startSpan(name, 0, attrs)
 }
 
+// SetSpanCap bounds the tracer's memory: once n spans (or n counter
+// samples) are retained, further ones are dropped instead of growing
+// without bound on long campaigns. Drops increment dropped (typically
+// the registry's patchwork_trace_dropped_total counter; nil is allowed)
+// and the Dropped tally. n <= 0 restores unbounded retention. Because
+// spans are only started from global events, the cap trips at the same
+// point in serial and laned runs — sim artifacts stay deterministic.
+func (t *Tracer) SetSpanCap(n int, dropped *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spanCap = n
+	t.droppedC = dropped
+}
+
+// Dropped reports how many spans and counter samples the cap discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// drop counts one capped-out record. Callers hold t.mu.
+func (t *Tracer) drop() {
+	t.dropped++
+	if t.droppedC != nil {
+		t.droppedC.Inc()
+	}
+}
+
 func (t *Tracer) startSpan(name string, parent uint64, attrs []Label) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.spanCap > 0 && len(t.spans) >= t.spanCap {
+		t.drop()
+		return nil
+	}
 	t.next++
 	sp := &Span{
 		tr: t, id: t.next, parent: parent, name: name,
@@ -74,6 +131,24 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.spans)
+}
+
+// RecordCounter samples a metric value at the current sim time for the
+// Chrome exporter, which renders the series as a counter ("C") track
+// alongside the spans — load next to latency in one flame view. Samples
+// are separate from spans: they never appear in WriteJSONL, so existing
+// span artifacts are unaffected. Subject to the SetSpanCap bound.
+func (t *Tracer) RecordCounter(name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spanCap > 0 && len(t.counters) >= t.spanCap {
+		t.drop()
+		return
+	}
+	t.counters = append(t.counters, counterSample{name: name, at: t.clock(), v: v})
 }
 
 // Child opens a span parented on s. Safe on a nil receiver (returns nil).
@@ -181,10 +256,17 @@ func chromeMicros(t sim.Time) string {
 // begin ("B") events. Each root span and each of its direct children get
 // their own track (tid), so concurrent per-site subtrees render side by
 // side instead of interleaving; deeper descendants inherit their
-// subtree's track and nest by timing. Output is deterministic for a
-// deterministic simulation.
+// subtree's track and nest by timing. Counter samples recorded with
+// RecordCounter follow the spans as counter ("C") events on tid 0.
+// Output is deterministic for a deterministic simulation.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	recs := t.Records()
+	var counters []counterSample
+	if t != nil {
+		t.mu.Lock()
+		counters = append(counters, t.counters...)
+		t.mu.Unlock()
+	}
 	byID := make(map[uint64]SpanRecord, len(recs))
 	for _, r := range recs {
 		byID[r.ID] = r
@@ -247,6 +329,21 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			}
 		}
 		if _, err := bw.WriteString("}}"); err != nil {
+			return err
+		}
+	}
+	for i, c := range counters {
+		if i > 0 || len(recs) > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		name, err := json.Marshal(c.name)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, `{"name":%s,"cat":"sim","ph":"C","ts":%s,"pid":1,"tid":0,"args":{"value":%s}}`,
+			name, chromeMicros(c.at), strconv.FormatFloat(c.v, 'g', -1, 64)); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProvenanceParentChain checks that events scheduled from inside an
+// event handler carry the handler's seq as parent, while events
+// scheduled from setup code are roots.
+func TestProvenanceParentChain(t *testing.T) {
+	k := NewKernel()
+	var recs []ProvRecord
+	k.SetProvenance(func(r ProvRecord) { recs = append(recs, r) })
+
+	k.After(10, func() {
+		k.After(5, func() {})
+		k.After(7, func() {})
+	})
+	k.Run()
+
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	root := recs[0]
+	if root.Parent != NoProvParent {
+		t.Errorf("setup event parent = %d, want NoProvParent", root.Parent)
+	}
+	if root.At != 10 {
+		t.Errorf("root at = %v, want 10", root.At)
+	}
+	for i, r := range recs[1:] {
+		if r.Parent != root.Seq {
+			t.Errorf("child %d parent = %d, want %d", i, r.Parent, root.Seq)
+		}
+	}
+	if recs[1].At != 15 || recs[2].At != 17 {
+		t.Errorf("child times = %v, %v, want 15, 17", recs[1].At, recs[2].At)
+	}
+}
+
+// TestProvenanceSeqOrder checks records arrive in strictly increasing
+// seq order and match the kernel's serial sequence numbering.
+func TestProvenanceSeqOrder(t *testing.T) {
+	k := NewKernel()
+	var seqs []uint64
+	k.SetProvenance(func(r ProvRecord) { seqs = append(seqs, r.Seq) })
+	for i := 0; i < 5; i++ {
+		k.After(Duration(i+1), func() { k.After(1, func() {}) })
+	}
+	k.Run()
+	if len(seqs) != 10 {
+		t.Fatalf("got %d records, want 10", len(seqs))
+	}
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] <= seqs[i-1] {
+			t.Fatalf("seqs not strictly increasing: %v", seqs)
+		}
+	}
+}
+
+// TestProvenanceParentResetAfterStep checks that scheduling between
+// kernel steps (driver code) yields roots again after a step ran.
+func TestProvenanceParentResetAfterStep(t *testing.T) {
+	k := NewKernel()
+	var recs []ProvRecord
+	k.SetProvenance(func(r ProvRecord) { recs = append(recs, r) })
+	k.After(1, func() {})
+	k.Step()
+	k.After(1, func() {}) // driver-scheduled: must be a root
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[1].Parent != NoProvParent {
+		t.Errorf("driver-scheduled event parent = %d, want NoProvParent", recs[1].Parent)
+	}
+}
+
+// TestProvenanceTag checks SetProvTag stamps subsequent schedule calls.
+func TestProvenanceTag(t *testing.T) {
+	k := NewKernel()
+	var tags []int32
+	k.SetProvenance(func(r ProvRecord) { tags = append(tags, r.Tag) })
+	k.SetProvTag(7)
+	k.After(1, func() {})
+	k.SetProvTag(0)
+	k.After(2, func() {})
+	k.Run()
+	if len(tags) != 2 || tags[0] != 7 || tags[1] != 0 {
+		t.Fatalf("tags = %v, want [7 0]", tags)
+	}
+}
+
+// TestProvenanceDeterministic runs the same workload twice and expects
+// identical record streams (the foundation of the byte-identical trace
+// guarantee).
+func TestProvenanceDeterministic(t *testing.T) {
+	run := func() []ProvRecord {
+		k := NewKernel()
+		var recs []ProvRecord
+		k.SetProvenance(func(r ProvRecord) { recs = append(recs, r) })
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 20 {
+				k.After(3, tick)
+				if n%4 == 0 {
+					k.AfterArg(1, func(any) {}, nil)
+				}
+			}
+		}
+		k.After(1, tick)
+		k.Run()
+		return recs
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("provenance records differ between identical runs")
+	}
+}
+
+// TestCallbackPC prefers the argument-carrying callback and tolerates
+// nils.
+func TestCallbackPC(t *testing.T) {
+	fn := func() {}
+	argFn := func(any) {}
+	if CallbackPC(fn, argFn) != CallbackPC(nil, argFn) {
+		t.Error("argFn should win when both are set")
+	}
+	if CallbackPC(fn, nil) == 0 {
+		t.Error("plain callback PC should be nonzero")
+	}
+	if CallbackPC(nil, nil) != 0 {
+		t.Error("no callbacks should yield 0")
+	}
+}
+
+// BenchmarkScheduleNoProvenance guards the disabled-hook cost: the
+// steady-state schedule path must stay allocation-free.
+func BenchmarkScheduleNoProvenance(b *testing.B) {
+	k := NewKernel()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(1, fn)
+		k.Step()
+	}
+}

@@ -122,11 +122,16 @@ type Kernel struct {
 	lastTick       Time
 	tickEvents     uint64
 	maxTickEvents  uint64
+
+	// Causal provenance (see prov.go). prov == nil means off.
+	prov       func(ProvRecord)
+	provParent uint64
+	provTag    int32
 }
 
 // NewKernel returns a kernel at time zero with an empty queue.
 func NewKernel() *Kernel {
-	return &Kernel{lastTick: -1}
+	return &Kernel{lastTick: -1, provParent: NoProvParent}
 }
 
 // Now returns the current virtual time.
@@ -243,6 +248,9 @@ func (k *Kernel) schedule(lane int32, t Time, fn func(), argFn func(any), arg an
 	s.state = slotPending
 	s.lane = lane
 	k.heapPush(heapEntry{at: t, seq: k.seq, idx: idx})
+	if k.prov != nil {
+		k.prov(ProvRecord{Seq: k.seq, Parent: k.provParent, At: t, PC: CallbackPC(fn, argFn), Tag: k.provTag})
+	}
 	k.seq++
 	return Handle{k: k, idx: idx, gen: s.gen}
 }
@@ -372,11 +380,16 @@ func (k *Kernel) Step() bool {
 		if k.tickEvents > k.maxTickEvents {
 			k.maxTickEvents = k.tickEvents
 		}
+		// Mark the running event as the causal parent of anything its
+		// handler schedules (two plain stores; provenance capture itself
+		// is gated on the hook inside schedule).
+		k.provParent = e.seq
 		if argFn != nil {
 			argFn(arg)
 		} else {
 			fn()
 		}
+		k.provParent = NoProvParent
 		return true
 	}
 	return false

@@ -8,6 +8,9 @@
 #   BENCH_kernel.json       internal/sim micro-benchmarks
 #   BENCH_experiments.json  paper-experiment benchmarks + RunAll wall
 #                           times (serial vs -parallel 8)
+#   BENCH_lanes.json        laned campaign speedup/efficiency: wall-clock
+#                           speedup over serial plus the lane profiler's
+#                           own estimate and parallel efficiency
 #
 # Each file keeps the best of -count runs per benchmark. Commit the
 # refreshed files alongside any change that moves them.
@@ -33,11 +36,13 @@ if [ "$smoke" -eq 1 ]; then
     count=1
     kernel_out="$tmp/BENCH_kernel.json"
     experiments_out="$tmp/BENCH_experiments.json"
+    lanes_out="$tmp/BENCH_lanes.json"
 else
     benchtime=
     count=3
     kernel_out=BENCH_kernel.json
     experiments_out=BENCH_experiments.json
+    lanes_out=BENCH_lanes.json
 fi
 
 go build -o "$tmp/benchjson" ./cmd/benchjson
@@ -65,13 +70,13 @@ laned_wall_ms() {
         -sample-sec 2 -seed 9 -remedy -checkpoint-sec 10 \
         -journal "$tmp/lw-$1-$2" -out "$tmp/lw-out-$1-$2" \
         -metrics "$tmp/lw-$1-$2.prom" \
-        -lanes "$1" -lane-workers "$2" > /dev/null
+        -lanes "$1" -lane-workers "$2" ${3:-} > /dev/null
     end=$(date +%s%N)
     echo $(( (end - start) / 1000000 ))
 }
 laned_serial_ms=$(laned_wall_ms 1 0)
 laned_w1_ms=$(laned_wall_ms 4 1)
-laned_w4_ms=$(laned_wall_ms 4 4)
+laned_w4_ms=$(laned_wall_ms 4 4 -profile)
 cmp "$tmp/lw-1-0.prom" "$tmp/lw-4-1.prom"
 cmp "$tmp/lw-1-0.prom" "$tmp/lw-4-4.prom"
 cmp "$tmp/lw-1-0/wal.jsonl" "$tmp/lw-4-1/wal.jsonl"
@@ -93,6 +98,25 @@ fi
     -add "LanedCampaignWall4Workers:ms:$laned_w4_ms" \
     < "$tmp/kernel.txt" > "$kernel_out"
 
+# Lane speedup/efficiency report: the measured wall-clock speedup over
+# serial, plus the lane profiler's own estimate and parallel efficiency
+# pulled from the -profile run's lane-summary.json. All of these are
+# hardware-dependent — recorded for the trajectory, never gated.
+summary="$tmp/lw-out-4-4/prof/lane-summary.json"
+json_field() {
+    awk -F'[:,]' -v k="\"$1\"" '$0 ~ k { gsub(/[[:space:]]/, "", $2); print $2; exit }' "$summary"
+}
+wall_speedup=$(awk -v s="$laned_serial_ms" -v p="$laned_w4_ms" \
+    'BEGIN { if (p > 0) printf "%.3f", s / p; else print 0 }')
+est_speedup=$(json_field est_speedup)
+efficiency=$(json_field parallel_efficiency)
+"$tmp/benchjson" \
+    -add "LanedWallSpeedup4Workers:x:${wall_speedup:-0}" \
+    -add "LanedEstSpeedup4Workers:x:${est_speedup:-0}" \
+    -add "LanedParallelEfficiency4Workers:frac:${efficiency:-0}" \
+    < /dev/null > "$lanes_out"
+echo "lane speedup: wall ${wall_speedup:-0}x, profiler estimate ${est_speedup:-0}x, efficiency ${efficiency:-0}"
+
 echo "== experiment benchmarks (repro root) =="
 # The figure/table benchmarks regenerate full paper artifacts per
 # iteration (seconds each), so one iteration per count is the
@@ -111,6 +135,8 @@ if [ "$smoke" -eq 1 ]; then
     echo "smoke ok: $(ls "$tmp"/BENCH_*.json | wc -l) reports generated (discarded)"
     exit 0
 fi
+
+echo "wrote $lanes_out"
 
 echo "== RunAll wall time: serial vs parallel =="
 go build -o "$tmp/pwexperiments" ./cmd/pwexperiments

@@ -18,7 +18,10 @@
 # suite), and a live-telemetry gate: a
 # campaign served with -serve is probed over HTTP (pwlive validates the
 # exposition and JSON endpoints), shut down with SIGTERM, and its
-# artifacts must be byte-identical to the unserved baseline.
+# artifacts must be byte-identical to the unserved baseline, and a
+# provenance gate: the same campaign run with -provenance serially and
+# under -lanes must write byte-identical causal traces, and pwprof must
+# produce a critical-path report from them.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -109,3 +112,26 @@ cmp "$tmp/base.prom" "$tmp/serve.prom"
 cmp "$tmp/base/wal.jsonl" "$tmp/serve/wal.jsonl"
 go run ./cmd/pwhealth -check-prom "$tmp/serve.prom" >/dev/null
 echo "live-telemetry gate: probe passed, artifacts byte-identical with -serve"
+
+# Provenance gate: the causal event DAG recorded with -provenance is a
+# sim-time artifact, so a serial run and a sharded laned run of the same
+# seed must write byte-identical traces — and recording it (plus wall
+# profiling on the laned run) must not perturb any other artifact. A
+# pwprof smoke run then proves the trace loads and yields a critical
+# path and blame report.
+"$tmp/patchwork" $common -journal "$tmp/pserial" -out "$tmp/pserial-out" \
+    -metrics "$tmp/pserial.prom" -no-kill -provenance >/dev/null
+"$tmp/patchwork" $common -journal "$tmp/planed" -out "$tmp/planed-out" \
+    -metrics "$tmp/planed.prom" -no-kill -lanes 2 -lane-workers 2 \
+    -provenance -profile >/dev/null
+cmp "$tmp/pserial-out/prof/provenance.trace" "$tmp/planed-out/prof/provenance.trace"
+cmp "$tmp/base.prom" "$tmp/pserial.prom"
+cmp "$tmp/base.prom" "$tmp/planed.prom"
+cmp "$tmp/base/wal.jsonl" "$tmp/pserial/wal.jsonl"
+test -s "$tmp/planed-out/prof/lane-trace.json"
+test -s "$tmp/planed-out/prof/lane-summary.json"
+go build -o "$tmp/pwprof" ./cmd/pwprof
+"$tmp/pwprof" -top 5 -chrome "$tmp/critical.json" \
+    "$tmp/pserial-out/prof/provenance.trace" | grep -q "critical path:"
+test -s "$tmp/critical.json"
+echo "provenance gate: serial and laned traces byte-identical, pwprof report ok"
