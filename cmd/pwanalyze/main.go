@@ -3,6 +3,13 @@
 // (protocol dissection into abstract header stacks), Index, Analyze, and
 // Process (CSV emission).
 //
+// The pipeline is single-pass and bounded-memory: each capture streams
+// through the digester frame by frame, per-capture acaps are encoded
+// and dropped as soon as they are indexed, and the flow table spills
+// cold flows to a columnar flow store (flows.pwfs) that doubles as the
+// /api/flows query artifact. Only the hot flow working set and one
+// capture's records are ever resident at once.
+//
 // Usage:
 //
 //	pwanalyze -in patchwork-out -out analysis-out
@@ -13,44 +20,86 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/analysis"
+	"repro/internal/flowstore"
+	"repro/internal/livemon"
 	"repro/internal/pcap"
 )
 
 func main() {
 	var (
-		in  = flag.String("in", "", "input directory (site subdirectories of pcaps)")
-		out = flag.String("out", "analysis-out", "output directory for acaps, index, and CSVs")
+		in      = flag.String("in", "", "input directory (site subdirectories of pcaps)")
+		out     = flag.String("out", "analysis-out", "output directory for acaps, index, CSVs, and flow store")
+		hotMax  = flag.Int("hotflows", 1<<16, "max in-memory flows before spilling to the flow store")
+		verbose = flag.Bool("v", false, "print sketch summaries (cardinality estimate, heavy hitters)")
+		serve   = flag.String("serve", "", `after analysis, serve the flow store on this address (":0" for an ephemeral port; bound address lands in <out>/livemon/addr) until SIGINT/SIGTERM`)
 	)
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out); err != nil {
+	if err := run(*in, *out, *hotMax, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "pwanalyze:", err)
 		os.Exit(1)
 	}
+	if *serve != "" {
+		if err := serveFlows(*out, *serve); err != nil {
+			fmt.Fprintln(os.Stderr, "pwanalyze:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(in, out string) error {
+// serveFlows exposes the analysis run's flow store on livemon's
+// /api/flows endpoint until a SIGINT/SIGTERM arrives.
+func serveFlows(out, addr string) error {
+	dir := filepath.Join(out, "livemon")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	srv, err := livemon.New(livemon.Config{Addr: addr, AddrFile: filepath.Join(dir, "addr")})
+	if err != nil {
+		return err
+	}
+	srv.SetFlowStore(filepath.Join(out, "flows.pwfs"))
+	if err := srv.ListenAndServe(); err != nil {
+		return err
+	}
+	fmt.Printf("serving flow store on %s (SIGINT/SIGTERM to stop)\n", srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+func run(in, out string, hotMax int, verbose bool) error {
 	acapDir := filepath.Join(out, "acaps")
 	if err := os.MkdirAll(acapDir, 0o755); err != nil {
 		return err
 	}
 
-	// Digest: one acap per pcap, site taken from the parent directory.
-	// Raw stored frames are retained (bounded) for the flag analysis,
-	// which needs header field values the acap discards.
-	const maxRawFrames = 200000
-	var rawFrames [][]byte
-	var acaps []*analysis.Acap
+	flowPath := filepath.Join(out, "flows.pwfs")
+	spill, err := flowstore.Create(flowPath)
+	if err != nil {
+		return err
+	}
+	defer spill.Close()
+	d := analysis.NewDigester(analysis.DigestOptions{MaxHotFlows: hotMax, Spill: spill})
+
+	// Digest: one acap (and one digester sample) per pcap, site taken
+	// from the parent directory. Each acap is encoded and released
+	// before the next capture opens; every streamed statistic — frame
+	// sizes, header stacks, flows, TCP flags — folds into the digester.
+	var captures int
 	var index analysis.Index
-	err := filepath.WalkDir(in, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".pcap") {
+	err = filepath.WalkDir(in, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(path, ".pcap") {
 			return err
 		}
 		site := filepath.Base(filepath.Dir(path))
@@ -64,21 +113,20 @@ func run(in, out string) error {
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		acap := &analysis.Acap{Site: site}
+		d.StartSample(site)
 		err = rd.ForEach(func(rec *pcap.Record) error {
 			acap.Records = append(acap.Records,
 				analysis.DigestFrame(rec.TimestampNanos, rec.Data, rec.OriginalLength))
-			if len(rawFrames) < maxRawFrames {
-				rawFrames = append(rawFrames, append([]byte(nil), rec.Data...))
-			}
-			return nil
+			return d.Frame(rec.TimestampNanos, rec.Data, rec.OriginalLength)
 		})
 		if err != nil {
 			return err
 		}
-		acaps = append(acaps, acap)
+		d.EndSample()
+		captures++
 
-		// Persist the acap and index it.
-		name := fmt.Sprintf("%s-%03d.json", site, len(acaps))
+		// Persist the acap and index it; the records are dropped here.
+		name := fmt.Sprintf("%s-%03d.json", site, captures)
 		acapPath := filepath.Join(acapDir, name)
 		af, err := os.Create(acapPath)
 		if err != nil {
@@ -97,8 +145,26 @@ func run(in, out string) error {
 	if err != nil {
 		return err
 	}
-	if len(acaps) == 0 {
+	if captures == 0 {
 		return fmt.Errorf("no .pcap files under %s", in)
+	}
+
+	// Flush the remaining hot flows so flows.pwfs is a complete record,
+	// then reopen it read-only for the exact aggregate merge.
+	if err := d.Flows().Flush(); err != nil {
+		return err
+	}
+	if err := spill.Close(); err != nil {
+		return err
+	}
+	store, err := flowstore.Open(flowPath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	flows, err := d.Flows().Aggregates(store)
+	if err != nil {
+		return err
 	}
 
 	// Index.
@@ -114,34 +180,31 @@ func run(in, out string) error {
 		return err
 	}
 
-	// Analyze + Process: the paper's CSV outputs.
-	var all []analysis.Record
-	var flowCounts []int
-	for _, a := range acaps {
-		all = append(all, a.Records...)
-		flowCounts = append(flowCounts, analysis.FlowsInSample(a))
-	}
+	// Process: the paper's CSV outputs, each rendered from the
+	// digester's folded state.
 	writers := []struct {
 		name string
 		fn   func(*os.File) error
 	}{
-		{"frame_sizes.csv", func(f *os.File) error { return analysis.WriteFrameSizeCSV(f, all) }},
-		{"header_occurrence.csv", func(f *os.File) error { return analysis.WriteHeaderOccurrenceCSV(f, all) }},
-		{"site_headers.csv", func(f *os.File) error {
-			return analysis.WriteSiteHeaderStatsCSV(f, analysis.HeaderStatsBySite(acaps))
+		{"frame_sizes.csv", func(f *os.File) error { return analysis.WriteFrameSizeHistCSV(f, d.FrameSizeHist()) }},
+		{"header_occurrence.csv", func(f *os.File) error {
+			return analysis.WriteHeaderOccurrenceMapCSV(f, d.HeaderOccurrence())
 		}},
-		{"flow_counts.csv", func(f *os.File) error { return analysis.WriteFlowCountCSV(f, flowCounts) }},
+		{"site_headers.csv", func(f *os.File) error {
+			return analysis.WriteSiteHeaderStatsCSV(f, d.SiteHeaderStats())
+		}},
+		{"flow_counts.csv", func(f *os.File) error { return analysis.WriteFlowCountCSV(f, d.SampleFlowCounts()) }},
 		{"flow_aggregate.csv", func(f *os.File) error {
-			return analysis.WriteFlowAggregateCSV(f, analysis.AggregateFlows(acaps), 100)
+			return analysis.WriteFlowAggregateCSV(f, flows, 100)
 		}},
 		{"encapsulations.csv", func(f *os.File) error {
-			return analysis.WriteEncapsulationCSV(f, all, 50)
+			return analysis.WriteStackPatternsCSV(f, d.EncapCensus(), 50)
 		}},
 		{"site_protocols.csv", func(f *os.File) error {
-			return analysis.WriteSiteProtocolCSV(f, analysis.ProtocolShareBySite(acaps))
+			return analysis.WriteSiteProtocolCSV(f, d.SiteProtocolShares())
 		}},
 		{"tcp_flags.csv", func(f *os.File) error {
-			return analysis.WriteTCPFlagsCSV(f, analysis.CountTCPFlags(rawFrames))
+			return analysis.WriteTCPFlagsCSV(f, d.TCPFlags())
 		}},
 	}
 	for _, w := range writers {
@@ -157,6 +220,16 @@ func run(in, out string) error {
 			return err
 		}
 	}
-	fmt.Printf("digested %d captures (%d frames) into %s\n", len(acaps), len(all), out)
+
+	fmt.Printf("digested %d captures (%d frames, %d flows) into %s\n",
+		captures, d.Frames(), len(flows), out)
+	if verbose {
+		est, stderr := d.Flows().CardinalityEstimate()
+		fmt.Printf("  distinct flows ~%d (±%.1f%%), %d spilled rows in %s\n",
+			est, stderr*100, d.Flows().SpilledFlows(), flowPath)
+		for _, h := range d.Flows().HeavyHitters(10) {
+			fmt.Printf("  heavy: %v frames>=%d (overestimate<=%d)\n", h.Key, h.Count-h.Err, h.Err)
+		}
+	}
 	return nil
 }

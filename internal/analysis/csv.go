@@ -17,7 +17,12 @@ import (
 // WriteFrameSizeCSV emits the frame-size histogram (Fig. 15 per site /
 // Section 8.2 aggregate): bucket,count,percent.
 func WriteFrameSizeCSV(w io.Writer, recs []Record) error {
-	h := FrameSizeHistogram(recs)
+	return WriteFrameSizeHistCSV(w, FrameSizeHistogram(recs))
+}
+
+// WriteFrameSizeHistCSV is WriteFrameSizeCSV on an already-computed
+// histogram (the streaming path's entry point).
+func WriteFrameSizeHistCSV(w io.Writer, h []int) error {
 	total := 0
 	for _, c := range h {
 		total += c
@@ -46,7 +51,12 @@ func WriteFrameSizeCSV(w io.Writer, recs []Record) error {
 // WriteHeaderOccurrenceCSV emits Fig. 12: header,percent (sorted
 // descending).
 func WriteHeaderOccurrenceCSV(w io.Writer, recs []Record) error {
-	occ := HeaderOccurrence(recs)
+	return WriteHeaderOccurrenceMapCSV(w, HeaderOccurrence(recs))
+}
+
+// WriteHeaderOccurrenceMapCSV is WriteHeaderOccurrenceCSV on an
+// already-computed occurrence map (the streaming path's entry point).
+func WriteHeaderOccurrenceMapCSV(w io.Writer, occ map[wire.LayerType]float64) error {
 	type row struct {
 		t   wire.LayerType
 		pct float64
@@ -143,7 +153,12 @@ func WriteFlowAggregateCSV(w io.Writer, flows []FlowAggregate, n int) error {
 // WriteEncapsulationCSV emits the encapsulation census: pattern,frames.
 // Only the top n patterns are written when n > 0.
 func WriteEncapsulationCSV(w io.Writer, recs []Record, n int) error {
-	ps := EncapsulationCensus(recs)
+	return WriteStackPatternsCSV(w, EncapsulationCensus(recs), n)
+}
+
+// WriteStackPatternsCSV is WriteEncapsulationCSV on an already-computed
+// census (the streaming path's entry point).
+func WriteStackPatternsCSV(w io.Writer, ps []StackPattern, n int) error {
 	if n <= 0 || n > len(ps) {
 		n = len(ps)
 	}

@@ -26,8 +26,12 @@ type TCPFlagCounts struct {
 // representation deliberately discards header field values.
 func CountTCPFlags(frames [][]byte) TCPFlagCounts {
 	var out TCPFlagCounts
+	// One pooled packet serves every frame: Reset reuses the layer
+	// structs, and LazyNoCopy borrows the frame bytes (safe — nothing
+	// here outlives the loop iteration).
+	var pkt wire.Packet
 	for _, data := range frames {
-		pkt := wire.NewPacket(data, wire.LayerTypeEthernet, wire.Lazy)
+		pkt.Reset(data, wire.LayerTypeEthernet, wire.LazyNoCopy)
 		tl := pkt.Layer(wire.LayerTypeTCP)
 		if tl == nil {
 			continue

@@ -27,31 +27,38 @@ func init() {
 // slices, they are treated as different flows" by Patchwork).
 func AblationNetFlow(seed uint64) (*Result, error) {
 	gen := trafficgen.NewGenerator(trafficgen.MakeSiteProfiles(seed, 1)[0], seed)
-	frames, err := gen.Sample(trafficgen.SampleConfig{
+	arena := trafficgen.NewFrameArena()
+	frames, err := gen.SampleInto(trafficgen.SampleConfig{
 		Duration: 20 * sim.Second, MaxFrames: 3000, FlowCount: 150,
-	})
+	}, nil, arena.Alloc)
 	if err != nil {
 		return nil, err
 	}
 
 	exporter := netflow.NewExporter(netflow.Config{})
-	acap := &analysis.Acap{Site: "S"}
-	feed := func(at sim.Time, data []byte) {
+	d := analysis.NewDigester(analysis.DigestOptions{MaxHotFlows: 4096})
+	d.StartSample("S")
+	feed := func(at sim.Time, data []byte) error {
 		exporter.DeliverFrame(at, switchsim.NewFrame(data))
-		acap.Records = append(acap.Records, analysis.DigestFrame(int64(at), data, len(data)))
+		return d.Frame(int64(at), data, len(data))
 	}
+	var clone []byte // retag scratch, reused across frames
 	for _, tf := range frames {
-		feed(tf.At, tf.Data)
+		if err := feed(tf.At, tf.Data); err != nil {
+			return nil, err
+		}
 		// The second slice: identical traffic under another VLAN.
-		clone := append([]byte(nil), tf.Data...)
+		clone = append(clone[:0], tf.Data...)
 		retagVLAN(clone, 3999)
-		feed(tf.At+sim.Microsecond, clone)
+		if err := feed(tf.At+sim.Microsecond, clone); err != nil {
+			return nil, err
+		}
 	}
 	exporter.FlushAll()
 
-	pwFlows := analysis.FlowsInSample(acap)
+	pwFlows := d.EndSample()
 	nfFlows := exporter.DistinctConversations()
-	census := analysis.EncapsulationCensus(acap.Records)
+	census := d.EncapCensus()
 
 	res := &Result{
 		ID:     "ablation-netflow",
@@ -62,7 +69,7 @@ func AblationNetFlow(seed uint64) (*Result, error) {
 	res.AddRow("slices_distinguishable", "no (5-tuple only)", "yes (VLAN/MPLS tags in key)")
 	res.AddRow("encapsulation_patterns_visible", 0, len(census))
 	res.AddRow("per_frame_record", "aggregate counters", "full header stack (acap)")
-	res.AddRow("frames_metered", exporter.FramesSeen, len(acap.Records))
+	res.AddRow("frames_metered", exporter.FramesSeen, d.Frames())
 	res.Notef("paper (Section 4): switch-sourced flow information \"does not distinguish between testbed users and provides coarse statistics\"")
 	res.Notef("measured: the two slices collapse to %d NetFlow flows but remain %d distinct Patchwork flows (%.1fx undercount)",
 		nfFlows, pwFlows, float64(pwFlows)/float64(maxInt1(nfFlows)))

@@ -23,9 +23,10 @@ func init() {
 // profile corpus (the paper's S0-S29).
 const profileCorpusSites = 30
 
-// corpus builds the shared multi-site acap corpus behind the Section 8.2
-// figures: per-site profiles, several 20-second samples each, 200-byte
-// truncation.
+// corpus builds the multi-site acap corpus behind the Section 8.2
+// figures the materialize-everything way. The figures themselves run on
+// streamDigest; this stays as the in-memory baseline the equivalence
+// tests compare against.
 // flowCount > 0 pins the number of flows per sample (long flow snippets,
 // as a 20s line-rate capture sees); flowCount == 0 draws it from the
 // site's profile (for the flow-count figure).
@@ -57,14 +58,57 @@ func corpus(seed uint64, samplesPerSite, framesPerSample, flowCount int) ([]*ana
 	return acaps, nil
 }
 
+// streamDigest runs the same corpus as corpus() through the streaming
+// digester in a single pass: frames are generated into a recycled arena,
+// digested, and dropped — nothing proportional to the corpus size stays
+// resident. The flow table's hot set is bounded; the figures never read
+// exact aggregates, so spilled rows are dropped rather than written out.
+func streamDigest(seed uint64, samplesPerSite, framesPerSample, flowCount int) (*analysis.Digester, error) {
+	profiles := trafficgen.MakeSiteProfiles(seed, profileCorpusSites)
+	d := analysis.NewDigester(analysis.DigestOptions{MaxHotFlows: 4096})
+	arena := trafficgen.NewFrameArena()
+	var frames []trafficgen.TimedFrame
+	for i, p := range profiles {
+		gen := trafficgen.NewGenerator(p, seed*1000+uint64(i))
+		for s := 0; s < samplesPerSite; s++ {
+			arena.Reset()
+			var err error
+			frames, err = gen.SampleInto(trafficgen.SampleConfig{
+				Duration:  20 * sim.Second,
+				MaxFrames: framesPerSample,
+				FlowCount: flowCount,
+			}, frames[:0], arena.Alloc)
+			if err != nil {
+				return nil, err
+			}
+			d.StartSample(p.Site)
+			for _, tf := range frames {
+				stored := tf.Data
+				if len(stored) > 200 {
+					stored = stored[:200]
+				}
+				if err := d.Frame(int64(tf.At), stored, len(tf.Data)); err != nil {
+					return nil, err
+				}
+			}
+			d.EndSample()
+		}
+	}
+	return d, nil
+}
+
 // Fig11 regenerates the per-site header-diversity figure: distinct
 // headers observed and deepest header stack per site.
 func Fig11(seed uint64) (*Result, error) {
-	acaps, err := corpus(seed, 3, 3000, 75)
+	d, err := streamDigest(seed, 3, 3000, 75)
 	if err != nil {
 		return nil, err
 	}
-	stats := analysis.HeaderStatsBySite(acaps)
+	return fig11From(d.SiteHeaderStats()), nil
+}
+
+// fig11From renders the figure from the computed per-site stats.
+func fig11From(stats []analysis.SiteHeaderStats) *Result {
 	res := &Result{
 		ID:     "fig11",
 		Title:  "Distinct headers and deepest stack per (anonymized) site",
@@ -89,21 +133,21 @@ func Fig11(seed uint64) (*Result, error) {
 	}
 	res.Notef("paper: sites exhibit a range of distinct headers; maximal header prefixes span 6 to 12 headers")
 	res.Notef("measured: distinct headers span %d-%d; max stack depth spans %d-%d", minH, maxH, minD, maxD)
-	return res, nil
+	return res
 }
 
 // Fig12 regenerates the header-occurrence figure: percentage of frames
 // carrying each protocol header, aggregated over all sites.
 func Fig12(seed uint64) (*Result, error) {
-	acaps, err := corpus(seed, 2, 3000, 75)
+	d, err := streamDigest(seed, 2, 3000, 75)
 	if err != nil {
 		return nil, err
 	}
-	var all []analysis.Record
-	for _, a := range acaps {
-		all = append(all, a.Records...)
-	}
-	occ := analysis.HeaderOccurrence(all)
+	return fig12From(d.HeaderOccurrence()), nil
+}
+
+// fig12From renders the figure from the computed occurrence map.
+func fig12From(occ map[wire.LayerType]float64) *Result {
 	res := &Result{
 		ID:     "fig12",
 		Title:  "Occurrence of protocol headers in FABRIC traffic",
@@ -130,19 +174,20 @@ func Fig12(seed uint64) (*Result, error) {
 	res.Notef("paper: Ethernet exceeds 100%% (inner Ethernet frames); IPv4 dominant; IPv6 = 1.93%% of frames; TCP most prevalent; most traffic VLAN/MPLS tagged")
 	res.Notef("measured: Ethernet %.1f%%, IPv4 %.1f%%, IPv6 %.2f%%, TCP %.1f%%, VLAN %.1f%%, MPLS %.1f%%",
 		sh.EthPercent, sh.IPv4Percent, sh.IPv6Percent, sh.TCPPercent, sh.VLANPercent, sh.MPLSPercent)
-	return res, nil
+	return res
 }
 
 // Fig13 regenerates the flows-per-sample frequency figure.
 func Fig13(seed uint64) (*Result, error) {
-	acaps, err := corpus(seed, 4, 30000, 0)
+	d, err := streamDigest(seed, 4, 30000, 0)
 	if err != nil {
 		return nil, err
 	}
-	var counts []int
-	for _, a := range acaps {
-		counts = append(counts, analysis.FlowsInSample(a))
-	}
+	return fig13From(d.SampleFlowCounts()), nil
+}
+
+// fig13From renders the figure from the per-sample flow counts.
+func fig13From(counts []int) *Result {
 	h := analysis.FlowCountHistogram(counts)
 	res := &Result{
 		ID:     "fig13",
@@ -161,7 +206,7 @@ func Fig13(seed uint64) (*Result, error) {
 	}
 	res.Notef("paper: most samples have fewer than 3,000 distinct flows; a handful exceed 20,000")
 	res.Notef("measured: %d/%d samples below 3,000 flows; max sample = %d flows", below3000, len(counts), maxOf(counts))
-	return res, nil
+	return res
 }
 
 func flowBucketLabels() []string {
@@ -185,20 +230,30 @@ func maxOf(xs []int) int {
 	return m
 }
 
+// siteSizeRow is one site's frame-size view for fig15From.
+type siteSizeRow struct {
+	site   string
+	hist   []int
+	frames int
+	jumbo  int
+}
+
 // Fig15 regenerates the per-site frame-size distribution (Appendix C).
 func Fig15(seed uint64) (*Result, error) {
-	acaps, err := corpus(seed, 2, 2500, 60)
+	d, err := streamDigest(seed, 2, 2500, 60)
 	if err != nil {
 		return nil, err
 	}
-	bySite := map[string][]analysis.Record{}
-	var order []string
-	for _, a := range acaps {
-		if _, ok := bySite[a.Site]; !ok {
-			order = append(order, a.Site)
-		}
-		bySite[a.Site] = append(bySite[a.Site], a.Records...)
+	var rows []siteSizeRow
+	for _, site := range d.SiteOrder() {
+		h, frames, jumbo, _ := d.SiteFrameSizeHist(site)
+		rows = append(rows, siteSizeRow{site: site, hist: h, frames: frames, jumbo: jumbo})
 	}
+	return fig15From(rows), nil
+}
+
+// fig15From renders the figure from per-site histograms.
+func fig15From(rows []siteSizeRow) *Result {
 	header := []string{"site"}
 	for i := 0; i <= len(analysis.FrameSizeBuckets); i++ {
 		header = append(header, analysis.FrameSizeBucketLabel(i))
@@ -210,15 +265,15 @@ func Fig15(seed uint64) (*Result, error) {
 		Header: header,
 	}
 	jumboSites, smallSites := 0, 0
-	for _, site := range order {
-		recs := bySite[site]
-		h := analysis.FrameSizeHistogram(recs)
-		total := len(recs)
-		row := []any{site}
-		for _, c := range h {
-			row = append(row, units.PercentOf(int64(c), int64(total)).String())
+	for _, sr := range rows {
+		row := []any{sr.site}
+		for _, c := range sr.hist {
+			row = append(row, units.PercentOf(int64(c), int64(sr.frames)).String())
 		}
-		jumbo := analysis.JumboFraction(recs) * 100
+		jumbo := 0.0
+		if sr.frames > 0 {
+			jumbo = float64(sr.jumbo) / float64(sr.frames) * 100
+		}
 		row = append(row, trimFloat(jumbo))
 		res.AddRow(row...)
 		if jumbo > 50 {
@@ -229,28 +284,27 @@ func Fig15(seed uint64) (*Result, error) {
 		}
 	}
 	res.Notef("paper: significant variety across sites; several sites notable for jumbo frames, most carry a proportion of smaller packets")
-	res.Notef("measured: %d sites majority-jumbo, %d sites mostly sub-jumbo, of %d", jumboSites, smallSites, len(order))
-	return res, nil
+	res.Notef("measured: %d sites majority-jumbo, %d sites mostly sub-jumbo, of %d", jumboSites, smallSites, len(rows))
+	return res
 }
 
 // FrameSizes regenerates the Section 8.2 aggregate frame-size breakdown:
 // 1519-2047 B = 74.7%, 65-127 B = 14.15%, 128-255 B = 5.79%.
 func FrameSizes(seed uint64) (*Result, error) {
-	acaps, err := corpus(seed, 2, 3000, 75)
+	d, err := streamDigest(seed, 2, 3000, 75)
 	if err != nil {
 		return nil, err
 	}
-	var all []analysis.Record
-	for _, a := range acaps {
-		all = append(all, a.Records...)
-	}
-	h := analysis.FrameSizeHistogram(all)
+	return framesizesFrom(d.FrameSizeHist(), d.Frames()), nil
+}
+
+// framesizesFrom renders the breakdown from the aggregate histogram.
+func framesizesFrom(h []int, total int) *Result {
 	res := &Result{
 		ID:     "framesizes",
 		Title:  "Aggregate frame-size distribution across FABRIC",
 		Header: []string{"bucket", "frames", "percent"},
 	}
-	total := len(all)
 	var jumboPct, ackPct, smallPct float64
 	for i, c := range h {
 		pct := float64(units.PercentOf(int64(c), int64(total)))
@@ -266,5 +320,5 @@ func FrameSizes(seed uint64) (*Result, error) {
 	}
 	res.Notef("paper: 1519-2047B = 74.7%%, 65-127B = 14.15%%, 128-255B = 5.79%%")
 	res.Notef("measured: 1519-2047B = %.1f%%, 65-127B = %.1f%%, 128-255B = %.1f%%", jumboPct, ackPct, smallPct)
-	return res, nil
+	return res
 }

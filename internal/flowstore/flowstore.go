@@ -1,0 +1,590 @@
+// Package flowstore is the columnar on-disk flow store behind the
+// streaming analysis pipeline: cold flows spilled from the in-memory
+// flow table land here as append-only CRC-framed segments, and queries
+// (time ranges, 5-tuple lookups) are answered from segment metadata —
+// a per-segment time range and a key bloom filter — without re-scanning
+// pcaps.
+//
+// On-disk layout (one append-only file):
+//
+//	segment := magic "PWFS"
+//	           metaBlock  (crc32-framed: site, row count, time range,
+//	                       column-region length, bloom filter)
+//	           colsBlock  (crc32-framed: one byte array per column)
+//
+// Each block is framed [crc32 uint32][len uint32][body], the binary
+// sibling of the journal's "crc32-hex8 body" line framing, and a torn
+// final segment (the writer died mid-append) is detected by its CRC or
+// missing bytes and ignored on open — the same tolerance the campaign
+// journal applies to its WAL tail.
+package flowstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/sketch"
+	"repro/internal/wire"
+)
+
+var magic = [4]byte{'P', 'W', 'F', 'S'}
+
+// Key identifies a flow: the virtualization tags plus network- and
+// transport-layer fields. It mirrors the analysis package's FlowKey
+// (which converts to and from it) without importing it — the store
+// sits below the analysis layer.
+type Key struct {
+	VLANID           uint16
+	MPLSTop          uint32
+	Src, Dst         wire.Endpoint
+	Proto            wire.LayerType
+	SrcPort, DstPort uint16
+}
+
+// appendKeyBytes appends a canonical byte encoding of the key, used for
+// bloom-filter hashing.
+func appendKeyBytes(dst []byte, k Key) []byte {
+	dst = append(dst, byte(k.VLANID>>8), byte(k.VLANID),
+		byte(k.MPLSTop>>24), byte(k.MPLSTop>>16), byte(k.MPLSTop>>8), byte(k.MPLSTop),
+		byte(k.Proto), byte(k.SrcPort>>8), byte(k.SrcPort), byte(k.DstPort>>8), byte(k.DstPort),
+		byte(k.Src.Type()), byte(k.Dst.Type()))
+	dst = append(dst, k.Src.Raw()...)
+	dst = append(dst, k.Dst.Raw()...)
+	return dst
+}
+
+// Rec is one stored flow row: a key plus the totals observed over
+// [FirstNs, LastNs]. FirstSeq is the global first-seen frame sequence,
+// preserved so merged results can be ordered exactly as the in-memory
+// baseline orders them (insertion order).
+type Rec struct {
+	Key             Key
+	Site            string
+	FirstNs, LastNs int64
+	FirstSeq        uint64
+	Frames          uint64
+	Bytes           uint64
+}
+
+// Bloom parameters: ~10 bits and 4 probes per key give a ~1-2% false
+// positive rate — a false positive only costs decoding one segment.
+const (
+	bloomBitsPerKey = 10
+	bloomProbes     = 4
+)
+
+type bloom []byte
+
+func newBloom(n int) bloom {
+	bits := n * bloomBitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	return make(bloom, (bits+7)/8)
+}
+
+func (b bloom) add(h uint64) {
+	h1, h2 := uint32(h), uint32(h>>32)
+	n := uint32(len(b) * 8)
+	for i := uint32(0); i < bloomProbes; i++ {
+		bit := (h1 + i*h2) % n
+		b[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+func (b bloom) maybe(h uint64) bool {
+	if len(b) == 0 {
+		return false
+	}
+	h1, h2 := uint32(h), uint32(h>>32)
+	n := uint32(len(b) * 8)
+	for i := uint32(0); i < bloomProbes; i++ {
+		bit := (h1 + i*h2) % n
+		if b[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// putBlock frames body as [crc][len][body].
+func putBlock(w io.Writer, body []byte) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// segment metadata as decoded from a metaBlock.
+type segMeta struct {
+	site    string
+	count   int
+	minNs   int64
+	maxNs   int64
+	colsLen uint32 // length of the framed column block (crc+len+body)
+	filter  bloom
+	colsOff int64 // file offset of the column block
+}
+
+func encodeMeta(m *segMeta) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { out = append(out, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	put(uint64(len(m.site)))
+	out = append(out, m.site...)
+	put(uint64(m.count))
+	put(uint64(m.minNs))
+	put(uint64(m.maxNs))
+	put(uint64(m.colsLen))
+	put(uint64(len(m.filter)))
+	out = append(out, m.filter...)
+	return out
+}
+
+func decodeMeta(b []byte) (*segMeta, error) {
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("flowstore: truncated segment meta")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	siteLen, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if siteLen > uint64(len(b)) {
+		return nil, fmt.Errorf("flowstore: truncated site label")
+	}
+	m := &segMeta{site: string(b[:siteLen])}
+	b = b[siteLen:]
+	cnt, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if cnt > 1<<30 {
+		return nil, fmt.Errorf("flowstore: implausible row count %d", cnt)
+	}
+	m.count = int(cnt)
+	minNs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	maxNs, err := get()
+	if err != nil {
+		return nil, err
+	}
+	m.minNs, m.maxNs = int64(minNs), int64(maxNs)
+	colsLen, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if colsLen > 1<<32-1 {
+		return nil, fmt.Errorf("flowstore: implausible column length %d", colsLen)
+	}
+	m.colsLen = uint32(colsLen)
+	fl, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if fl > uint64(len(b)) {
+		return nil, fmt.Errorf("flowstore: truncated bloom filter")
+	}
+	m.filter = bloom(append([]byte(nil), b[:fl]...))
+	return m, nil
+}
+
+// encodeCols lays the rows out column by column. Per-row integers are
+// uvarints; timestamps are stored as deltas against the segment minimum
+// (FirstNs) and the row's own FirstNs (LastNs), which keeps them short.
+func encodeCols(recs []Rec, minNs int64) []byte {
+	var out []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) { out = append(out, tmp[:binary.PutUvarint(tmp[:], v)]...) }
+	for _, r := range recs { // column: FirstNs delta
+		put(uint64(r.FirstNs - minNs))
+	}
+	for _, r := range recs { // column: LastNs delta
+		put(uint64(r.LastNs - r.FirstNs))
+	}
+	for _, r := range recs {
+		put(r.FirstSeq)
+	}
+	for _, r := range recs {
+		put(r.Frames)
+	}
+	for _, r := range recs {
+		put(r.Bytes)
+	}
+	for _, r := range recs {
+		put(uint64(r.Key.VLANID))
+	}
+	for _, r := range recs {
+		put(uint64(r.Key.MPLSTop))
+	}
+	for _, r := range recs {
+		out = append(out, byte(r.Key.Proto))
+	}
+	for _, r := range recs {
+		put(uint64(r.Key.SrcPort))
+	}
+	for _, r := range recs {
+		put(uint64(r.Key.DstPort))
+	}
+	for _, r := range recs { // column: endpoint types
+		out = append(out, byte(r.Key.Src.Type()), byte(r.Key.Dst.Type()))
+	}
+	for _, r := range recs { // column: endpoint raw bytes (length from type)
+		out = append(out, r.Key.Src.Raw()...)
+		out = append(out, r.Key.Dst.Raw()...)
+	}
+	return out
+}
+
+func endpointRawLen(t wire.EndpointType) int {
+	switch t {
+	case wire.EndpointMAC:
+		return 6
+	case wire.EndpointIPv4:
+		return 4
+	case wire.EndpointIPv6:
+		return 16
+	case wire.EndpointTCPPort, wire.EndpointUDPPort:
+		return 2
+	default:
+		return 0
+	}
+}
+
+func decodeCols(b []byte, m *segMeta) ([]Rec, error) {
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 {
+			return 0, fmt.Errorf("flowstore: truncated column data")
+		}
+		b = b[n:]
+		return v, nil
+	}
+	n := m.count
+	recs := make([]Rec, n)
+	for i := 0; i < n; i++ {
+		d, err := get()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].FirstNs = m.minNs + int64(d)
+		recs[i].Site = m.site
+	}
+	for i := 0; i < n; i++ {
+		d, err := get()
+		if err != nil {
+			return nil, err
+		}
+		recs[i].LastNs = recs[i].FirstNs + int64(d)
+	}
+	for _, col := range []func(i int, v uint64){
+		func(i int, v uint64) { recs[i].FirstSeq = v },
+		func(i int, v uint64) { recs[i].Frames = v },
+		func(i int, v uint64) { recs[i].Bytes = v },
+		func(i int, v uint64) { recs[i].Key.VLANID = uint16(v) },
+		func(i int, v uint64) { recs[i].Key.MPLSTop = uint32(v) },
+	} {
+		for i := 0; i < n; i++ {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			col(i, v)
+		}
+	}
+	if len(b) < n {
+		return nil, fmt.Errorf("flowstore: truncated proto column")
+	}
+	for i := 0; i < n; i++ {
+		recs[i].Key.Proto = wire.LayerType(b[i])
+	}
+	b = b[n:]
+	for _, col := range []func(i int, v uint64){
+		func(i int, v uint64) { recs[i].Key.SrcPort = uint16(v) },
+		func(i int, v uint64) { recs[i].Key.DstPort = uint16(v) },
+	} {
+		for i := 0; i < n; i++ {
+			v, err := get()
+			if err != nil {
+				return nil, err
+			}
+			col(i, v)
+		}
+	}
+	if len(b) < 2*n {
+		return nil, fmt.Errorf("flowstore: truncated endpoint-type column")
+	}
+	types := b[:2*n]
+	b = b[2*n:]
+	for i := 0; i < n; i++ {
+		st := wire.EndpointType(types[2*i])
+		dt := wire.EndpointType(types[2*i+1])
+		sl, dl := endpointRawLen(st), endpointRawLen(dt)
+		if len(b) < sl+dl {
+			return nil, fmt.Errorf("flowstore: truncated endpoint bytes")
+		}
+		recs[i].Key.Src = wire.NewRawEndpoint(st, b[:sl])
+		b = b[sl:]
+		recs[i].Key.Dst = wire.NewRawEndpoint(dt, b[:dl])
+		b = b[dl:]
+	}
+	return recs, nil
+}
+
+// Writer appends segments to a flow-store file.
+type Writer struct {
+	f        *os.File
+	w        *bufio.Writer
+	Segments int
+	Rows     int64
+}
+
+// Create truncates/creates the store file at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	return &Writer{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Append writes one segment holding recs, labeled with the site the
+// rows came from. Row order is preserved. Empty appends are no-ops.
+func (w *Writer) Append(site string, recs []Rec) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	m := &segMeta{site: site, count: len(recs)}
+	m.minNs, m.maxNs = recs[0].FirstNs, recs[0].LastNs
+	var keyBuf []byte
+	m.filter = newBloom(len(recs))
+	for _, r := range recs {
+		if r.FirstNs < m.minNs {
+			m.minNs = r.FirstNs
+		}
+		if r.LastNs > m.maxNs {
+			m.maxNs = r.LastNs
+		}
+		keyBuf = appendKeyBytes(keyBuf[:0], r.Key)
+		m.filter.add(sketch.Hash64(keyBuf))
+	}
+	cols := encodeCols(recs, m.minNs)
+	m.colsLen = uint32(len(cols) + 8) // framed length
+	if _, err := w.w.Write(magic[:]); err != nil {
+		return fmt.Errorf("flowstore: %w", err)
+	}
+	if err := putBlock(w.w, encodeMeta(m)); err != nil {
+		return fmt.Errorf("flowstore: %w", err)
+	}
+	if err := putBlock(w.w, cols); err != nil {
+		return fmt.Errorf("flowstore: %w", err)
+	}
+	w.Segments++
+	w.Rows += int64(len(recs))
+	return nil
+}
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("flowstore: %w", err)
+	}
+	return w.f.Close()
+}
+
+// Store is an opened flow-store file: segment metadata in memory,
+// column data read on demand per query.
+type Store struct {
+	f    *os.File
+	segs []*segMeta
+	rows int64
+	torn bool
+}
+
+// Open scans the file's segment headers. A torn or corrupt final
+// segment is tolerated (dropped, Torn reports true); corruption before
+// the final segment is an error.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	st := &Store{f: f}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("flowstore: %w", err)
+	}
+	size := info.Size()
+	off := int64(0)
+	for off < size {
+		m, next, ok := readSegHeader(f, off, size)
+		if !ok {
+			// Damaged tail: only tolerable at the end of the file.
+			st.torn = true
+			break
+		}
+		st.segs = append(st.segs, m)
+		st.rows += int64(m.count)
+		off = next
+	}
+	return st, nil
+}
+
+// readSegHeader parses a segment's magic + meta block at off and
+// validates that the column block fits in the file; returns the meta,
+// the offset of the next segment, and ok=false on any damage.
+func readSegHeader(f *os.File, off, size int64) (*segMeta, int64, bool) {
+	var hdr [12]byte // magic + block frame
+	if off+12 > size {
+		return nil, 0, false
+	}
+	if _, err := f.ReadAt(hdr[:], off); err != nil {
+		return nil, 0, false
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return nil, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(hdr[4:8])
+	mlen := binary.LittleEndian.Uint32(hdr[8:12])
+	if mlen > 1<<28 || off+12+int64(mlen) > size {
+		return nil, 0, false
+	}
+	body := make([]byte, mlen)
+	if _, err := f.ReadAt(body, off+12); err != nil {
+		return nil, 0, false
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, 0, false
+	}
+	m, err := decodeMeta(body)
+	if err != nil {
+		return nil, 0, false
+	}
+	m.colsOff = off + 12 + int64(mlen)
+	if m.colsOff+int64(m.colsLen) > size {
+		return nil, 0, false
+	}
+	return m, m.colsOff + int64(m.colsLen), true
+}
+
+// readCols reads and validates a segment's column block.
+func (s *Store) readCols(m *segMeta) ([]Rec, error) {
+	buf := make([]byte, m.colsLen)
+	if _, err := s.f.ReadAt(buf, m.colsOff); err != nil {
+		return nil, fmt.Errorf("flowstore: reading columns: %w", err)
+	}
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("flowstore: column block too short")
+	}
+	crc := binary.LittleEndian.Uint32(buf[0:4])
+	blen := binary.LittleEndian.Uint32(buf[4:8])
+	if int(blen)+8 != len(buf) {
+		return nil, fmt.Errorf("flowstore: column block length mismatch")
+	}
+	body := buf[8:]
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("flowstore: column block CRC mismatch")
+	}
+	return decodeCols(body, m)
+}
+
+// Torn reports whether the file ended in a damaged segment that was
+// dropped on open.
+func (s *Store) Torn() bool { return s.torn }
+
+// Segments returns the number of intact segments.
+func (s *Store) Segments() int { return len(s.segs) }
+
+// Rows returns the total stored row count.
+func (s *Store) Rows() int64 { return s.rows }
+
+// Close closes the underlying file.
+func (s *Store) Close() error { return s.f.Close() }
+
+// Query selects rows. Zero values leave a dimension unconstrained: a
+// zero time range matches everything, an empty site matches all sites,
+// a nil key matches all flows, and Limit <= 0 returns all matches.
+type Query struct {
+	FromNs, ToNs int64
+	Site         string
+	Key          *Key
+	Limit        int
+}
+
+// Query returns matching rows in storage order (segment order, then row
+// order within a segment). Segment metadata prunes the scan: segments
+// outside the time range, with a different site label, or whose bloom
+// filter excludes the key are skipped without touching column data.
+func (s *Store) Query(q Query) ([]Rec, error) {
+	var keyHash uint64
+	if q.Key != nil {
+		keyHash = sketch.Hash64(appendKeyBytes(nil, *q.Key))
+	}
+	var out []Rec
+	for _, m := range s.segs {
+		if q.ToNs > 0 && m.minNs > q.ToNs {
+			continue
+		}
+		if q.FromNs > 0 && m.maxNs < q.FromNs {
+			continue
+		}
+		if q.Site != "" && m.site != q.Site {
+			continue
+		}
+		if q.Key != nil && !m.filter.maybe(keyHash) {
+			continue
+		}
+		recs, err := s.readCols(m)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if q.ToNs > 0 && r.FirstNs > q.ToNs {
+				continue
+			}
+			if q.FromNs > 0 && r.LastNs < q.FromNs {
+				continue
+			}
+			if q.Key != nil && r.Key != *q.Key {
+				continue
+			}
+			out = append(out, r)
+			if q.Limit > 0 && len(out) >= q.Limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// ForEach streams every stored row in storage order.
+func (s *Store) ForEach(fn func(Rec) error) error {
+	for _, m := range s.segs {
+		recs, err := s.readCols(m)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

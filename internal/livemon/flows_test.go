@@ -1,0 +1,136 @@
+package livemon
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/flowstore"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func writeTestFlowStore(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flows.pwfs")
+	w, err := flowstore.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int, site string, baseNs int64) flowstore.Rec {
+		return flowstore.Rec{
+			Key: flowstore.Key{
+				VLANID:  uint16(100 + i),
+				Src:     wire.NewIPEndpoint(netip.AddrFrom4([4]byte{10, 0, 0, byte(i)})),
+				Dst:     wire.NewIPEndpoint(netip.AddrFrom4([4]byte{10, 1, 0, 1})),
+				Proto:   wire.LayerTypeTCP,
+				SrcPort: uint16(30000 + i),
+				DstPort: 443,
+			},
+			Site:     site,
+			FirstNs:  baseNs + int64(i)*1e9,
+			LastNs:   baseNs + int64(i)*1e9 + 5e8,
+			FirstSeq: uint64(i),
+			Frames:   uint64(i + 1),
+			Bytes:    uint64((i + 1) * 900),
+		}
+	}
+	segA := []flowstore.Rec{mk(0, "STAR", 1e9), mk(1, "STAR", 1e9)}
+	segB := []flowstore.Rec{mk(2, "DALL", 100e9), mk(3, "DALL", 100e9), mk(4, "DALL", 100e9)}
+	if err := w.Append("STAR", segA); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append("DALL", segB); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type flowsResp struct {
+	Segments int   `json:"segments"`
+	Rows     int64 `json:"rows"`
+	Torn     bool  `json:"torn"`
+	Matched  int   `json:"matched"`
+	Flows    []struct {
+		Site    string `json:"site"`
+		VLANID  uint16 `json:"vlan_id"`
+		Src     string `json:"src"`
+		Dst     string `json:"dst"`
+		Proto   string `json:"proto"`
+		SrcPort uint16 `json:"src_port"`
+		DstPort uint16 `json:"dst_port"`
+		FirstNs int64  `json:"first_ns"`
+		LastNs  int64  `json:"last_ns"`
+		Frames  uint64 `json:"frames"`
+		Bytes   uint64 `json:"bytes"`
+	} `json:"flows"`
+}
+
+// TestFlowsEndpoint covers the /api/flows query surface: unattached 404,
+// full scan, site and time-range pruning, limit, and bad params.
+func TestFlowsEndpoint(t *testing.T) {
+	s, err := New(Config{PublishEvery: sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, _ := get(t, ts, "/api/flows"); code != http.StatusNotFound {
+		t.Fatalf("unattached: got %d, want 404", code)
+	}
+
+	s.SetFlowStore(writeTestFlowStore(t))
+
+	var all flowsResp
+	getJSON(t, ts, "/api/flows", &all)
+	if all.Segments != 2 || all.Rows != 5 || all.Matched != 5 || all.Torn {
+		t.Fatalf("full scan: %+v", all)
+	}
+	f := all.Flows[0]
+	if f.Site != "STAR" || f.VLANID != 100 || f.Src != "10.0.0.0" || f.Proto != "TCP" || f.DstPort != 443 || f.Frames != 1 || f.Bytes != 900 {
+		t.Fatalf("first row: %+v", f)
+	}
+
+	var bySite flowsResp
+	getJSON(t, ts, "/api/flows?site=DALL", &bySite)
+	if bySite.Matched != 3 {
+		t.Fatalf("site filter: matched %d, want 3", bySite.Matched)
+	}
+	for _, f := range bySite.Flows {
+		if f.Site != "DALL" {
+			t.Fatalf("site filter leaked row: %+v", f)
+		}
+	}
+
+	// Time range covering only the first segment's rows.
+	var byTime flowsResp
+	getJSON(t, ts, "/api/flows?from=1&to=3000000000", &byTime)
+	if byTime.Matched != 2 {
+		t.Fatalf("time filter: matched %d, want 2", byTime.Matched)
+	}
+
+	var limited flowsResp
+	getJSON(t, ts, "/api/flows?limit=1", &limited)
+	if limited.Matched != 1 || len(limited.Flows) != 1 {
+		t.Fatalf("limit: %+v", limited)
+	}
+
+	for _, bad := range []string{"/api/flows?from=x", "/api/flows?to=x", "/api/flows?limit=0", "/api/flows?limit=x"} {
+		if code, _ := get(t, ts, bad); code != http.StatusBadRequest {
+			t.Fatalf("%s: got %d, want 400", bad, code)
+		}
+	}
+
+	// A missing file is a server-side error, not a silent empty result.
+	s.SetFlowStore(filepath.Join(t.TempDir(), "absent.pwfs"))
+	if code, _ := get(t, ts, "/api/flows"); code != http.StatusInternalServerError {
+		t.Fatalf("missing file: got %d, want 500", code)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flowstore"
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -99,6 +100,11 @@ type Server struct {
 	profChrome  func(io.Writer) error
 	provPath    string
 	provFlush   func() error
+
+	// flowPath backs /api/flows (SetFlowStore); the store file is opened
+	// read-only per request, so handlers never share state with the
+	// analysis pipeline that appends to it.
+	flowPath string
 }
 
 // New builds a Server: opens (and, after a crash, recovers) the ring
@@ -377,6 +383,99 @@ func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	http.ServeFile(w, r, s.provPath)
 }
 
+// SetFlowStore points /api/flows at a columnar flow store file written
+// by the streaming analysis pipeline (flowstore.Writer). The file is
+// opened fresh on each request, so queries see every segment the
+// analyzer has appended so far — including ones written after attach.
+// An empty path detaches; the endpoint then answers 404.
+func (s *Server) SetFlowStore(path string) { s.flowPath = path }
+
+// flowRowDTO is one /api/flows result row: the flow 5-tuple plus
+// virtualization tags and the totals observed over [first_ns, last_ns].
+type flowRowDTO struct {
+	Site    string `json:"site"`
+	VLANID  uint16 `json:"vlan_id,omitempty"`
+	MPLSTop uint32 `json:"mpls_label,omitempty"`
+	Src     string `json:"src"`
+	Dst     string `json:"dst"`
+	Proto   string `json:"proto"`
+	SrcPort uint16 `json:"src_port,omitempty"`
+	DstPort uint16 `json:"dst_port,omitempty"`
+	FirstNs int64  `json:"first_ns"`
+	LastNs  int64  `json:"last_ns"`
+	Frames  uint64 `json:"frames"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// handleFlows answers /api/flows?from=&to=&site=&limit= against the
+// attached flow store. from/to are sim-nanosecond bounds (a row matches
+// when its [first_ns, last_ns] span intersects the range), site filters
+// by capture site, and limit caps the result (default 1000, 0 keeps the
+// default; segment pruning happens inside the store).
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	if s.flowPath == "" {
+		http.Error(w, "no flow store attached", http.StatusNotFound)
+		return
+	}
+	q := flowstore.Query{Site: r.URL.Query().Get("site"), Limit: 1000}
+	for _, p := range []struct {
+		name string
+		dst  *int64
+	}{{"from", &q.FromNs}, {"to", &q.ToNs}} {
+		if v := r.URL.Query().Get(p.name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad "+p.name, http.StatusBadRequest)
+				return
+			}
+			*p.dst = n
+		}
+	}
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		q.Limit = n
+	}
+	st, err := flowstore.Open(s.flowPath)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer st.Close()
+	recs, err := st.Query(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rows := make([]flowRowDTO, 0, len(recs))
+	for _, rec := range recs {
+		rows = append(rows, flowRowDTO{
+			Site:    rec.Site,
+			VLANID:  rec.Key.VLANID,
+			MPLSTop: rec.Key.MPLSTop,
+			Src:     rec.Key.Src.String(),
+			Dst:     rec.Key.Dst.String(),
+			Proto:   rec.Key.Proto.String(),
+			SrcPort: rec.Key.SrcPort,
+			DstPort: rec.Key.DstPort,
+			FirstNs: rec.FirstNs,
+			LastNs:  rec.LastNs,
+			Frames:  rec.Frames,
+			Bytes:   rec.Bytes,
+		})
+	}
+	writeJSON(w, struct {
+		Segments int          `json:"segments"`
+		Rows     int64        `json:"rows"`
+		Torn     bool         `json:"torn"`
+		Matched  int          `json:"matched"`
+		Flows    []flowRowDTO `json:"flows"`
+	}{st.Segments(), st.Rows(), st.Torn(), len(rows), rows})
+}
+
 // Handler builds the route table. Exposed separately from
 // ListenAndServe so tests can drive it with httptest.
 func (s *Server) Handler() http.Handler {
@@ -390,6 +489,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/prof", s.handleProf)
 	mux.HandleFunc("/api/prof/chrome", s.handleProfChrome)
 	mux.HandleFunc("/api/prof/provenance", s.handleProvenance)
+	mux.HandleFunc("/api/flows", s.handleFlows)
 	mux.HandleFunc("/events", s.handleEvents)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -416,6 +516,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "  /api/prof       lane profiler summary (speedup, efficiency)")
 	fmt.Fprintln(w, "  /api/prof/chrome      wall-plane Chrome trace download")
 	fmt.Fprintln(w, "  /api/prof/provenance  causal provenance trace download")
+	fmt.Fprintln(w, "  /api/flows      ?from=&to=&site=&limit= flow store query")
 	fmt.Fprintln(w, "  /events         SSE stream (alerts, status diffs, progress)")
 	if s.cfg.Pprof {
 		fmt.Fprintln(w, "  /debug/pprof/   profiling")

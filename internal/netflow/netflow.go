@@ -72,6 +72,9 @@ type cacheEntry struct {
 type Exporter struct {
 	cfg   Config
 	cache map[Key]*cacheEntry
+	// pkt is the pooled decode packet behind extractKey: metering a
+	// frame reuses its layer structs instead of allocating per frame.
+	pkt wire.Packet
 
 	// Exported accumulates flushed flow records.
 	Exported []FlowRecord
@@ -93,7 +96,7 @@ func (e *Exporter) DeliverFrame(now sim.Time, f switchsim.Frame) {
 		e.FramesIgnored++
 		return
 	}
-	key, flags, ok := extractKey(f.Data)
+	key, flags, ok := e.extractKey(f.Data)
 	if !ok {
 		e.FramesIgnored++
 		return
@@ -120,8 +123,11 @@ func (e *Exporter) DeliverFrame(now sim.Time, f switchsim.Frame) {
 // extractKey walks the frame to the FIRST IP header — exactly what a
 // switch's flow metering sees. Every encapsulation above it (VLAN, MPLS,
 // pseudowire) is invisible in the key.
-func extractKey(data []byte) (Key, uint8, bool) {
-	pkt := wire.NewPacket(data, wire.LayerTypeEthernet, wire.Lazy)
+func (e *Exporter) extractKey(data []byte) (Key, uint8, bool) {
+	// LazyNoCopy is safe: the key copies endpoint bytes out and nothing
+	// else outlives the call.
+	e.pkt.Reset(data, wire.LayerTypeEthernet, wire.LazyNoCopy)
+	pkt := &e.pkt
 	var k Key
 	switch ip := pkt.NetworkLayer().(type) {
 	case *wire.IPv4:

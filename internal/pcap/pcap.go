@@ -128,12 +128,39 @@ func (w *Writer) WriteRecord(tsNanos int64, data []byte, originalLen int) error 
 // Flush writes buffered data to the underlying writer.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
+// Stream is a sequential source of capture records: Next returns the
+// next record or io.EOF, and the returned record's Data is only valid
+// until the following call. *Reader is the file-backed implementation;
+// the analysis pipeline consumes Streams so synthesized or replayed
+// corpora can feed it without materializing [][]byte.
+type Stream interface {
+	Next() (*Record, error)
+}
+
+// ForEachStream iterates a Stream to io.EOF, stopping early on the
+// first other error (returned) or callback error.
+func ForEachStream(s Stream, fn func(*Record) error) error {
+	for {
+		rec, err := s.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+	}
+}
+
 // Reader reads pcap records sequentially.
 type Reader struct {
 	r      *bufio.Reader
 	hdr    FileHeader
 	buf    []byte
 	rec    Record
+	torn   bool
 	closed bool
 }
 
@@ -164,12 +191,25 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the file header.
 func (r *Reader) Header() FileHeader { return r.hdr }
 
-// Next returns the next record, or io.EOF at end of file. The returned
-// record's Data slice is reused by subsequent calls.
+// Torn reports whether the file ended mid-record: the final record's
+// header or data was cut short, as happens when a capture process dies
+// mid-write. Mirroring the campaign journal's torn-tail tolerance, the
+// partial record is dropped and Next reports a clean io.EOF; Torn lets
+// callers that care (integrity audits) distinguish the two endings.
+func (r *Reader) Torn() bool { return r.torn }
+
+// Next returns the next record, or io.EOF at end of file (including a
+// torn final record — see Torn). The returned record's Data slice is
+// reused by subsequent calls.
 func (r *Reader) Next() (*Record, error) {
 	var rh [recordHeaderLen]byte
 	if _, err := io.ReadFull(r.r, rh[:]); err != nil {
 		if err == io.EOF {
+			return nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Partial record header at end of file: torn tail.
+			r.torn = true
 			return nil, io.EOF
 		}
 		return nil, fmt.Errorf("pcap: reading record header: %w", err)
@@ -181,11 +221,19 @@ func (r *Reader) Next() (*Record, error) {
 	if incl > MaxSnapLen {
 		return nil, fmt.Errorf("pcap: record length %d exceeds maximum", incl)
 	}
+	if r.hdr.SnapLen != 0 && incl > r.hdr.SnapLen {
+		return nil, fmt.Errorf("pcap: record length %d exceeds snap length %d", incl, r.hdr.SnapLen)
+	}
 	if cap(r.buf) < int(incl) {
 		r.buf = make([]byte, incl)
 	}
 	r.buf = r.buf[:incl]
 	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Partial record data at end of file: torn tail.
+			r.torn = true
+			return nil, io.EOF
+		}
 		return nil, fmt.Errorf("pcap: reading %d record bytes: %w", incl, err)
 	}
 	ts := int64(sec) * 1e9

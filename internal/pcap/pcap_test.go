@@ -126,15 +126,18 @@ func TestTruncatedRecordBody(t *testing.T) {
 	w, _ := NewWriter(&buf, FileHeader{})
 	_ = w.WriteRecord(0, make([]byte, 100), 100)
 	_ = w.Flush()
-	// Chop off the last 10 bytes.
+	// Chop off the last 10 bytes: the partial record is dropped like a
+	// torn journal tail — clean io.EOF with Torn reporting the cut.
 	data := buf.Bytes()[:buf.Len()-10]
 	rd, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = rd.Next()
-	if err == nil || err == io.EOF {
-		t.Errorf("truncated body should be an error, got %v", err)
+	if _, err = rd.Next(); err != io.EOF {
+		t.Errorf("truncated body: got %v, want io.EOF", err)
+	}
+	if !rd.Torn() {
+		t.Error("Torn() = false after truncated body")
 	}
 }
 
@@ -214,5 +217,111 @@ func BenchmarkWriteRecord(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.WriteRecord(int64(i), data, 1514)
+	}
+}
+
+// writeFile builds a complete pcap file in memory.
+func writeFile(t *testing.T, hdr FileHeader, recs []Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, hdr)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, r := range recs {
+		if err := w.WriteRecord(r.TimestampNanos, r.Data, r.OriginalLength); err != nil {
+			t.Fatalf("WriteRecord: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTornTail mirrors the campaign journal's torn-tail tolerance: a
+// file whose final record was cut mid-write (in its header or in its
+// data) yields every complete record, then a clean io.EOF with Torn set.
+func TestTornTail(t *testing.T) {
+	recs := []Record{
+		{TimestampNanos: 1e9, OriginalLength: 120, Data: bytes.Repeat([]byte{0x11}, 120)},
+		{TimestampNanos: 2e9, OriginalLength: 90, Data: bytes.Repeat([]byte{0x22}, 90)},
+		{TimestampNanos: 3e9, OriginalLength: 150, Data: bytes.Repeat([]byte{0x33}, 150)},
+	}
+	full := writeFile(t, FileHeader{SnapLen: 200}, recs)
+	lastLen := recordHeaderLen + 150
+	cuts := map[string]int{
+		"mid-data":   len(full) - 37,                            // last record's bytes cut short
+		"mid-header": len(full) - lastLen + 7,                   // partial record header
+		"no-data":    len(full) - 150,                           // header complete, zero data bytes
+		"one-byte":   len(full) - lastLen + recordHeaderLen + 1, // one data byte
+	}
+	for name, cut := range cuts {
+		rd, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("%s: NewReader: %v", name, err)
+		}
+		n := 0
+		err = rd.ForEach(func(r *Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("%s: ForEach returned %v, want clean stop", name, err)
+		}
+		if n != 2 {
+			t.Errorf("%s: read %d complete records, want 2", name, n)
+		}
+		if !rd.Torn() {
+			t.Errorf("%s: Torn() = false, want true", name)
+		}
+	}
+	// A cleanly ended file must not report a torn tail.
+	rd, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	n := 0
+	if err := rd.ForEach(func(*Record) error { n++; return nil }); err != nil || n != 3 {
+		t.Fatalf("clean file: n=%d err=%v", n, err)
+	}
+	if rd.Torn() {
+		t.Errorf("clean file: Torn() = true, want false")
+	}
+}
+
+// TestRejectOverSnapLen rejects records claiming more captured bytes
+// than the file's declared snap length — corrupt headers must not make
+// the reader allocate or trust bogus lengths.
+func TestRejectOverSnapLen(t *testing.T) {
+	full := writeFile(t, FileHeader{SnapLen: 128}, []Record{
+		{TimestampNanos: 1e9, OriginalLength: 100, Data: bytes.Repeat([]byte{0x44}, 100)},
+	})
+	// Forge the record's included-length field to exceed the snaplen.
+	inclOff := fileHeaderLen + 8
+	corrupted := append([]byte(nil), full...)
+	corrupted[inclOff] = 200 // 200 > snaplen 128
+	rd, err := NewReader(bytes.NewReader(corrupted))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := rd.Next(); err == nil || err == io.EOF {
+		t.Fatalf("Next on over-snaplen record: err=%v, want rejection", err)
+	}
+	if rd.Torn() {
+		t.Errorf("rejection must not report a torn tail")
+	}
+}
+
+// TestStreamInterface pins *Reader to the Stream contract.
+func TestStreamInterface(t *testing.T) {
+	full := writeFile(t, FileHeader{SnapLen: 64}, []Record{
+		{TimestampNanos: 5e9, OriginalLength: 60, Data: bytes.Repeat([]byte{0x55}, 60)},
+	})
+	rd, err := NewReader(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	var s Stream = rd
+	n := 0
+	if err := ForEachStream(s, func(r *Record) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("ForEachStream: n=%d err=%v", n, err)
 	}
 }

@@ -1,0 +1,140 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestSampleIntoMatchesSample pins the refactor contract: SampleInto
+// with an arena produces the exact frame sequence (bytes, timestamps,
+// directions) Sample produces from the same generator state.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	profiles := MakeSiteProfiles(3, 30)
+	for pi, p := range profiles[:6] {
+		cfg := SampleConfig{Duration: 20 * sim.Second, MaxFrames: 2000, FlowCount: 300}
+		g1 := NewGenerator(p, 77)
+		want, err := g1.Sample(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2 := NewGenerator(p, 77)
+		arena := NewFrameArena()
+		got, err := g2.SampleInto(cfg, nil, arena.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("profile %d: %d frames vs %d", pi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].At != want[i].At || got[i].Dir != want[i].Dir || !bytes.Equal(got[i].Data, want[i].Data) {
+				t.Fatalf("profile %d frame %d differs (At %v/%v, Dir %v/%v, %d/%d bytes)",
+					pi, i, got[i].At, want[i].At, got[i].Dir, want[i].Dir, len(got[i].Data), len(want[i].Data))
+			}
+		}
+	}
+}
+
+// TestSampleIntoScanMode covers the port-scan path (bare SYN probes via
+// the pooled control-frame builder).
+func TestSampleIntoScanMode(t *testing.T) {
+	p := MakeSiteProfiles(5, 30)[0]
+	cfg := SampleConfig{Duration: 20 * sim.Second, MaxFrames: 8000, FlowCount: 6000}
+	g1 := NewGenerator(p, 11)
+	want, err := g1.Sample(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := NewGenerator(p, 11)
+	arena := NewFrameArena()
+	got, err := g2.SampleInto(cfg, nil, arena.Alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d frames vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+}
+
+// TestArenaReuse checks that Reset recycles chunk memory: a second
+// identical sample round must not grow the arena.
+func TestArenaReuse(t *testing.T) {
+	p := MakeSiteProfiles(9, 30)[2]
+	arena := NewFrameArena()
+	var frames []TimedFrame
+	run := func() int {
+		arena.Reset()
+		g := NewGenerator(p, 5)
+		var err error
+		frames, err = g.SampleInto(SampleConfig{MaxFrames: 1000, FlowCount: 100}, frames[:0], arena.Alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(arena.chunks)
+	}
+	first := run()
+	second := run()
+	if second != first {
+		t.Errorf("chunks grew across identical runs: %d -> %d", first, second)
+	}
+	if first == 0 {
+		t.Error("arena never allocated a chunk")
+	}
+}
+
+// TestArenaAllocIsolation: slices handed out must not alias each other.
+func TestArenaAllocIsolation(t *testing.T) {
+	a := NewFrameArena()
+	x := a.Alloc([]byte{1, 2, 3})
+	y := a.Alloc([]byte{4, 5, 6})
+	x[0] = 9
+	if y[0] != 4 {
+		t.Error("allocations alias")
+	}
+	// Appending to an arena slice must not bleed into the next one.
+	_ = append(x, 7)
+	if y[0] != 4 {
+		t.Error("append to arena slice overwrote neighbor")
+	}
+}
+
+// BenchmarkSampleInto measures the pooled generation path; the point of
+// the refactor is that B/op stays near the arena-chunk floor instead of
+// scaling with frame count.
+func BenchmarkSampleInto(b *testing.B) {
+	p := MakeSiteProfiles(2, 30)[0]
+	g := NewGenerator(p, 3)
+	arena := NewFrameArena()
+	var frames []TimedFrame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		arena.Reset()
+		var err error
+		frames, err = g.SampleInto(SampleConfig{MaxFrames: 3000, FlowCount: 75}, frames[:0], arena.Alloc)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = frames
+}
+
+// BenchmarkSample is the baseline heap-allocating path for comparison.
+func BenchmarkSample(b *testing.B) {
+	p := MakeSiteProfiles(2, 30)[0]
+	g := NewGenerator(p, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Sample(SampleConfig{MaxFrames: 3000, FlowCount: 75}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -85,6 +85,51 @@ type Generator struct {
 	buf      *wire.SerializeBuffer
 	nextIP   uint32
 	nextPort uint16
+
+	// ls holds one pooled instance of every serializable layer the
+	// generator emits, so a frame build allocates nothing: each build
+	// reinitializes the structs it needs by whole-struct assignment.
+	ls layerScratch
+	// ctrl is the pooled packet BuildTCPControl patches flags through.
+	ctrl wire.Packet
+}
+
+// layerScratch pools serialization state. Fields with two instances
+// (eth, ipv4, udp) cover the deepest stacks, which carry an outer and
+// one tunneled inner copy of those layers.
+type layerScratch struct {
+	eth    [2]wire.Ethernet
+	dot1q  wire.Dot1Q
+	mpls   [2]wire.MPLS
+	pw     wire.PWControlWord
+	ip4    [2]wire.IPv4
+	ip6    wire.IPv6
+	arp    wire.ARP
+	icmp4  wire.ICMPv4
+	icmp6  wire.ICMPv6
+	gre    wire.GRE
+	vxlan  wire.VXLAN
+	udp    [2]wire.UDP
+	tcp    wire.TCP
+	tls    wire.TLS
+	ntp    wire.NTP
+	dns    wire.DNS
+	dnsQ   [1]string
+	pay    wire.Payload
+	payBuf []byte
+	layers []wire.SerializableLayer
+}
+
+// payload returns the pooled payload sized to n, zero-filled — reusing
+// the buffer must be indistinguishable from a fresh make([]byte, n).
+func (s *layerScratch) payload(n int) *wire.Payload {
+	if cap(s.payBuf) < n {
+		s.payBuf = make([]byte, n)
+	}
+	b := s.payBuf[:n]
+	clear(b)
+	s.pay = wire.Payload(b)
+	return &s.pay
 }
 
 // NewGenerator binds a profile to a seeded source.
@@ -194,7 +239,20 @@ func (g *Generator) DataFrameSize(k Kind) int {
 // is padded/filled to approximately wireSize bytes; DirReverse produces a
 // minimum-size ACK (TCP kinds) or a small response.
 func (g *Generator) BuildFrame(fs *FlowSpec, dir Dir, wireSize int) ([]byte, error) {
-	var layers []wire.SerializableLayer
+	raw, err := g.buildFrameRaw(fs, dir, wireSize)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), raw...), nil
+}
+
+// buildFrameRaw is BuildFrame without the defensive copy: the returned
+// slice aliases the generator's serialize buffer and is only valid
+// until the next build call. It is the zero-allocation fast path behind
+// SampleInto.
+func (g *Generator) buildFrameRaw(fs *FlowSpec, dir Dir, wireSize int) ([]byte, error) {
+	ls := &g.ls
+	layers := ls.layers[:0]
 	srcMAC, dstMAC := fs.SrcMAC, fs.DstMAC
 	srcIP, dstIP := fs.SrcIP, fs.DstIP
 	srcPort, dstPort := fs.SrcPort, fs.DstPort
@@ -205,7 +263,8 @@ func (g *Generator) BuildFrame(fs *FlowSpec, dir Dir, wireSize int) ([]byte, err
 	}
 
 	nextOuter := wire.EthernetTypeDot1Q
-	layers = append(layers, &wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: nextOuter})
+	ls.eth[0] = wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: nextOuter}
+	layers = append(layers, &ls.eth[0])
 	innerType := wire.EthernetTypeIPv4
 	if fs.IPv6 {
 		innerType = wire.EthernetTypeIPv6
@@ -217,19 +276,21 @@ func (g *Generator) BuildFrame(fs *FlowSpec, dir Dir, wireSize int) ([]byte, err
 	if len(fs.MPLSLabels) > 0 && fs.Kind != KindARP {
 		vlanNext = wire.EthernetTypeMPLSUnicast
 	}
-	layers = append(layers, &wire.Dot1Q{VLANID: fs.VLANID, EthernetType: vlanNext})
+	ls.dot1q = wire.Dot1Q{VLANID: fs.VLANID, EthernetType: vlanNext}
+	layers = append(layers, &ls.dot1q)
 	if vlanNext == wire.EthernetTypeMPLSUnicast {
 		for i, label := range fs.MPLSLabels {
-			layers = append(layers, &wire.MPLS{
+			ls.mpls[i] = wire.MPLS{
 				Label:       label,
 				StackBottom: i == len(fs.MPLSLabels)-1,
 				TTL:         64,
-			})
+			}
+			layers = append(layers, &ls.mpls[i])
 		}
 		if fs.Pseudowire {
-			layers = append(layers,
-				&wire.PWControlWord{},
-				&wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: innerType})
+			ls.pw = wire.PWControlWord{}
+			ls.eth[1] = wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: innerType}
+			layers = append(layers, &ls.pw, &ls.eth[1])
 		}
 	}
 
@@ -239,21 +300,24 @@ func (g *Generator) BuildFrame(fs *FlowSpec, dir Dir, wireSize int) ([]byte, err
 			op = wire.ARPReply
 		}
 		sip, tip := srcIP, dstIP
-		layers = append(layers, &wire.ARP{
+		ls.arp = wire.ARP{
 			Operation: op, SenderMAC: srcMAC, SenderIP: sip,
 			TargetMAC: dstMAC, TargetIP: tip,
-		})
-		return g.serialize(layers)
+		}
+		layers = append(layers, &ls.arp)
+		return g.serializeRaw(layers)
 	}
 
 	// Network layer.
 	overhead := stackOverhead(fs)
 	if fs.IPv6 {
 		proto := transportProto(fs.Kind, true)
-		layers = append(layers, &wire.IPv6{NextHeader: proto, HopLimit: 62, SrcIP: srcIP, DstIP: dstIP})
+		ls.ip6 = wire.IPv6{NextHeader: proto, HopLimit: 62, SrcIP: srcIP, DstIP: dstIP}
+		layers = append(layers, &ls.ip6)
 	} else {
 		proto := transportProto(fs.Kind, false)
-		layers = append(layers, &wire.IPv4{TTL: 62, Protocol: proto, ID: uint16(g.r.Intn(1 << 16)), SrcIP: srcIP, DstIP: dstIP})
+		ls.ip4[0] = wire.IPv4{TTL: 62, Protocol: proto, ID: uint16(g.r.Intn(1 << 16)), SrcIP: srcIP, DstIP: dstIP}
+		layers = append(layers, &ls.ip4[0])
 	}
 
 	switch fs.Kind {
@@ -263,82 +327,81 @@ func (g *Generator) BuildFrame(fs *FlowSpec, dir Dir, wireSize int) ([]byte, err
 			if dir == DirReverse {
 				typ = wire.ICMPv6TypeEchoReply
 			}
-			layers = append(layers, &wire.ICMPv6{Type: typ})
+			ls.icmp6 = wire.ICMPv6{Type: typ}
+			layers = append(layers, &ls.icmp6)
 		} else {
 			typ := uint8(wire.ICMPv4TypeEchoRequest)
 			if dir == DirReverse {
 				typ = wire.ICMPv4TypeEchoReply
 			}
-			layers = append(layers, &wire.ICMPv4{Type: typ, ID: 1, Seq: uint16(g.r.Intn(1 << 16))})
+			ls.icmp4 = wire.ICMPv4{Type: typ, ID: 1, Seq: uint16(g.r.Intn(1 << 16))}
+			layers = append(layers, &ls.icmp4)
 		}
-		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-8, 0)))
-		layers = append(layers, &pay)
+		layers = append(layers, ls.payload(clampPayload(wireSize-overhead-8, 0)))
 	case KindGRE:
 		inner := wire.EthernetTypeIPv4
-		layers = append(layers, &wire.GRE{Protocol: inner})
-		layers = append(layers, &wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP, SrcIP: netip.AddrFrom4([4]byte{192, 168, 0, 1}), DstIP: netip.AddrFrom4([4]byte{192, 168, 0, 2})})
-		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: 9999})
-		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-32, 8)))
-		layers = append(layers, &pay)
+		ls.gre = wire.GRE{Protocol: inner}
+		ls.ip4[1] = wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP, SrcIP: netip.AddrFrom4([4]byte{192, 168, 0, 1}), DstIP: netip.AddrFrom4([4]byte{192, 168, 0, 2})}
+		ls.udp[0] = wire.UDP{SrcPort: srcPort, DstPort: 9999}
+		layers = append(layers, &ls.gre, &ls.ip4[1], &ls.udp[0])
+		layers = append(layers, ls.payload(clampPayload(wireSize-overhead-32, 8)))
 	case KindVXLAN:
-		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: 4789})
-		layers = append(layers, &wire.VXLAN{ValidIDFlag: true, VNI: uint32(g.r.Intn(1 << 24))})
-		layers = append(layers, &wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: wire.EthernetTypeIPv4})
-		layers = append(layers, &wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP, SrcIP: netip.AddrFrom4([4]byte{172, 16, 0, 1}), DstIP: netip.AddrFrom4([4]byte{172, 16, 0, 2})})
-		layers = append(layers, &wire.UDP{SrcPort: 7000, DstPort: 7001})
-		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-58, 8)))
-		layers = append(layers, &pay)
+		ls.udp[0] = wire.UDP{SrcPort: srcPort, DstPort: 4789}
+		ls.vxlan = wire.VXLAN{ValidIDFlag: true, VNI: uint32(g.r.Intn(1 << 24))}
+		ls.eth[1] = wire.Ethernet{DstMAC: dstMAC, SrcMAC: srcMAC, EthernetType: wire.EthernetTypeIPv4}
+		ls.ip4[1] = wire.IPv4{TTL: 60, Protocol: wire.IPProtocolUDP, SrcIP: netip.AddrFrom4([4]byte{172, 16, 0, 1}), DstIP: netip.AddrFrom4([4]byte{172, 16, 0, 2})}
+		ls.udp[1] = wire.UDP{SrcPort: 7000, DstPort: 7001}
+		layers = append(layers, &ls.udp[0], &ls.vxlan, &ls.eth[1], &ls.ip4[1], &ls.udp[1])
+		layers = append(layers, ls.payload(clampPayload(wireSize-overhead-58, 8)))
 	case KindDNS:
-		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: dstPort})
-		dns := &wire.DNS{ID: uint16(g.r.Intn(1 << 16)), QR: dir == DirReverse,
-			Questions: []string{fmt.Sprintf("host%d.fabric-testbed.net", g.r.Intn(1000))}}
-		layers = append(layers, dns)
+		ls.udp[0] = wire.UDP{SrcPort: srcPort, DstPort: dstPort}
+		ls.dnsQ[0] = fmt.Sprintf("host%d.fabric-testbed.net", g.r.Intn(1000))
+		ls.dns = wire.DNS{ID: uint16(g.r.Intn(1 << 16)), QR: dir == DirReverse,
+			Questions: ls.dnsQ[:]}
+		layers = append(layers, &ls.udp[0], &ls.dns)
 	case KindNTP:
-		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: dstPort})
+		ls.udp[0] = wire.UDP{SrcPort: srcPort, DstPort: dstPort}
 		mode := uint8(3)
 		if dir == DirReverse {
 			mode = 4
 		}
-		layers = append(layers, &wire.NTP{Version: 4, Mode: mode, Stratum: 2})
+		ls.ntp = wire.NTP{Version: 4, Mode: mode, Stratum: 2}
+		layers = append(layers, &ls.udp[0], &ls.ntp)
 	case KindUDPBulk:
-		layers = append(layers, &wire.UDP{SrcPort: srcPort, DstPort: dstPort})
-		pay := wire.Payload(make([]byte, clampPayload(wireSize-overhead-8, 8)))
-		layers = append(layers, &pay)
+		ls.udp[0] = wire.UDP{SrcPort: srcPort, DstPort: dstPort}
+		layers = append(layers, &ls.udp[0])
+		layers = append(layers, ls.payload(clampPayload(wireSize-overhead-8, 8)))
 	default:
 		// TCP-based kinds.
-		tcp := &wire.TCP{SrcPort: srcPort, DstPort: dstPort,
+		ls.tcp = wire.TCP{SrcPort: srcPort, DstPort: dstPort,
 			Seq: uint32(g.r.Intn(1 << 30)), Ack: uint32(g.r.Intn(1 << 30)),
 			Window: 65535}
 		if dir == DirReverse {
-			tcp.Flags = wire.TCPAck // payload-free ACK: minimum-size frame
-			layers = append(layers, tcp)
+			ls.tcp.Flags = wire.TCPAck // payload-free ACK: minimum-size frame
+			layers = append(layers, &ls.tcp)
 		} else {
-			tcp.Flags = wire.TCPPsh | wire.TCPAck
-			layers = append(layers, tcp)
+			ls.tcp.Flags = wire.TCPPsh | wire.TCPAck
+			layers = append(layers, &ls.tcp)
 			payLen := clampPayload(wireSize-overhead-20, 1)
 			switch fs.Kind {
 			case KindTLS:
-				tl := &wire.TLS{RecordType: wire.TLSApplicationData, Version: 0x0303}
-				layers = append(layers, tl)
-				pay := wire.Payload(make([]byte, clampPayload(payLen-5, 1)))
-				layers = append(layers, &pay)
+				ls.tls = wire.TLS{RecordType: wire.TLSApplicationData, Version: 0x0303}
+				layers = append(layers, &ls.tls)
+				layers = append(layers, ls.payload(clampPayload(payLen-5, 1)))
 			case KindSSH:
-				body := make([]byte, payLen)
-				copy(body, "SSH-2.0-OpenSSH_9.6\r\n")
-				pay := wire.Payload(body)
-				layers = append(layers, &pay)
+				pay := ls.payload(payLen)
+				copy(*pay, "SSH-2.0-OpenSSH_9.6\r\n")
+				layers = append(layers, pay)
 			case KindHTTP:
-				body := make([]byte, payLen)
-				copy(body, "GET /data HTTP/1.1\r\nHost: x\r\n\r\n")
-				pay := wire.Payload(body)
-				layers = append(layers, &pay)
+				pay := ls.payload(payLen)
+				copy(*pay, "GET /data HTTP/1.1\r\nHost: x\r\n\r\n")
+				layers = append(layers, pay)
 			default:
-				pay := wire.Payload(make([]byte, payLen))
-				layers = append(layers, &pay)
+				layers = append(layers, ls.payload(payLen))
 			}
 		}
 	}
-	return g.serialize(layers)
+	return g.serializeRaw(layers)
 }
 
 func clampPayload(n, min int) int {
@@ -380,16 +443,17 @@ func stackOverhead(fs *FlowSpec) int {
 	return n
 }
 
-func (g *Generator) serialize(layers []wire.SerializableLayer) ([]byte, error) {
+// serializeRaw serializes into the generator's reusable buffer and
+// returns the borrowed bytes — valid only until the next build call.
+func (g *Generator) serializeRaw(layers []wire.SerializableLayer) ([]byte, error) {
+	g.ls.layers = layers[:0] // keep the grown slice for the next build
 	if err := wire.SerializeLayers(g.buf, wire.SerializeOptions{FixLengths: true}, layers...); err != nil {
 		return nil, err
 	}
 	if err := wire.PadToMinimumFrame(g.buf); err != nil {
 		return nil, err
 	}
-	out := make([]byte, len(g.buf.Bytes()))
-	copy(out, g.buf.Bytes())
-	return out, nil
+	return g.buf.Bytes(), nil
 }
 
 // SampleConfig bounds one synthesized capture window.
@@ -408,6 +472,17 @@ type SampleConfig struct {
 // Sample synthesizes one capture window: a set of flows drawn from the
 // profile, their frames spread over the window, sorted by timestamp.
 func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
+	return g.SampleInto(cfg, nil, func(b []byte) []byte { return append([]byte(nil), b...) })
+}
+
+// SampleInto is Sample with caller-controlled memory: frames are
+// appended to the passed slice (pass a recycled slice's [:0] to reuse
+// its backing array, or nil) and each frame's bytes are stabilized
+// through clone — typically a FrameArena's Alloc — instead of an
+// individual heap copy. The RNG draw sequence is identical to Sample's,
+// so from equal generator states the two produce byte-identical frame
+// sequences.
+func (g *Generator) SampleInto(cfg SampleConfig, frames []TimedFrame, clone func([]byte) []byte) ([]TimedFrame, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 20 * sim.Second
 	}
@@ -421,7 +496,9 @@ func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
 	if nFlows <= 0 {
 		nFlows = g.Profile.drawFlowCount(g.r)
 	}
-	frames := make([]TimedFrame, 0, minInt(cfg.MaxFrames, nFlows*4))
+	if frames == nil {
+		frames = make([]TimedFrame, 0, minInt(cfg.MaxFrames, nFlows*4))
+	}
 	var totalBytes int64
 
 	// A flow-storm sample (port scans, connection stress tests) has a
@@ -452,14 +529,18 @@ func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
 		// Flows that begin inside the window show their handshake.
 		flowStart := sim.Time(g.r.Int63n(int64(cfg.Duration)))
 		if isTCPKind(fs.Kind) && !scanMode && g.r.Bool(0.35) && framesLeft >= 2 {
-			syn, err := g.BuildTCPControl(&fs, DirForward, wire.TCPSyn)
+			raw, err := g.buildTCPControlRaw(&fs, DirForward, wire.TCPSyn)
 			if err != nil {
 				return nil, err
 			}
-			synAck, err := g.BuildTCPControl(&fs, DirReverse, wire.TCPSyn|wire.TCPAck)
+			// The raw bytes alias the serialize buffer: stabilize each
+			// frame before the next build overwrites it.
+			syn := clone(raw)
+			raw, err = g.buildTCPControlRaw(&fs, DirReverse, wire.TCPSyn|wire.TCPAck)
 			if err != nil {
 				return nil, err
 			}
+			synAck := clone(raw)
 			frames = append(frames, TimedFrame{At: flowStart, Data: syn, Dir: DirForward})
 			frames = append(frames, TimedFrame{At: flowStart + sim.Time(g.r.Int63n(int64(2*sim.Millisecond))), Data: synAck, Dir: DirReverse})
 			totalBytes += int64(len(syn) + len(synAck))
@@ -471,17 +552,18 @@ func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
 			if scanMode {
 				size = 0 // probe-sized frames
 			}
-			var data []byte
+			var raw []byte
 			var err error
 			if scanMode && isTCPKind(fs.Kind) {
 				// Port-scan probes are bare SYNs.
-				data, err = g.BuildTCPControl(&fs, DirForward, wire.TCPSyn)
+				raw, err = g.buildTCPControlRaw(&fs, DirForward, wire.TCPSyn)
 			} else {
-				data, err = g.BuildFrame(&fs, DirForward, size)
+				raw, err = g.buildFrameRaw(&fs, DirForward, size)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("trafficgen: building %v frame: %w", fs.Kind, err)
 			}
+			data := clone(raw)
 			at := sim.Time(g.r.Int63n(int64(cfg.Duration)))
 			if at > lastAt {
 				lastAt = at
@@ -494,10 +576,11 @@ func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
 			// the source of the 65-127B frame class.
 			if (fs.Kind == KindBulkTCP || fs.Kind == KindTLS || fs.Kind == KindHTTP || fs.Kind == KindSSH) &&
 				!scanMode && j%4 == 3 && framesLeft > 0 {
-				ack, err := g.BuildFrame(&fs, DirReverse, 0)
+				raw, err := g.buildFrameRaw(&fs, DirReverse, 0)
 				if err != nil {
 					return nil, err
 				}
+				ack := clone(raw)
 				frames = append(frames, TimedFrame{At: at + sim.Time(g.r.Int63n(int64(sim.Millisecond))), Data: ack, Dir: DirReverse})
 				totalBytes += int64(len(ack))
 				framesLeft--
@@ -505,10 +588,11 @@ func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
 			// Request/response kinds answer once.
 			if (fs.Kind == KindDNS || fs.Kind == KindNTP || fs.Kind == KindICMP || fs.Kind == KindARP) &&
 				!scanMode && framesLeft > 0 {
-				resp, err := g.BuildFrame(&fs, DirReverse, g.DataFrameSize(fs.Kind))
+				raw, err := g.buildFrameRaw(&fs, DirReverse, g.DataFrameSize(fs.Kind))
 				if err != nil {
 					return nil, err
 				}
+				resp := clone(raw)
 				frames = append(frames, TimedFrame{At: at + sim.Time(g.r.Int63n(int64(10*sim.Millisecond))), Data: resp, Dir: DirReverse})
 				totalBytes += int64(len(resp))
 				framesLeft--
@@ -520,18 +604,20 @@ func (g *Generator) Sample(cfg SampleConfig) ([]TimedFrame, error) {
 		if isTCPKind(fs.Kind) && !scanMode && framesLeft > 0 {
 			switch {
 			case g.r.Bool(0.02):
-				rst, err := g.BuildTCPControl(&fs, DirForward, wire.TCPRst)
+				raw, err := g.buildTCPControlRaw(&fs, DirForward, wire.TCPRst)
 				if err != nil {
 					return nil, err
 				}
+				rst := clone(raw)
 				frames = append(frames, TimedFrame{At: lastAt, Data: rst, Dir: DirForward})
 				totalBytes += int64(len(rst))
 				framesLeft--
 			case g.r.Bool(0.3):
-				fin, err := g.BuildTCPControl(&fs, DirForward, wire.TCPFin|wire.TCPAck)
+				raw, err := g.buildTCPControlRaw(&fs, DirForward, wire.TCPFin|wire.TCPAck)
 				if err != nil {
 					return nil, err
 				}
+				fin := clone(raw)
 				frames = append(frames, TimedFrame{At: lastAt, Data: fin, Dir: DirForward})
 				totalBytes += int64(len(fin))
 				framesLeft--
@@ -563,6 +649,16 @@ func isTCPKind(k Kind) bool {
 // the given flags (SYN, SYN|ACK, FIN|ACK, RST, ...). It fails for
 // non-TCP archetypes.
 func (g *Generator) BuildTCPControl(fs *FlowSpec, dir Dir, flags wire.TCPFlags) ([]byte, error) {
+	raw, err := g.buildTCPControlRaw(fs, dir, flags)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), raw...), nil
+}
+
+// buildTCPControlRaw is BuildTCPControl on the borrowed serialize
+// buffer (valid until the next build call).
+func (g *Generator) buildTCPControlRaw(fs *FlowSpec, dir Dir, flags wire.TCPFlags) ([]byte, error) {
 	if !isTCPKind(fs.Kind) {
 		return nil, fmt.Errorf("trafficgen: %v is not a TCP archetype", fs.Kind)
 	}
@@ -574,12 +670,12 @@ func (g *Generator) BuildTCPControl(fs *FlowSpec, dir Dir, flags wire.TCPFlags) 
 		spec.SrcIP, spec.DstIP = spec.DstIP, spec.SrcIP
 		spec.SrcPort, spec.DstPort = spec.DstPort, spec.SrcPort
 	}
-	data, err := g.BuildFrame(&spec, DirReverse, 0)
+	data, err := g.buildFrameRaw(&spec, DirReverse, 0)
 	if err != nil {
 		return nil, err
 	}
-	pkt := wire.NewPacket(data, wire.LayerTypeEthernet, wire.NoCopy)
-	tl, ok := pkt.TransportLayer().(*wire.TCP)
+	g.ctrl.Reset(data, wire.LayerTypeEthernet, wire.NoCopy)
+	tl, ok := g.ctrl.TransportLayer().(*wire.TCP)
 	if !ok {
 		return nil, fmt.Errorf("trafficgen: control frame lost its TCP header")
 	}

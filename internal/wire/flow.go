@@ -103,6 +103,32 @@ func NewIPEndpoint(a netip.Addr) Endpoint {
 	return e
 }
 
+// NewRawEndpoint rebuilds an endpoint from its family and raw address
+// bytes (the inverse of Type/Raw) — used by on-disk stores that persist
+// endpoints columnar. Bytes beyond the family's length are ignored; a
+// zero-length raw produces the invalid zero Endpoint.
+func NewRawEndpoint(typ EndpointType, raw []byte) Endpoint {
+	var n int
+	switch typ {
+	case EndpointMAC:
+		n = 6
+	case EndpointIPv4:
+		n = 4
+	case EndpointIPv6:
+		n = 16
+	case EndpointTCPPort, EndpointUDPPort:
+		n = 2
+	default:
+		return Endpoint{}
+	}
+	if len(raw) < n {
+		return Endpoint{}
+	}
+	e := Endpoint{typ: typ, len: uint8(n)}
+	copy(e.raw[:], raw[:n])
+	return e
+}
+
 // NewTCPPortEndpoint wraps a TCP port.
 func NewTCPPortEndpoint(p uint16) Endpoint {
 	return Endpoint{typ: EndpointTCPPort, len: 2, raw: [16]byte{byte(p >> 8), byte(p)}}

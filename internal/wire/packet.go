@@ -29,6 +29,13 @@ var (
 
 // Packet is a decoded frame: an ordered stack of layers over a byte
 // buffer.
+//
+// A Packet can be reused across frames with Reset: the layers slice,
+// the copy buffer, and every previously allocated layer struct are
+// retained in per-type pools, so steady-state decoding through one
+// reset packet allocates nothing. Reused layers are only valid until
+// the next Reset — callers that keep layer pointers must copy what
+// they need first.
 type Packet struct {
 	data   []byte
 	layers []Layer
@@ -36,6 +43,15 @@ type Packet struct {
 	nextType LayerType
 	rest     []byte
 	failure  *DecodeFailure
+	// Reuse state (Reset): per-type pools of decoder structs, a use
+	// counter per type for frames carrying repeated layers (pseudowire
+	// inner Ethernet, MPLS stacks), a reusable copy buffer, and a
+	// reusable failure struct.
+	pool    [layerTypeMax][]DecodingLayer
+	used    [layerTypeMax]uint8
+	copyBuf []byte
+	failBuf DecodeFailure
+	errBuf  DecodeError
 }
 
 // DecodeFailure is a pseudo-layer recording a decoding error. The bytes
@@ -61,16 +77,55 @@ func (f *DecodeFailure) Error() error { return f.err }
 // Decoding failures do not produce an error return: layers decoded before
 // the failure are retained, and ErrorLayer exposes the failure.
 func NewPacket(data []byte, first LayerType, opts DecodeOptions) *Packet {
+	p := &Packet{}
+	p.Reset(data, first, opts)
+	return p
+}
+
+// Reset re-arms the packet for a new frame, reusing the layers slice,
+// the internal copy buffer, and pooled layer structs from previous
+// decodes. It is the zero-allocation path for bulk digestion: one
+// packet, Reset per frame. Layers obtained from the packet before the
+// Reset are overwritten and must not be retained.
+func (p *Packet) Reset(data []byte, first LayerType, opts DecodeOptions) {
 	if !opts.NoCopy {
-		c := make([]byte, len(data))
-		copy(c, data)
-		data = c
+		if cap(p.copyBuf) < len(data) {
+			p.copyBuf = make([]byte, len(data))
+		}
+		p.copyBuf = p.copyBuf[:len(data)]
+		copy(p.copyBuf, data)
+		data = p.copyBuf
 	}
-	p := &Packet{data: data, nextType: first, rest: data}
+	p.data = data
+	p.layers = p.layers[:0]
+	p.nextType = first
+	p.rest = data
+	p.failure = nil
+	for i := range p.used {
+		p.used[i] = 0
+	}
 	if !opts.Lazy {
 		p.decodeAll()
 	}
-	return p
+}
+
+// getDecoder returns a decoder for t, reusing a pooled struct when one
+// is free this frame and growing the pool otherwise.
+func (p *Packet) getDecoder(t LayerType) DecodingLayer {
+	if t <= 0 || t >= layerTypeMax {
+		return nil
+	}
+	if n := p.used[t]; int(n) < len(p.pool[t]) {
+		p.used[t]++
+		return p.pool[t][n]
+	}
+	d := newDecoder(t)
+	if d == nil {
+		return nil
+	}
+	p.pool[t] = append(p.pool[t], d)
+	p.used[t]++
+	return d
 }
 
 // decodeOne advances decoding by a single layer. Returns false when
@@ -79,13 +134,15 @@ func (p *Packet) decodeOne() bool {
 	if p.failure != nil || p.nextType == LayerTypeZero || len(p.rest) == 0 {
 		return false
 	}
-	d := newDecoder(p.nextType)
+	d := p.getDecoder(p.nextType)
 	if d == nil {
 		// Unknown next layer: classify remaining bytes as payload.
-		d = newDecoder(LayerTypePayload)
+		d = p.getDecoder(LayerTypePayload)
 	}
 	if err := d.DecodeFromBytes(p.rest); err != nil {
-		p.failure = &DecodeFailure{data: p.rest, err: &DecodeError{Layer: p.nextType, Err: err}}
+		p.errBuf = DecodeError{Layer: p.nextType, Err: err}
+		p.failBuf = DecodeFailure{data: p.rest, err: &p.errBuf}
+		p.failure = &p.failBuf
 		p.rest = nil
 		p.nextType = LayerTypeZero
 		return false

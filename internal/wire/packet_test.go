@@ -195,3 +195,72 @@ func TestEmptyPacket(t *testing.T) {
 		t.Error("empty packet should not be an error, just empty")
 	}
 }
+
+// TestPacketReset proves a reused packet decodes exactly like a fresh
+// one — across frames with repeated layer types, decode failures, and
+// copy/no-copy modes — and that its layer structs really are pooled.
+func TestPacketReset(t *testing.T) {
+	frames := [][]byte{
+		fabricFrame(t),
+		fabricFrame(t)[:60],  // truncated mid-stack: decode failure path
+		fabricFrame(t),       // full frame again after a failure
+		{0x01, 0x02},         // garbage: fails at Ethernet
+		fabricFrame(t)[:120], // truncated deeper
+	}
+	for _, opts := range []DecodeOptions{Default, Lazy, NoCopy, LazyNoCopy} {
+		reused := &Packet{}
+		for i, data := range frames {
+			fresh := NewPacket(data, LayerTypeEthernet, Default)
+			reused.Reset(data, LayerTypeEthernet, opts)
+			if got, want := reused.String(), fresh.String(); got != want {
+				t.Fatalf("opts %+v frame %d: reused %q, fresh %q", opts, i, got, want)
+			}
+			gf, ff := reused.ErrorLayer(), fresh.ErrorLayer()
+			if (gf == nil) != (ff == nil) {
+				t.Fatalf("opts %+v frame %d: failure mismatch: reused %v fresh %v", opts, i, gf, ff)
+			}
+			if gf != nil && IsTruncated(gf.Error()) != IsTruncated(ff.Error()) {
+				t.Fatalf("opts %+v frame %d: truncation classification diverged", opts, i)
+			}
+		}
+	}
+}
+
+// TestPacketResetPoolsRepeatedLayers checks the pool hands out distinct
+// structs for repeated layer types within one frame (two Ethernet, two
+// MPLS in the pseudowire stack) and reuses them on the next frame.
+func TestPacketResetPoolsRepeatedLayers(t *testing.T) {
+	data := fabricFrame(t)
+	p := &Packet{}
+	p.Reset(data, LayerTypeEthernet, NoCopy)
+	ls := p.Layers()
+	var eths []Layer
+	for _, l := range ls {
+		if l.LayerType() == LayerTypeEthernet {
+			eths = append(eths, l)
+		}
+	}
+	if len(eths) != 2 || eths[0] == eths[1] {
+		t.Fatalf("want 2 distinct pooled Ethernet layers, got %d", len(eths))
+	}
+	outer := eths[0]
+	p.Reset(data, LayerTypeEthernet, NoCopy)
+	if p.Layers()[0] != outer {
+		t.Fatalf("outer Ethernet struct was not reused across Reset")
+	}
+}
+
+// BenchmarkPacketReset measures the pooled digest path on the canonical
+// deep-encapsulation frame; steady state must be allocation-free.
+func BenchmarkPacketReset(b *testing.B) {
+	data := fabricFrame(b)
+	p := &Packet{}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		p.Reset(data, LayerTypeEthernet, NoCopy)
+		if p.Layers() == nil {
+			b.Fatal("no layers")
+		}
+	}
+}

@@ -49,6 +49,11 @@ const (
 	layerTypeMax // sentinel; keep last
 )
 
+// LayerTypeCount is the number of layer-type values (including the zero
+// value); valid types are in [1, LayerTypeCount). Useful for sizing
+// per-type arrays outside this package.
+const LayerTypeCount = int(layerTypeMax)
+
 var layerTypeNames = [...]string{
 	LayerTypeZero:          "Zero",
 	LayerTypeEthernet:      "Ethernet",

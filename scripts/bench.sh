@@ -11,6 +11,10 @@
 #   BENCH_lanes.json        laned campaign speedup/efficiency: wall-clock
 #                           speedup over serial plus the lane profiler's
 #                           own estimate and parallel efficiency
+#   BENCH_analysis.json     streaming analysis pipeline: streamed vs
+#                           materialized digest (B/op, flows/sec) and
+#                           the GOMEMLIMIT-bounded peak heap of a
+#                           Fig13-scale streamed digest
 #
 # Each file keeps the best of -count runs per benchmark. Commit the
 # refreshed files alongside any change that moves them.
@@ -37,12 +41,14 @@ if [ "$smoke" -eq 1 ]; then
     kernel_out="$tmp/BENCH_kernel.json"
     experiments_out="$tmp/BENCH_experiments.json"
     lanes_out="$tmp/BENCH_lanes.json"
+    analysis_out="$tmp/BENCH_analysis.json"
 else
     benchtime=
     count=3
     kernel_out=BENCH_kernel.json
     experiments_out=BENCH_experiments.json
     lanes_out=BENCH_lanes.json
+    analysis_out=BENCH_analysis.json
 fi
 
 go build -o "$tmp/benchjson" ./cmd/benchjson
@@ -130,11 +136,30 @@ go test -run '^$' -bench . -benchmem -benchtime 1x \
 go test -run '^$' -bench "$micro" -benchmem ${benchtime:+-benchtime $benchtime} \
     -count "$count" . | tee -a "$tmp/experiments.txt"
 
+echo "== streaming analysis: streamed vs materialized digest =="
+# The figure corpus is regenerated per iteration, so one iteration per
+# count is the measurement (same reasoning as the experiment suite).
+go test -run '^$' -bench '^Benchmark(Streamed|Materialized)FlowDigest$' \
+    -benchmem -benchtime 1x -count "$count" . | tee "$tmp/analysis.txt"
+
+# Bounded-memory gate: a Fig13-scale streamed digest runs with the Go
+# heap pinned to 64 MiB; the test fails if peak HeapAlloc exceeds the
+# budget (the materialized pipeline needs several hundred MB for the
+# same corpus). The measured peak lands in BENCH_analysis.json.
+GOMEMLIMIT=64MiB PW_STREAM_HEAP_BUDGET_MB=64 \
+    go test -run '^TestStreamedDigestHeapBudget$' -v . | tee "$tmp/heap.txt"
+peak_heap=$(awk '/peak_heap_mb/ { print $NF }' "$tmp/heap.txt")
+"$tmp/benchjson" \
+    -add "StreamedDigestPeakHeap64MiBLimit:MB:${peak_heap:-0}" \
+    < "$tmp/analysis.txt" > "$analysis_out"
+echo "streamed digest peak heap under GOMEMLIMIT=64MiB: ${peak_heap:-?} MB"
+
 if [ "$smoke" -eq 1 ]; then
     "$tmp/benchjson" < "$tmp/experiments.txt" > "$experiments_out"
     echo "smoke ok: $(ls "$tmp"/BENCH_*.json | wc -l) reports generated (discarded)"
     exit 0
 fi
+echo "wrote $analysis_out"
 
 echo "wrote $lanes_out"
 

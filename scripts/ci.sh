@@ -6,7 +6,11 @@
 # (one iteration per benchmark plus the BENCH_*.json pipeline) so CI
 # fails if benchmark code no longer compiles, a short fuzz smoke over
 # the wire-format parsers (seed corpus plus a few seconds of mutation —
-# enough to catch regressions in the option/length walkers), and a
+# enough to catch regressions in the option/length walkers — plus the
+# flow-store segment codec and the sketch merge operators), a
+# streaming-analytics equivalence gate (the single-pass digester and
+# the materialized in-memory pipeline must agree byte-for-byte on every
+# CSV and figure artifact, spilling included), and a
 # validate-only dry run of every health-alert rule file (the embedded
 # defaults always, plus any rules/*.json), a crash/resume gate: a
 # journaled campaign is killed at an injected crash point (exit 3),
@@ -40,6 +44,15 @@ go test -run='^$' -fuzz='^FuzzParsePacket$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzTCPOptions$' -fuzztime=5s ./internal/wire
 go test -run='^$' -fuzz='^FuzzParsePolicy$' -fuzztime=5s ./internal/remedy
 go test -run='^$' -fuzz='^FuzzLanePartition$' -fuzztime=5s ./internal/lanes
+go test -run='^$' -fuzz='^FuzzSegmentCodec$' -fuzztime=5s ./internal/flowstore
+go test -run='^$' -fuzz='^FuzzSketchMerge$' -fuzztime=5s ./internal/sketch
+
+# Streaming-analytics equivalence gate: streamed digest vs materialized
+# baseline on clean and hostile corpora (internal/analysis), and the
+# pwanalyze CLI end-to-end with spilling forced (cmd/pwanalyze).
+go test -run '^TestStreamEquivalence' ./internal/analysis
+go test -run '^TestRunMatchesInMemoryPipeline$' ./cmd/pwanalyze
+echo "streaming equivalence gate: digester matches in-memory pipeline byte-for-byte"
 
 go run ./cmd/pwhealth -validate
 if ls rules/*.json >/dev/null 2>&1; then
