@@ -34,6 +34,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/remedy"
 	"repro/internal/sim"
+	"repro/internal/storefault"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
 	"repro/internal/trafficgen"
@@ -70,6 +71,7 @@ func main() {
 		laneWk     = flag.Int("lane-workers", 0, "worker goroutines for -lanes (0 = min(lanes, GOMAXPROCS))")
 		provOn     = flag.Bool("provenance", false, "record the causal event DAG to <out>/prof/provenance.trace (campaign mode; analyze with pwprof)")
 		profOn     = flag.Bool("profile", false, "profile the lane scheduler's wall clock into <out>/prof/lane-trace.json and lane-summary.json (requires -lanes > 1)")
+		storeChaos = flag.String("store-chaos", "", "storage fault-injection plan JSON (campaign mode); seeded by -seed, injection log lands in <out>/storefault.jsonl")
 
 		serveAddr  = flag.String("serve", "", `serve live telemetry (metrics/status/SSE) on this address (":0" for an ephemeral port; bound address lands in <out>/livemon/addr)`)
 		servePprof = flag.Bool("serve-pprof", false, "also mount /debug/pprof/ on the telemetry server")
@@ -77,7 +79,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" || *lanesN > 1 || *provOn || *profOn {
+	if *resume != "" || *remedyOn || *remedyPol != "" || *journalDir != "" || *lanesN > 1 || *provOn || *profOn || *storeChaos != "" {
 		os.Exit(campaignMain(campaignFlags{
 			mode: *mode, sites: *sitesFlag, runs: *runs, samples: *samples,
 			sampleSec: *sampleSec, method: *method, trunc: *trunc, seed: *seed,
@@ -86,7 +88,7 @@ func main() {
 			remedyPolicy: *remedyPol, journalDir: *journalDir, resume: *resume,
 			checkpointSec: *cpSec, noKill: *noKill,
 			lanes: *lanesN, laneWorkers: *laneWk,
-			provenance: *provOn, profile: *profOn,
+			provenance: *provOn, profile: *profOn, storeChaos: *storeChaos,
 			serveAddr: *serveAddr, servePprof: *servePprof, serveHold: *serveHold,
 		}))
 	}
@@ -438,6 +440,7 @@ type campaignFlags struct {
 	noKill                           bool
 	lanes, laneWorkers               int
 	provenance, profile              bool
+	storeChaos                       string
 	serveAddr                        string
 	servePprof, serveHold            bool
 }
@@ -469,6 +472,30 @@ func campaignMain(fl campaignFlags) int {
 	exec := campaign.Exec{Lanes: fl.lanes, Workers: fl.laneWorkers, Profile: fl.profile}
 	if fl.provenance {
 		exec.ProvenancePath = filepath.Join(fl.out, "prof", "provenance.trace")
+	}
+	// Storage chaos: every journal write goes through the fault-injecting
+	// filesystem. Seeded by the campaign seed, so a rerun with the same
+	// plan replays the same injections; the log is the receipt.
+	var chaos *storefault.Chaos
+	if fl.storeChaos != "" {
+		plan, perr := storefault.Load(fl.storeChaos)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "patchwork:", perr)
+			return 1
+		}
+		if chaos, perr = storefault.NewChaos(nil, fl.seed, plan); perr != nil {
+			fmt.Fprintln(os.Stderr, "patchwork:", perr)
+			return 1
+		}
+		exec.FS = chaos
+		defer func() {
+			if err := writeChaosLog(fl.out, chaos); err != nil {
+				fmt.Fprintln(os.Stderr, "patchwork:", err)
+			} else {
+				fmt.Printf("storage chaos: %s (log in %s)\n",
+					chaos.Summary(), filepath.Join(fl.out, "storefault.jsonl"))
+			}
+		}()
 	}
 	var res *campaign.Result
 	var err error
@@ -503,32 +530,37 @@ func campaignMain(fl campaignFlags) int {
 		return 3
 	}
 
-	if err := writeProfile(fl.out, res.Profile); err != nil {
-		fmt.Fprintln(os.Stderr, "patchwork:", err)
-		return 1
+	// Artifact writers: a failed write is counted per artifact (feeding
+	// the storage-errors health rule and the live telemetry plane) and
+	// reported, but does not stop the remaining artifacts from being
+	// attempted — a full disk should cost one output, not all of them.
+	wrote := func(artifact string, err error) bool {
+		if err == nil {
+			return true
+		}
+		if res.Registry != nil {
+			res.Registry.Counter("patchwork_storage_errors_total", obs.L("artifact", artifact)).Inc()
+		}
+		fmt.Fprintf(os.Stderr, "patchwork: writing %s artifacts: %v\n", artifact, err)
+		return false
 	}
+	ok := wrote("pcap", writeProfile(fl.out, res.Profile))
 	if fl.metrics != "" {
-		if err := writeMetrics(fl.metrics, res.Registry); err != nil {
-			fmt.Fprintln(os.Stderr, "patchwork:", err)
-			return 1
+		if wrote("metrics", writeMetrics(fl.metrics, res.Registry)) {
+			fmt.Printf("metrics written to %s\n", fl.metrics)
+		} else {
+			ok = false
 		}
-		fmt.Printf("metrics written to %s\n", fl.metrics)
 	}
-	if err := writeHealthArtifacts(fl.out, res.Monitor); err != nil {
-		fmt.Fprintln(os.Stderr, "patchwork:", err)
-		return 1
-	}
+	ok = wrote("health", writeHealthArtifacts(fl.out, res.Monitor)) && ok
 	if res.Supervisor != nil {
-		if err := writeRemedyArtifacts(fl.out, res.Supervisor); err != nil {
-			fmt.Fprintln(os.Stderr, "patchwork:", err)
-			return 1
-		}
+		ok = wrote("remedy", writeRemedyArtifacts(fl.out, res.Supervisor)) && ok
 	}
 	if res.Injector != nil {
 		fmt.Printf("faults injected: %s\n", res.Injector.Summary())
 	}
-	if err := writeProfArtifacts(fl, res); err != nil {
-		fmt.Fprintln(os.Stderr, "patchwork:", err)
+	ok = wrote("prof", writeProfArtifacts(fl, res)) && ok
+	if !ok {
 		return 1
 	}
 	prof := res.Profile
@@ -661,6 +693,23 @@ func writeProfArtifacts(fl campaignFlags, res *campaign.Result) error {
 	fmt.Printf("lane profile: %d windows, est speedup %.2fx, efficiency %.0f%% (%s)\n",
 		sum.Windows, sum.EstSpeedup, sum.ParallelEfficiency*100, profDir)
 	return nil
+}
+
+// writeChaosLog persists the storage-fault injection log so same-seed
+// reruns can be diffed injection-for-injection.
+func writeChaosLog(dir string, chaos *storefault.Chaos) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "storefault.jsonl"))
+	if err != nil {
+		return err
+	}
+	err = chaos.WriteLogJSONL(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -44,9 +44,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *hotMax, *verbose); err != nil {
+	torn, err := run(*in, *out, *hotMax, *verbose)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pwanalyze:", err)
 		os.Exit(1)
+	}
+	for _, path := range torn {
+		fmt.Fprintf(os.Stderr, "pwanalyze: warning: %s: torn tail — a partial final record was dropped (run pwfsck -repair to truncate it)\n", path)
 	}
 	if *serve != "" {
 		if err := serveFlows(*out, *serve); err != nil {
@@ -54,7 +58,18 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if len(torn) > 0 {
+		// Distinct from hard failure (1) and usage (2): the analysis
+		// completed, but its inputs were not byte-complete.
+		os.Exit(exitTornInput)
+	}
 }
+
+// exitTornInput is the exit code for a successful analysis over at
+// least one torn capture: the results are valid for every committed
+// record, but integrity-sensitive callers need to know frames were
+// dropped.
+const exitTornInput = 4
 
 // serveFlows exposes the analysis run's flow store on livemon's
 // /api/flows endpoint until a SIGINT/SIGTERM arrives.
@@ -78,16 +93,19 @@ func serveFlows(out, addr string) error {
 	return srv.Close()
 }
 
-func run(in, out string, hotMax int, verbose bool) error {
+// run executes the pipeline and returns the capture paths whose pcap
+// stream ended in a torn tail (analysis proceeds over the intact
+// prefix; the caller surfaces the integrity warning).
+func run(in, out string, hotMax int, verbose bool) (torn []string, err error) {
 	acapDir := filepath.Join(out, "acaps")
 	if err := os.MkdirAll(acapDir, 0o755); err != nil {
-		return err
+		return nil, err
 	}
 
 	flowPath := filepath.Join(out, "flows.pwfs")
 	spill, err := flowstore.Create(flowPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer spill.Close()
 	d := analysis.NewDigester(analysis.DigestOptions{MaxHotFlows: hotMax, Spill: spill})
@@ -122,6 +140,9 @@ func run(in, out string, hotMax int, verbose bool) error {
 		if err != nil {
 			return err
 		}
+		if rd.Torn() {
+			torn = append(torn, path)
+		}
 		d.EndSample()
 		captures++
 
@@ -143,41 +164,41 @@ func run(in, out string, hotMax int, verbose bool) error {
 		return nil
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if captures == 0 {
-		return fmt.Errorf("no .pcap files under %s", in)
+		return nil, fmt.Errorf("no .pcap files under %s", in)
 	}
 
 	// Flush the remaining hot flows so flows.pwfs is a complete record,
 	// then reopen it read-only for the exact aggregate merge.
 	if err := d.Flows().Flush(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := spill.Close(); err != nil {
-		return err
+		return nil, err
 	}
 	store, err := flowstore.Open(flowPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer store.Close()
 	flows, err := d.Flows().Aggregates(store)
 	if err != nil {
-		return err
+		return nil, err
 	}
 
 	// Index.
 	ixf, err := os.Create(filepath.Join(out, "index.json"))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := index.Encode(ixf); err != nil {
 		_ = ixf.Close()
-		return err
+		return nil, err
 	}
 	if err := ixf.Close(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Process: the paper's CSV outputs, each rendered from the
@@ -210,14 +231,14 @@ func run(in, out string, hotMax int, verbose bool) error {
 	for _, w := range writers {
 		f, err := os.Create(filepath.Join(out, w.name))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := w.fn(f); err != nil {
 			_ = f.Close()
-			return err
+			return nil, err
 		}
 		if err := f.Close(); err != nil {
-			return err
+			return nil, err
 		}
 	}
 
@@ -231,5 +252,5 @@ func run(in, out string, hotMax int, verbose bool) error {
 			fmt.Printf("  heavy: %v frames>=%d (overestimate<=%d)\n", h.Key, h.Count-h.Err, h.Err)
 		}
 	}
-	return nil
+	return torn, nil
 }

@@ -136,8 +136,12 @@ func baselineCSVs(t *testing.T, in string) map[string][]byte {
 func TestRunMatchesInMemoryPipeline(t *testing.T) {
 	in := writeCorpus(t, 21, 2, 2, 800)
 	out := t.TempDir()
-	if err := run(in, out, 64, false); err != nil {
+	torn, err := run(in, out, 64, false)
+	if err != nil {
 		t.Fatal(err)
+	}
+	if len(torn) != 0 {
+		t.Fatalf("clean corpus reported torn captures: %v", torn)
 	}
 
 	want := baselineCSVs(t, in)
@@ -182,5 +186,38 @@ func TestRunMatchesInMemoryPipeline(t *testing.T) {
 	}
 	if !bytes.Equal(b.Bytes(), want["flow_aggregate.csv"]) {
 		t.Error("aggregates from the flow store alone differ from the baseline")
+	}
+}
+
+// TestTornCaptureSurfaced: a capture whose final record was cut short
+// must not fail the run — the intact prefix is analyzed — but its path
+// must be reported so the CLI can warn and exit with the torn code.
+func TestTornCaptureSurfaced(t *testing.T) {
+	in := writeCorpus(t, 33, 2, 1, 400)
+	var tornPath string
+	err := filepath.WalkDir(in, func(path string, de fs.DirEntry, err error) error {
+		if err != nil || de.IsDir() || !strings.HasSuffix(path, ".pcap") || tornPath != "" {
+			return err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		tornPath = path
+		return os.Truncate(path, st.Size()-9) // die mid-record
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tornPath == "" {
+		t.Fatal("corpus produced no pcaps")
+	}
+
+	torn, err := run(in, t.TempDir(), 64, false)
+	if err != nil {
+		t.Fatalf("torn capture failed the run instead of being surfaced: %v", err)
+	}
+	if len(torn) != 1 || torn[0] != tornPath {
+		t.Errorf("torn = %v, want exactly [%s]", torn, tornPath)
 	}
 }

@@ -17,10 +17,12 @@ package campaign
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"sort"
+	"syscall"
 
 	"repro/internal/capture"
 	patchwork "repro/internal/core"
@@ -33,6 +35,7 @@ import (
 	"repro/internal/prof"
 	"repro/internal/remedy"
 	"repro/internal/sim"
+	"repro/internal/storefault"
 	"repro/internal/telemetry"
 	"repro/internal/testbed"
 	"repro/internal/trafficgen"
@@ -245,6 +248,24 @@ type Exec struct {
 	// only): per-worker busy timelines, barrier stalls, merge costs.
 	// Wall-plane data never enters sim-time artifacts.
 	Profile bool
+	// FS routes every campaign artifact write (journal WAL, checkpoints,
+	// provenance trace) through an explicit filesystem seam — the
+	// storage-chaos harness injects faults here. nil is the real disk.
+	FS storefault.FS
+	// CrashArm arms the crash-point matrix kill switch: immediately
+	// after the fresh WAL record carrying sequence CrashAtSeq is
+	// written, the journal writer plays dead — subsequent appends and
+	// checkpoint swaps silently stop reaching disk, exactly as if the
+	// process had been killed at that byte boundary — and the run
+	// returns with Result.Crashed set. Resuming the directory must then
+	// reproduce the uninterrupted run byte-for-byte.
+	CrashArm   bool
+	CrashAtSeq uint64
+	// CrashAfterCheckpointSwap shifts the probed boundary: when
+	// CrashAtSeq lands on a checkpoint record, the checkpoint file swap
+	// completes before the writer dies (both sides of the rename are
+	// crash points).
+	CrashAfterCheckpointSwap bool
 }
 
 // defaultSpanCap bounds the tracer's retained spans/counter samples on
@@ -292,7 +313,7 @@ func RunExecLive(spec Spec, dir string, kill bool, exec Exec, live LiveSink) (*R
 	if err != nil {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
-	w, err := journal.Create(dir, manifest)
+	w, err := journal.CreateFS(exec.FS, dir, manifest)
 	if err != nil {
 		return nil, err
 	}
@@ -323,7 +344,7 @@ func ResumeExec(dir string, kill bool, exec Exec) (*Result, error) {
 // ResumeExecLive is Resume with an execution strategy and an optional
 // live telemetry sink.
 func ResumeExecLive(dir string, kill bool, exec Exec, live LiveSink) (*Result, error) {
-	w, manifest, _, _, err := journal.OpenResume(dir)
+	w, manifest, _, _, err := journal.OpenResumeFS(exec.FS, dir)
 	if err != nil {
 		return nil, err
 	}
@@ -445,7 +466,7 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 	// covers setup events too.
 	var pw *prof.Writer
 	if exec.ProvenancePath != "" {
-		if pw, err = prof.CreateTrace(exec.ProvenancePath); err != nil {
+		if pw, err = prof.CreateTraceFS(exec.FS, exec.ProvenancePath); err != nil {
 			return nil, err
 		}
 		defer pw.Close()
@@ -593,6 +614,29 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 		sup.Attach(monitor)
 	}
 
+	// Storage-error accounting and graceful ENOSPC degradation: every
+	// failed artifact write counts under patchwork_storage_errors_total
+	// (watched by the bundled storage-errors health rule), and a full
+	// volume pauses capture so the disk stops filling — the free-space
+	// remediation evicts harvested bytes and resumes capture. The hook
+	// fires only on write errors, so clean runs are byte-identical with
+	// or without it.
+	reg.Help("patchwork_storage_errors_total", "failed campaign artifact writes by artifact")
+	w.SetErrorHook(func(op string, werr error) bool {
+		reg.Counter("patchwork_storage_errors_total", obs.L("artifact", op)).Inc()
+		if errors.Is(werr, syscall.ENOSPC) {
+			n := coord.PauseCapture(true)
+			monitor.Logf("campaign", "error",
+				"journal %s hit ENOSPC: paused %d capture engines, retrying once", op, n)
+			return true
+		}
+		monitor.Logf("campaign", "error", "journal %s failed: %v", op, werr)
+		return false
+	})
+	if exec.CrashArm {
+		w.SetCrashAfter(exec.CrashAtSeq, exec.CrashAfterCheckpointSwap)
+	}
+
 	replayed := w.Prefix()
 	if _, err := w.Append(0, journal.KindCampaignStart, "",
 		fmt.Sprintf("seed=%d sites=%d mode=%s", spec.Seed, len(fed.Sites()), spec.Mode)); err != nil {
@@ -647,7 +691,7 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 	if world != nil {
 		step = world.Step
 	}
-	for !finished && !c.crashed && c.err == nil {
+	for !finished && !c.crashed && c.err == nil && !w.CrashSimulated() {
 		if !step() {
 			return nil, fmt.Errorf("campaign: simulation stalled before completion")
 		}
@@ -677,10 +721,15 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 			return nil, fmt.Errorf("campaign: provenance trace: %w", err)
 		}
 	}
-	if c.crashed {
+	if c.crashed || w.CrashSimulated() {
 		// The simulated process died here: no teardown, no final
 		// checkpoint — exactly the state a real crash leaves behind.
+		// (Either a fault-plan crash point fired, or the crash-point
+		// matrix killed the journal writer at its armed WAL boundary.)
 		res.Crashed, res.CrashedAt = true, c.crashedAt
+		if !c.crashed {
+			res.CrashedAt = k.Now()
+		}
 		return res, nil
 	}
 	if runErr != nil {
@@ -699,6 +748,13 @@ func run(spec Spec, w *journal.Writer, dir string, kill bool, live LiveSink, exe
 	if _, err := w.Append(k.Now(), journal.KindCampaignEnd, "",
 		fmt.Sprintf("sites=%d success_rate=%.2f", len(prof.Bundles), prof.SuccessRate())); err != nil {
 		return nil, err
+	}
+	if w.CrashSimulated() {
+		// The armed boundary landed on the teardown records (final
+		// checkpoint or campaign end): the WAL tail is missing, so this
+		// is a crash, not a completion — resume writes the tail for real.
+		res.Crashed, res.CrashedAt = true, k.Now()
+		return res, nil
 	}
 	if w.Replaying() {
 		return nil, fmt.Errorf("campaign: finished with %d unreplayed WAL records — the journal is from a longer run",

@@ -206,6 +206,7 @@ type Engine struct {
 	cores  []coreState
 	rr     int
 	sample int
+	paused bool
 
 	// Arrival-rate estimator for the contention term.
 	rateWindowStart sim.Time
@@ -308,6 +309,16 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 	e.mReceived.IncAt(now)
 	e.estimateRate(now)
 
+	// A paused engine (ENOSPC degradation) sheds every frame before it
+	// can reach a core and fill the disk further. The drops are counted
+	// honestly: pausing trades capture completeness for campaign
+	// survival, and the loss must show in the stats.
+	if e.paused {
+		e.Stats.Dropped++
+		e.mDropped.IncAt(now)
+		return
+	}
+
 	// Sampling and filtering. On the FPGA these run on the NIC before
 	// the host sees the frame; on host methods they spend core time, but
 	// the dominant effect either way is the reduction in frames stored.
@@ -392,6 +403,15 @@ func (e *Engine) DeliverFrame(now sim.Time, f switchsim.Frame) {
 	fd.slot = slotBytes
 	e.sched.AtArg(done, e.doneFn, fd)
 }
+
+// SetPaused pauses or resumes the engine. A paused engine keeps
+// accounting frame arrivals but drops every frame before it queues —
+// the storage-degradation lever: stop filling a full disk without
+// tearing the listener down. In-flight frames complete normally.
+func (e *Engine) SetPaused(p bool) { e.paused = p }
+
+// Paused reports whether the engine is currently shedding all frames.
+func (e *Engine) Paused() bool { return e.paused }
 
 // frameDone completes one captured frame (the AtArg callback) and
 // returns the record to the pool.

@@ -3,6 +3,7 @@ package patchwork
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -150,6 +151,12 @@ func (c *Coordinator) Start(done func(*Profile, error)) {
 // retries under its budgets). All mutations happen synchronously on the
 // caller's kernel event, keeping remediation deterministic.
 func (c *Coordinator) RemediateSite(action, site string) (string, error) {
+	// Storage-error alerts are campaign-scoped (the artifact volume is
+	// shared, so the metric carries no site label); the supervisor routes
+	// them here with the wildcard site and the action fans out.
+	if action == "free-space" && site == "*" {
+		return c.freeSpaceAll()
+	}
 	inst := c.instances[site]
 	if inst == nil {
 		return "", fmt.Errorf("patchwork: no instance at site %q", site)
@@ -169,8 +176,52 @@ func (c *Coordinator) RemediateSite(action, site string) (string, error) {
 		return inst.remediateRearmMirror()
 	case "rotate-storage":
 		return inst.remediateRotateStorage()
+	case "free-space":
+		return inst.remediateFreeSpace()
 	}
 	return "", fmt.Errorf("patchwork: unknown remediation action %q", action)
+}
+
+// PauseCapture pauses (or resumes) every capture engine across all
+// running instances — the campaign's graceful-ENOSPC lever: when
+// artifact writes start failing for lack of space, capture stops
+// filling the disk until a free-space remediation lands. Returns how
+// many engines changed state.
+func (c *Coordinator) PauseCapture(p bool) int {
+	n := 0
+	for _, inst := range c.instances {
+		if inst == nil || inst.finished {
+			continue
+		}
+		n += inst.pauseCapture(p)
+	}
+	return n
+}
+
+// freeSpaceAll fans the free-space action out to every running
+// instance, in site order so notes and mutation logs stay
+// deterministic.
+func (c *Coordinator) freeSpaceAll() (string, error) {
+	sites := make([]string, 0, len(c.instances))
+	for site, inst := range c.instances {
+		if inst == nil || inst.finished || inst.done == nil {
+			continue
+		}
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	var notes []string
+	for _, site := range sites {
+		note, err := c.instances[site].remediateFreeSpace()
+		if err != nil {
+			continue // nothing to free there; try the rest
+		}
+		notes = append(notes, site+": "+note)
+	}
+	if len(notes) == 0 {
+		return "", fmt.Errorf("patchwork: free-space: no running instance had anything to free")
+	}
+	return strings.Join(notes, "; "), nil
 }
 
 // Run is the synchronous convenience wrapper: it starts the profile and

@@ -804,6 +804,43 @@ func (si *siteInstance) remediateRotateStorage() (string, error) {
 	return note, nil
 }
 
+// pauseCapture pauses or resumes every engine on the site, returning
+// how many engines changed state.
+func (si *siteInstance) pauseCapture(p bool) int {
+	n := 0
+	for _, eng := range si.engines {
+		if eng.Paused() != p {
+			eng.SetPaused(p)
+			n++
+		}
+	}
+	return n
+}
+
+// remediateFreeSpace is the campaign-scoped ENOSPC recovery: evict
+// every harvested byte still on the VM disk (like rotate-storage) and
+// resume any engines the degradation path paused, so capture restarts
+// once space is back.
+func (si *siteInstance) remediateFreeSpace() (string, error) {
+	evict := si.totalStored - si.evictedBytes
+	if evict > 0 {
+		si.evictedBytes += evict
+	}
+	resumed := si.pauseCapture(false)
+	if evict <= 0 && resumed == 0 {
+		return "", fmt.Errorf("nothing to free: no harvested bytes, no paused engines")
+	}
+	free := si.cfg.StorageLimitBytes - si.onDiskBytes()
+	if free < 0 {
+		free = 0
+	}
+	si.mFreeBytes.Set(float64(free))
+	note := fmt.Sprintf("evicted %d bytes, resumed %d engines, %d free", evict, resumed, free)
+	si.noteMutation("free-space", note)
+	si.logf(LevelInfo, "remedy: %s", note)
+	return note, nil
+}
+
 // harvestCycle compresses each engine's pcap stream into the bundle,
 // in egress-port order so the bundle layout is deterministic (map
 // iteration order would shuffle pcaps between runs of the same seed).

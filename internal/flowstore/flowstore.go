@@ -21,13 +21,14 @@ package flowstore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 
 	"repro/internal/sketch"
+	"repro/internal/storefault"
 	"repro/internal/wire"
 )
 
@@ -347,7 +348,7 @@ func decodeCols(b []byte, m *segMeta) ([]Rec, error) {
 
 // Writer appends segments to a flow-store file.
 type Writer struct {
-	f        *os.File
+	f        storefault.File
 	w        *bufio.Writer
 	Segments int
 	Rows     int64
@@ -355,7 +356,13 @@ type Writer struct {
 
 // Create truncates/creates the store file at path.
 func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
+	return CreateFS(nil, path)
+}
+
+// CreateFS is Create through an explicit filesystem seam (nil means the
+// real disk) — the storage-chaos injection point.
+func CreateFS(fsys storefault.FS, path string) (*Writer, error) {
+	f, err := storefault.Or(fsys).Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("flowstore: %w", err)
 	}
@@ -410,7 +417,7 @@ func (w *Writer) Close() error {
 // Store is an opened flow-store file: segment metadata in memory,
 // column data read on demand per query.
 type Store struct {
-	f    *os.File
+	f    storefault.File
 	segs []*segMeta
 	rows int64
 	torn bool
@@ -420,17 +427,23 @@ type Store struct {
 // segment is tolerated (dropped, Torn reports true); corruption before
 // the final segment is an error.
 func Open(path string) (*Store, error) {
-	f, err := os.Open(path)
+	return OpenFS(nil, path)
+}
+
+// OpenFS is Open through an explicit filesystem seam (nil means the
+// real disk).
+func OpenFS(fsys storefault.FS, path string) (*Store, error) {
+	fsys = storefault.Or(fsys)
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("flowstore: %w", err)
 	}
 	st := &Store{f: f}
-	info, err := f.Stat()
+	size, err := f.Seek(0, io.SeekEnd)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("flowstore: %w", err)
 	}
-	size := info.Size()
 	off := int64(0)
 	for off < size {
 		m, next, ok := readSegHeader(f, off, size)
@@ -449,7 +462,7 @@ func Open(path string) (*Store, error) {
 // readSegHeader parses a segment's magic + meta block at off and
 // validates that the column block fits in the file; returns the meta,
 // the offset of the next segment, and ok=false on any damage.
-func readSegHeader(f *os.File, off, size int64) (*segMeta, int64, bool) {
+func readSegHeader(f io.ReaderAt, off, size int64) (*segMeta, int64, bool) {
 	var hdr [12]byte // magic + block frame
 	if off+12 > size {
 		return nil, 0, false
@@ -484,9 +497,11 @@ func readSegHeader(f *os.File, off, size int64) (*segMeta, int64, bool) {
 }
 
 // readCols reads and validates a segment's column block.
-func (s *Store) readCols(m *segMeta) ([]Rec, error) {
+func (s *Store) readCols(m *segMeta) ([]Rec, error) { return readColsAt(s.f, m) }
+
+func readColsAt(f io.ReaderAt, m *segMeta) ([]Rec, error) {
 	buf := make([]byte, m.colsLen)
-	if _, err := s.f.ReadAt(buf, m.colsOff); err != nil {
+	if _, err := f.ReadAt(buf, m.colsOff); err != nil {
 		return nil, fmt.Errorf("flowstore: reading columns: %w", err)
 	}
 	if len(buf) < 8 {
@@ -587,4 +602,107 @@ func (s *Store) ForEach(fn func(Rec) error) error {
 		}
 	}
 	return nil
+}
+
+// VerifyReport is one scrub pass over a store file. Unlike Open — which
+// stops at the first damaged segment — Verify decodes every segment's
+// meta AND column block (catching bit flips Open's lazy reads would
+// only surface at query time) and scans past damage for later intact
+// segments, which is what distinguishes a tolerable torn tail from
+// mid-file corruption.
+type VerifyReport struct {
+	// Segments and Rows count the leading run of fully intact segments.
+	Segments int
+	Rows     int64
+	// Good is the byte offset where the leading intact run ends — the
+	// truncation point Repair uses. Size is the file size.
+	Good, Size int64
+	// MidFile reports intact segments found after damage: corruption in
+	// the middle of the file, not a torn tail.
+	MidFile bool
+}
+
+// Damaged reports whether the scrub found anything wrong.
+func (r VerifyReport) Damaged() bool { return r.Good < r.Size }
+
+// TornTail reports the tolerable damage class: a single damaged region
+// ending the file.
+func (r VerifyReport) TornTail() bool { return r.Damaged() && !r.MidFile }
+
+// Verify scrubs a store file (nil fsys means the real disk).
+func Verify(fsys storefault.FS, path string) (VerifyReport, error) {
+	fsys = storefault.Or(fsys)
+	f, err := fsys.Open(path)
+	if err != nil {
+		return VerifyReport{}, fmt.Errorf("flowstore: %w", err)
+	}
+	defer f.Close()
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return VerifyReport{}, fmt.Errorf("flowstore: %w", err)
+	}
+	rep := VerifyReport{Size: size}
+	off, damaged := int64(0), false
+	for off < size {
+		m, next, ok := readSegHeader(f, off, size)
+		if ok {
+			if _, err := readColsAt(f, m); err != nil {
+				ok = false
+			}
+		}
+		if ok {
+			if !damaged {
+				rep.Segments++
+				rep.Rows += int64(m.count)
+				rep.Good = next
+			} else {
+				rep.MidFile = true
+			}
+			off = next
+			continue
+		}
+		if !damaged {
+			rep.Good = off
+			damaged = true
+		}
+		off = nextMagic(f, off+1, size)
+		if off < 0 {
+			break
+		}
+	}
+	return rep, nil
+}
+
+// nextMagic returns the offset of the next magic occurrence at or after
+// from, or -1.
+func nextMagic(f io.ReaderAt, from, size int64) int64 {
+	const chunk = 1 << 16
+	buf := make([]byte, chunk+len(magic)-1)
+	for off := from; off < size; off += chunk {
+		n, _ := f.ReadAt(buf, off)
+		if i := bytes.Index(buf[:n], magic[:]); i >= 0 {
+			return off + int64(i)
+		}
+		if off+int64(n) >= size {
+			break
+		}
+	}
+	return -1
+}
+
+// Repair truncates the store file to the end of its leading intact run
+// (a no-op on a clean file). Mid-file corruption loses the segments
+// behind it — the repair contract is "last valid frame", not recovery.
+func Repair(fsys storefault.FS, path string) (VerifyReport, error) {
+	fsys = storefault.Or(fsys)
+	rep, err := Verify(fsys, path)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Damaged() {
+		if err := fsys.Truncate(path, rep.Good); err != nil {
+			return rep, fmt.Errorf("flowstore: repair: %w", err)
+		}
+	}
+	return rep, nil
 }

@@ -2,6 +2,7 @@ package flowstore
 
 import (
 	"bytes"
+	"io"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -234,11 +235,11 @@ func fileSize(t *testing.T, w *Writer) int {
 	if err := w.w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	info, err := w.f.Stat()
+	size, err := w.f.Seek(0, io.SeekEnd)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return int(info.Size())
+	return int(size)
 }
 
 // FuzzSegmentCodec feeds arbitrary bytes through the store opener and
@@ -279,4 +280,144 @@ func FuzzSegmentCodec(f *testing.F) {
 		}
 		st.Query(Query{FromNs: 1, ToNs: 1 << 40, Limit: 10})
 	})
+}
+
+// writeStore builds a three-segment store file and returns its path.
+func writeStore(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "flows.pwfs")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, recs := range [][]Rec{
+		testRecs(50, "site-a", 1e9),
+		testRecs(30, "site-b", 100e9),
+		testRecs(20, "site-a", 200e9),
+	} {
+		if err := w.Append(recs[0].Site, recs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyClean(t *testing.T) {
+	path := writeStore(t)
+	rep, err := Verify(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Damaged() || rep.MidFile || rep.Segments != 3 || rep.Rows != 100 {
+		t.Fatalf("clean store misreported: %+v", rep)
+	}
+	if rep.Good != rep.Size {
+		t.Fatalf("Good %d != Size %d on clean store", rep.Good, rep.Size)
+	}
+}
+
+func TestVerifyTornTailAndRepair(t *testing.T) {
+	path := writeStore(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last segment: drop the final 10 bytes.
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TornTail() || rep.MidFile || rep.Segments != 2 {
+		t.Fatalf("torn tail misreported: %+v", rep)
+	}
+	if _, err := Repair(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Verify(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Damaged() || rep2.Segments != 2 {
+		t.Fatalf("repaired store still damaged: %+v", rep2)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Torn() || st.Segments() != 2 {
+		t.Fatalf("repaired store opens torn=%v segs=%d", st.Torn(), st.Segments())
+	}
+}
+
+func TestVerifyMidFileCorruption(t *testing.T) {
+	path := writeStore(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte early in the file: later segments stay intact, so the
+	// scrub must classify this as mid-file corruption, not a torn tail.
+	data[20] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged() || !rep.MidFile {
+		t.Fatalf("mid-file corruption misreported: %+v", rep)
+	}
+	if rep.TornTail() {
+		t.Fatal("mid-file corruption classified as torn tail")
+	}
+	// Repair truncates to the last valid frame before the damage; the
+	// result must open clean.
+	if _, err := Repair(nil, path); err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Verify(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Damaged() {
+		t.Fatalf("repaired store still damaged: %+v", rep2)
+	}
+}
+
+func TestVerifyCatchesColumnBitFlip(t *testing.T) {
+	path := writeStore(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in the FINAL segment's column data (well past its
+	// meta block). Open() tolerates this lazily; Verify must not.
+	data[len(data)-3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := st.Segments()
+	st.Close()
+	if segs != 3 {
+		t.Fatalf("Open dropped segments unexpectedly: %d", segs)
+	}
+	rep, err := Verify(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Damaged() || rep.Segments != 2 {
+		t.Fatalf("column bit flip not caught: %+v", rep)
+	}
 }

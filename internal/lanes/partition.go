@@ -45,9 +45,13 @@ func PartitionSites(sites []SiteLoad, lanes int) map[string]int32 {
 				best = i
 			}
 		}
+		// Every site costs at least 1, so placing a zero-weight site
+		// still marks its lane as more loaded than an empty one —
+		// otherwise the greedy pass would stack every weightless site on
+		// lane 0 while other lanes sit idle.
 		w := int64(s.Weight)
-		if w < 0 {
-			w = 0
+		if w < 1 {
+			w = 1
 		}
 		load[best] += w
 		out[s.Name] = int32(best + 1)

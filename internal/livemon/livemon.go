@@ -38,6 +38,7 @@ import (
 	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/storefault"
 )
 
 // Config sizes and locates one Server.
@@ -60,6 +61,9 @@ type Config struct {
 	RingMaxSegments  int
 	// SSEBuffer is the per-subscriber queue depth; zero defaults to 64.
 	SSEBuffer int
+	// FS is the filesystem seam the ring writes through; nil means the
+	// real disk (storage-chaos campaigns inject a fault layer here).
+	FS storefault.FS
 }
 
 // Server is one live telemetry instance. Create with New, wire with
@@ -113,7 +117,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SSEBuffer <= 0 {
 		cfg.SSEBuffer = 64
 	}
-	ring, err := OpenRing(cfg.Dir, cfg.RingSegmentBytes, cfg.RingMaxSegments)
+	ring, err := OpenRingFS(cfg.FS, cfg.Dir, cfg.RingSegmentBytes, cfg.RingMaxSegments)
 	if err != nil {
 		return nil, err
 	}

@@ -2,7 +2,9 @@ package livemon
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -10,8 +12,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/sim"
+	"repro/internal/storefault"
 )
 
 // Record is one entry in the time-series ring: a registry snapshot, an
@@ -52,10 +56,11 @@ const (
 // truncated away on open; everything before it is recovered.
 type Ring struct {
 	dir      string // "" = memory-only (no files, same bounds)
+	fs       storefault.FS
 	segBytes int64
 	maxSegs  int
 
-	f       *os.File
+	f       storefault.File
 	bw      *bufio.Writer
 	segIdx  int   // index of the active segment
 	segSize int64 // bytes written to the active segment
@@ -68,6 +73,7 @@ type Ring struct {
 	// replays its history from t=0, and the ring already holds it.
 	recoveredSimNs int64
 	recovered      int
+	pruned         int // PruneAggressive invocations (ENOSPC degradation)
 
 	err error // first I/O error; the ring keeps serving from memory
 }
@@ -87,6 +93,12 @@ const (
 // ring purely in memory with the same retention bounds. segBytes and
 // maxSegs of zero take the defaults (1 MiB × 8 segments).
 func OpenRing(dir string, segBytes int64, maxSegs int) (*Ring, error) {
+	return OpenRingFS(nil, dir, segBytes, maxSegs)
+}
+
+// OpenRingFS is OpenRing through an explicit filesystem seam (nil means
+// the real disk) — the storage-chaos injection point.
+func OpenRingFS(fsys storefault.FS, dir string, segBytes int64, maxSegs int) (*Ring, error) {
 	if segBytes <= 0 {
 		segBytes = defaultSegmentBytes
 	}
@@ -95,11 +107,11 @@ func OpenRing(dir string, segBytes int64, maxSegs int) (*Ring, error) {
 	}
 	// Sequence numbers start at 1: an SSE client sending
 	// Last-Event-ID: 0 therefore replays the whole retained backlog.
-	r := &Ring{dir: dir, segBytes: segBytes, maxSegs: maxSegs, next: 1, recoveredSimNs: -1}
+	r := &Ring{dir: dir, fs: storefault.Or(fsys), segBytes: segBytes, maxSegs: maxSegs, next: 1, recoveredSimNs: -1}
 	if dir == "" {
 		return r, nil
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := r.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("livemon: ring: %w", err)
 	}
 	if err := r.load(); err != nil {
@@ -119,7 +131,7 @@ func (r *Ring) segPath(i int) string {
 // load reads every retained segment, truncating a torn tail off the
 // newest one.
 func (r *Ring) load() error {
-	entries, err := os.ReadDir(r.dir)
+	entries, err := r.fs.ReadDir(r.dir)
 	if err != nil {
 		return fmt.Errorf("livemon: ring: %w", err)
 	}
@@ -154,25 +166,30 @@ func (r *Ring) load() error {
 }
 
 // loadSegment parses one segment; when truncate is set, a torn tail is
-// cut off the file. Returns the committed byte length.
+// cut off the file. Returns the committed byte length. A final line
+// missing its newline is torn by definition — even if its CRC happens
+// to validate — so it is dropped rather than counted, which keeps
+// recovery idempotent (truncating never extends the file).
 func (r *Ring) loadSegment(idx int, truncate bool) (int64, error) {
 	path := r.segPath(idx)
-	f, err := os.Open(path)
+	data, err := r.fs.ReadFile(path)
 	if err != nil {
 		return 0, fmt.Errorf("livemon: ring: %w", err)
 	}
 	var keep int64
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		rec, ok := parseFrame(line)
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // unterminated final line: torn write
+		}
+		rec, ok := parseFrame(string(data[off : off+nl]))
 		if !ok {
 			break // torn or corrupt: drop this line and everything after
 		}
-		size := int64(len(line)) + 1
+		size := int64(nl) + 1
 		r.recs = append(r.recs, memRec{Record: rec, seg: idx, size: size})
 		keep += size
+		off += nl + 1
 		if rec.Seq >= r.next {
 			r.next = rec.Seq + 1
 		}
@@ -180,13 +197,8 @@ func (r *Ring) loadSegment(idx int, truncate bool) (int64, error) {
 			r.recoveredSimNs = rec.SimNs
 		}
 	}
-	serr := sc.Err()
-	f.Close()
-	if serr != nil {
-		return 0, fmt.Errorf("livemon: ring: %w", serr)
-	}
-	if truncate {
-		if err := os.Truncate(path, keep); err != nil {
+	if truncate && keep < int64(len(data)) {
+		if err := r.fs.Truncate(path, keep); err != nil {
 			return 0, fmt.Errorf("livemon: ring: truncating torn tail: %w", err)
 		}
 	}
@@ -195,7 +207,7 @@ func (r *Ring) loadSegment(idx int, truncate bool) (int64, error) {
 
 // openActive opens the newest segment for appending.
 func (r *Ring) openActive() error {
-	f, err := os.OpenFile(r.segPath(r.segIdx), os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := r.fs.OpenFile(r.segPath(r.segIdx), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("livemon: ring: %w", err)
 	}
@@ -244,13 +256,7 @@ func (r *Ring) Append(kind string, at sim.Time, data []byte) (seq uint64, stored
 	}
 	line := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(encoded), encoded)
 	size := int64(len(line))
-	if r.bw != nil {
-		if _, err := r.bw.WriteString(line); err != nil {
-			r.fail(err)
-		} else if err := r.bw.Flush(); err != nil {
-			r.fail(err)
-		}
-	}
+	r.appendLine(line)
 	r.recs = append(r.recs, memRec{Record: rec, seg: r.segIdx, size: size})
 	r.next++
 	r.segSize += size
@@ -259,6 +265,73 @@ func (r *Ring) Append(kind string, at sim.Time, data []byte) (seq uint64, stored
 	}
 	return rec.Seq, true
 }
+
+// appendLine writes one framed line to the active segment. A full
+// volume (ENOSPC) triggers the degradation path: retained history is
+// pruned aggressively to free space and the write retried once from the
+// committed offset; only a second failure (or any other error) latches.
+func (r *Ring) appendLine(line string) {
+	if r.bw == nil {
+		return
+	}
+	err := r.writeFlush(line)
+	if err == nil {
+		return
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		r.fail(err)
+		return
+	}
+	r.PruneAggressive()
+	// The failed flush may have persisted a prefix; rewind to the
+	// committed length so the retry cannot leave interleaved garbage.
+	if terr := r.f.Truncate(r.segSize); terr != nil {
+		r.fail(err)
+		return
+	}
+	if _, serr := r.f.Seek(r.segSize, 0); serr != nil {
+		r.fail(err)
+		return
+	}
+	r.bw = bufio.NewWriter(r.f)
+	if err2 := r.writeFlush(line); err2 != nil {
+		r.fail(err2)
+	}
+}
+
+func (r *Ring) writeFlush(line string) error {
+	if _, err := r.bw.WriteString(line); err != nil {
+		return err
+	}
+	return r.bw.Flush()
+}
+
+// PruneAggressive drops every retained segment except the active one
+// and tightens the retention cap to two segments — the livemon side of
+// graceful ENOSPC degradation. Safe to call at any time.
+func (r *Ring) PruneAggressive() {
+	r.pruned++
+	if r.maxSegs > 2 {
+		r.maxSegs = 2
+	}
+	drop := 0
+	for drop < len(r.recs) && r.recs[drop].seg < r.segIdx {
+		drop++
+	}
+	if drop > 0 {
+		r.recs = append(r.recs[:0:0], r.recs[drop:]...)
+	}
+	if r.dir != "" {
+		for i := r.segIdx - 1; i >= 0; i-- {
+			if err := r.fs.Remove(r.segPath(i)); err != nil {
+				break // already gone
+			}
+		}
+	}
+}
+
+// Pruned counts PruneAggressive invocations.
+func (r *Ring) Pruned() int { return r.pruned }
 
 // rotate starts a new segment and prunes the oldest past the cap. In
 // memory-only mode the same bounds apply without files.
@@ -293,7 +366,7 @@ func (r *Ring) rotate() {
 	if r.dir != "" {
 		for i := oldest; i >= 0; i-- {
 			path := r.segPath(i)
-			if err := os.Remove(path); err != nil {
+			if err := r.fs.Remove(path); err != nil {
 				break // already pruned on an earlier rotation
 			}
 		}

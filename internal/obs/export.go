@@ -147,29 +147,47 @@ func (r *Registry) WriteMetricsJSONL(w io.Writer) error {
 			return err
 		}
 		if len(mp.Labels) > 0 {
-			bw.WriteString(`,"labels":{`)
+			if _, err := bw.WriteString(`,"labels":{`); err != nil {
+				return err
+			}
 			for i, l := range mp.Labels {
 				if i > 0 {
-					bw.WriteByte(',')
+					if err := bw.WriteByte(','); err != nil {
+						return err
+					}
 				}
 				k, _ := json.Marshal(l.Key)
 				v, _ := json.Marshal(l.Value)
-				fmt.Fprintf(bw, "%s:%s", k, v)
+				if _, err := fmt.Fprintf(bw, "%s:%s", k, v); err != nil {
+					return err
+				}
 			}
-			bw.WriteByte('}')
+			if err := bw.WriteByte('}'); err != nil {
+				return err
+			}
 		}
 		switch mp.Kind {
 		case KindHistogram:
-			fmt.Fprintf(bw, `,"count":%d,"sum":%d,"buckets":[`, int64(mp.Value), mp.Sum)
+			if _, err := fmt.Fprintf(bw, `,"count":%d,"sum":%d,"buckets":[`, int64(mp.Value), mp.Sum); err != nil {
+				return err
+			}
 			for i, b := range mp.Buckets {
 				if i > 0 {
-					bw.WriteByte(',')
+					if err := bw.WriteByte(','); err != nil {
+						return err
+					}
 				}
-				fmt.Fprintf(bw, `{"le":%d,"n":%d}`, b.UpperBound, b.Count)
+				if _, err := fmt.Fprintf(bw, `{"le":%d,"n":%d}`, b.UpperBound, b.Count); err != nil {
+					return err
+				}
 			}
-			bw.WriteByte(']')
+			if err := bw.WriteByte(']'); err != nil {
+				return err
+			}
 		default:
-			fmt.Fprintf(bw, `,"value":%s`, promValue(mp.Value))
+			if _, err := fmt.Fprintf(bw, `,"value":%s`, promValue(mp.Value)); err != nil {
+				return err
+			}
 		}
 		if _, err := fmt.Fprintf(bw, ",\"sim_ns\":%d}\n", int64(mp.At)); err != nil {
 			return err

@@ -21,13 +21,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/storefault"
 )
 
 // TraceFormat identifies a provenance trace header.
@@ -43,7 +43,7 @@ const (
 // mutex-guarded.
 type Writer struct {
 	mu     sync.Mutex
-	f      *os.File
+	f      storefault.File
 	bw     *bufio.Writer
 	fnIDs  map[uintptr]int32
 	body   []byte // body scratch, reused per line
@@ -56,10 +56,17 @@ type Writer struct {
 // CreateTrace creates (truncating) a provenance trace file, parent
 // directories included, and writes the header frame.
 func CreateTrace(path string) (*Writer, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	return CreateTraceFS(nil, path)
+}
+
+// CreateTraceFS is CreateTrace through an explicit filesystem seam (nil
+// means the real disk) — the storage-chaos injection point.
+func CreateTraceFS(fsys storefault.FS, path string) (*Writer, error) {
+	fsys = storefault.Or(fsys)
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("prof: %w", err)
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("prof: %w", err)
 	}

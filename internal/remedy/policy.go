@@ -34,6 +34,11 @@ const (
 	// ActionRotateStorage evicts the oldest captured bytes on the
 	// site's store, freeing space before the watchdog kills the run.
 	ActionRotateStorage = "rotate-storage"
+	// ActionFreeSpace is the campaign-scoped ENOSPC recovery: evict
+	// harvested bytes and resume paused capture across every site. Its
+	// triggering metric (patchwork_storage_errors_total) carries no site
+	// label, so the supervisor routes it with the wildcard site "*".
+	ActionFreeSpace = "free-space"
 )
 
 // knownActions gates policy validation.
@@ -42,6 +47,7 @@ var knownActions = map[string]bool{
 	ActionReallocate:      true,
 	ActionRearmMirror:     true,
 	ActionRotateStorage:   true,
+	ActionFreeSpace:       true,
 }
 
 // RateSpec is the supervisor-wide token bucket: at most Burst actions

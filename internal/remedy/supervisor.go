@@ -164,6 +164,12 @@ func (s *Supervisor) OnAlert(ev health.AlertEvent) {
 			continue
 		}
 		site := siteOf(ev.Instance)
+		if site == "" && rule.Action == ActionFreeSpace {
+			// Storage errors are campaign-scoped: the artifact volume is
+			// shared, so the metric carries no site label. Route the
+			// action with the wildcard and let the target fan it out.
+			site = "*"
+		}
 		if site == "" {
 			s.record(ActionRecord{At: now, Rule: rule.Name, Action: rule.Action,
 				Instance: ev.Instance, Outcome: "skip-no-site",

@@ -1,0 +1,132 @@
+package storefault
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func nowNs() int64 { return time.Now().UnixNano() }
+
+// The seam-cost benchmarks compare the two write patterns the seam sits
+// on in production against raw *os.File writes of the same shape:
+// journal-style small framed lines and flowstore-style column blocks.
+// The passthrough Disk adds one interface dispatch per call and nothing
+// else; these benchmarks (and the -smoke gate in TestSeamOverheadGate)
+// are the receipt.
+
+const (
+	journalLineBytes   = 160
+	flowstoreBlockSize = 8 << 10
+)
+
+// benchWrites measures b.N sequential writes of size bytes, either
+// through the Disk seam or straight to *os.File.
+func benchWrites(b *testing.B, seam bool, size int) {
+	path := filepath.Join(b.TempDir(), "bench.dat")
+	buf := make([]byte, size)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	var w interface {
+		Write([]byte) (int, error)
+		Close() error
+	}
+	if seam {
+		f, err := Disk.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w = f
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w = f
+	}
+	defer w.Close()
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeamJournalLineRaw(b *testing.B)    { benchWrites(b, false, journalLineBytes) }
+func BenchmarkSeamJournalLineDisk(b *testing.B)   { benchWrites(b, true, journalLineBytes) }
+func BenchmarkSeamFlowstoreBlockRaw(b *testing.B) { benchWrites(b, false, flowstoreBlockSize) }
+func BenchmarkSeamFlowstoreBlockDisk(b *testing.B) {
+	benchWrites(b, true, flowstoreBlockSize)
+}
+
+// TestSeamOverheadGate is the within-noise gate bench.sh -smoke runs:
+// the passthrough seam must stay within 2x + 2µs of the raw write on
+// both hot-path shapes (a single interface dispatch costs nanoseconds;
+// the actual write costs microseconds, so a seam regression that trips
+// this gate means the seam grew real work). Skipped unless
+// PW_SEAM_GATE=1, because testing.Benchmark runs long enough to be
+// meaningful and this does not belong in every unit-test pass.
+func TestSeamOverheadGate(t *testing.T) {
+	if os.Getenv("PW_SEAM_GATE") == "" {
+		t.Skip("set PW_SEAM_GATE=1 to run the seam overhead gate")
+	}
+	// Fixed iteration counts and best-of-5 keep the gate fast (tens of
+	// milliseconds per shape) while smoothing scheduler jitter.
+	measure := func(seam bool, size, iters int) int64 {
+		best := int64(-1)
+		for rep := 0; rep < 5; rep++ {
+			path := filepath.Join(t.TempDir(), "gate.dat")
+			buf := make([]byte, size)
+			var w File
+			var err error
+			if seam {
+				w, err = Disk.Create(path)
+			} else {
+				var f *os.File
+				f, err = os.Create(path)
+				w = f
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			start := nowNs()
+			for i := 0; i < iters; i++ {
+				if _, err := w.Write(buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+			per := (nowNs() - start) / int64(iters)
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if best < 0 || per < best {
+				best = per
+			}
+		}
+		return best
+	}
+	for _, tc := range []struct {
+		name  string
+		size  int
+		iters int
+	}{
+		{"journal-line", journalLineBytes, 8192},
+		{"flowstore-block", flowstoreBlockSize, 2048},
+	} {
+		rawNs := measure(false, tc.size, tc.iters)
+		seamNs := measure(true, tc.size, tc.iters)
+		ratio := float64(seamNs) / float64(rawNs)
+		// Key for bench.sh to scrape: seam_overhead <name> <raw> <seam> <ratio>
+		fmt.Printf("seam_overhead %s raw_ns=%d seam_ns=%d ratio=%.3f\n",
+			tc.name, rawNs, seamNs, ratio)
+		if limit := rawNs*2 + 2000; seamNs > limit {
+			t.Errorf("%s: seam %d ns/op exceeds noise limit %d ns/op (raw %d ns/op)",
+				tc.name, seamNs, limit, rawNs)
+		}
+	}
+}

@@ -1,0 +1,590 @@
+package storefault
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"syscall"
+
+	"repro/internal/rng"
+)
+
+// Injected-fault sentinels. ENOSPC is the real syscall errno so callers'
+// errors.Is(err, syscall.ENOSPC) degradation paths fire exactly as they
+// would on a full disk.
+var (
+	// ErrInjectedFsync is the cause of an injected fsync failure.
+	ErrInjectedFsync = errors.New("storefault: injected fsync failure")
+	// ErrInjectedRename is the cause of an injected rename failure.
+	ErrInjectedRename = errors.New("storefault: injected rename failure")
+	// ErrInjectedRead is the cause of an injected read error.
+	ErrInjectedRead = errors.New("storefault: injected read error")
+)
+
+// Target selects which operations a plan entry can fire on. Every entry
+// embeds one.
+type Target struct {
+	// PathGlob is a filepath.Match pattern tested against the file's
+	// base name ("wal.jsonl", "*.pcap", "seg-*"). Empty matches every
+	// file.
+	PathGlob string `json:"path_glob,omitempty"`
+	// Rate is the per-matching-operation injection probability in (0, 1].
+	Rate float64 `json:"rate"`
+	// AfterOps skips the entry's first AfterOps matching operations, so
+	// a plan can let a file's header land intact before corrupting it.
+	AfterOps int `json:"after_ops,omitempty"`
+	// Max caps the entry's total injections; 0 means unlimited.
+	Max int `json:"max,omitempty"`
+}
+
+func (t Target) validate(what string) error {
+	if t.Rate <= 0 || t.Rate > 1 {
+		return fmt.Errorf("storefault: %s: rate %g outside (0, 1]", what, t.Rate)
+	}
+	if t.AfterOps < 0 || t.Max < 0 {
+		return fmt.Errorf("storefault: %s: negative after_ops or max", what)
+	}
+	if t.PathGlob != "" {
+		if _, err := filepath.Match(t.PathGlob, "x"); err != nil {
+			return fmt.Errorf("storefault: %s: bad path_glob %q: %v", what, t.PathGlob, err)
+		}
+	}
+	return nil
+}
+
+// TornWrite persists only a prefix of a write but reports full success —
+// the classic lost-tail power failure, invisible until the file is read
+// back.
+type TornWrite struct{ Target }
+
+// ShortWrite persists a prefix and honestly returns n < len(p) with a
+// nil error, which io.Writer clients must surface as io.ErrShortWrite.
+type ShortWrite struct{ Target }
+
+// BitFlip flips one random bit of the written buffer and reports
+// success — silent media corruption.
+type BitFlip struct{ Target }
+
+// ENOSPC fails a write with syscall.ENOSPC, modeling a full volume.
+type ENOSPC struct{ Target }
+
+// FsyncFault corrupts fsync: by default Sync returns an error; with
+// Latent it silently skips the inner sync and reports success (the
+// "lying fsync" firmware bug).
+type FsyncFault struct {
+	Target
+	Latent bool `json:"latent,omitempty"`
+}
+
+// RenameFault fails a rename (matched against the destination's base
+// name) — the atomic checkpoint swap's failure mode.
+type RenameFault struct{ Target }
+
+// ReadError fails a read operation on a matching file.
+type ReadError struct{ Target }
+
+// Plan is a complete, replayable storage-fault schedule — the
+// filesystem sibling of faults.Plan.
+type Plan struct {
+	// Name labels the plan in logs and summaries.
+	Name string `json:"name,omitempty"`
+	// TornWrites, ShortWrites, … are the plan's entries, applied in
+	// declaration order.
+	TornWrites   []TornWrite   `json:"torn_writes,omitempty"`
+	ShortWrites  []ShortWrite  `json:"short_writes,omitempty"`
+	BitFlips     []BitFlip     `json:"bit_flips,omitempty"`
+	ENOSPCs      []ENOSPC      `json:"enospc,omitempty"`
+	FsyncFaults  []FsyncFault  `json:"fsync_faults,omitempty"`
+	RenameFaults []RenameFault `json:"rename_faults,omitempty"`
+	ReadErrors   []ReadError   `json:"read_errors,omitempty"`
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p Plan) Empty() bool {
+	return len(p.TornWrites) == 0 && len(p.ShortWrites) == 0 &&
+		len(p.BitFlips) == 0 && len(p.ENOSPCs) == 0 &&
+		len(p.FsyncFaults) == 0 && len(p.RenameFaults) == 0 &&
+		len(p.ReadErrors) == 0
+}
+
+// Validate rejects malformed plans with an error naming the bad entry.
+func (p Plan) Validate() error {
+	for i, e := range p.TornWrites {
+		if err := e.validate(fmt.Sprintf("torn_writes[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.ShortWrites {
+		if err := e.validate(fmt.Sprintf("short_writes[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.BitFlips {
+		if err := e.validate(fmt.Sprintf("bit_flips[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.ENOSPCs {
+		if err := e.validate(fmt.Sprintf("enospc[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.FsyncFaults {
+		if err := e.validate(fmt.Sprintf("fsync_faults[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.RenameFaults {
+		if err := e.validate(fmt.Sprintf("rename_faults[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, e := range p.ReadErrors {
+		if err := e.validate(fmt.Sprintf("read_errors[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parse decodes and validates a JSON plan. Unknown fields are errors so
+// a typo fails loudly instead of silently injecting nothing.
+func Parse(data []byte) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("storefault: parsing plan: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Load reads and parses a plan file.
+func Load(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, fmt.Errorf("storefault: %w", err)
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return Plan{}, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return p, nil
+}
+
+// Fault kinds, used as the Injected() map key and the injection-log
+// label.
+const (
+	KindTornWrite   = "torn-write"
+	KindShortWrite  = "short-write"
+	KindBitFlip     = "bit-flip"
+	KindENOSPC      = "enospc"
+	KindFsyncFault  = "fsync-fault"
+	KindRenameFault = "rename-fault"
+	KindReadError   = "read-error"
+)
+
+// Injection is one fired fault: the Op'th fault-eligible filesystem
+// operation the chaos layer saw, what was injected, and on which file.
+// The ordered injection list is the layer's determinism receipt — two
+// runs of the same (plan, seed) must produce identical lists.
+type Injection struct {
+	Op   int    `json:"op"`
+	Kind string `json:"kind"`
+	Path string `json:"path"`
+}
+
+// entry is one armed plan entry with its private rng stream and
+// matching-op counters.
+type entry struct {
+	kind   string
+	t      Target
+	latent bool
+	r      *rng.Source
+	ops    int
+	hits   int
+}
+
+// fire decides whether this entry injects on a matching operation. The
+// rng stream advances exactly once per matching op past after_ops, so
+// entries decide independently of each other's outcomes — the core of
+// injection-for-injection replay.
+func (e *entry) fire(base string) bool {
+	if e.t.PathGlob != "" {
+		if ok, _ := filepath.Match(e.t.PathGlob, base); !ok {
+			return false
+		}
+	}
+	e.ops++
+	if e.ops <= e.t.AfterOps {
+		return false
+	}
+	if e.t.Max > 0 && e.hits >= e.t.Max {
+		return false
+	}
+	if !e.r.Bool(e.t.Rate) {
+		return false
+	}
+	e.hits++
+	return true
+}
+
+// Chaos is the fault-injecting FS. It wraps an inner FS (usually Disk)
+// and applies a Plan's entries to matching operations. All decisions
+// are serialized under one mutex and drawn from per-entry children of a
+// single seeded source, so a single-threaded caller replays the same
+// injections for the same (plan, seed).
+type Chaos struct {
+	inner FS
+	plan  Plan
+
+	mu      sync.Mutex
+	writes  []*entry // torn, short, flip, enospc — precedence below
+	syncs   []*entry
+	renames []*entry
+	reads   []*entry
+	opSeq   int
+	counts  map[string]int64
+	log     []Injection
+
+	notify func(kind, path string)
+}
+
+// NewChaos validates the plan and arms a chaos FS over inner. All
+// randomness derives from seed, independently of any other seeded
+// component; entries receive child streams in declaration order.
+func NewChaos(inner FS, seed uint64, plan Plan) (*Chaos, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chaos{
+		inner:  Or(inner),
+		plan:   plan,
+		counts: make(map[string]int64),
+	}
+	root := rng.New(seed ^ 0x73746f7265) // "store"
+	// Error-kind write faults (ENOSPC, short) precede silent ones (torn,
+	// bit flip): an op that fails loudly cannot also corrupt silently.
+	for _, e := range plan.ENOSPCs {
+		c.writes = append(c.writes, &entry{kind: KindENOSPC, t: e.Target, r: root.Split()})
+	}
+	for _, e := range plan.ShortWrites {
+		c.writes = append(c.writes, &entry{kind: KindShortWrite, t: e.Target, r: root.Split()})
+	}
+	for _, e := range plan.TornWrites {
+		c.writes = append(c.writes, &entry{kind: KindTornWrite, t: e.Target, r: root.Split()})
+	}
+	for _, e := range plan.BitFlips {
+		c.writes = append(c.writes, &entry{kind: KindBitFlip, t: e.Target, r: root.Split()})
+	}
+	for _, e := range plan.FsyncFaults {
+		c.syncs = append(c.syncs, &entry{kind: KindFsyncFault, t: e.Target, latent: e.Latent, r: root.Split()})
+	}
+	for _, e := range plan.RenameFaults {
+		c.renames = append(c.renames, &entry{kind: KindRenameFault, t: e.Target, r: root.Split()})
+	}
+	for _, e := range plan.ReadErrors {
+		c.reads = append(c.reads, &entry{kind: KindReadError, t: e.Target, r: root.Split()})
+	}
+	return c, nil
+}
+
+// Plan returns the chaos layer's (validated) plan.
+func (c *Chaos) Plan() Plan { return c.plan }
+
+// SetNotify installs a callback invoked (outside the chaos lock) for
+// every injection — the campaign layer counts these under
+// patchwork_storage_errors_total.
+func (c *Chaos) SetNotify(f func(kind, path string)) { c.notify = f }
+
+// effect is one resolved write-op decision: which fault applies and the
+// rng-drawn cut point / bit position it needs.
+type effect struct {
+	kind string
+	path string
+	n    int // torn/short: bytes actually persisted
+	bit  int // bit flip: bit index into the buffer
+}
+
+// decideWrite runs every write-class entry against one write op and
+// resolves precedence. Every matching entry's stream advances whether
+// or not an earlier entry already fired.
+func (c *Chaos) decideWrite(path string, size int) (effect, func()) {
+	base := filepath.Base(path)
+	c.mu.Lock()
+	c.opSeq++
+	eff := effect{path: path}
+	for _, e := range c.writes {
+		if !e.fire(base) {
+			continue
+		}
+		if eff.kind != "" {
+			e.hits-- // a single op carries a single fault; refund the cap
+			continue
+		}
+		eff.kind = e.kind
+		switch e.kind {
+		case KindTornWrite, KindShortWrite:
+			if size > 0 {
+				eff.n = e.r.Intn(size) // strict prefix: [0, size)
+			}
+		case KindBitFlip:
+			if size > 0 {
+				eff.bit = e.r.Intn(size * 8)
+			} else {
+				eff.kind = "" // nothing to flip in an empty write
+				e.hits--
+			}
+		}
+	}
+	return eff, c.noteLocked(eff.kind, path)
+}
+
+// decideOp runs one non-write op class (sync, rename, read) and reports
+// the fired entry, if any.
+func (c *Chaos) decideOp(entries []*entry, path string) (*entry, func()) {
+	base := filepath.Base(path)
+	c.mu.Lock()
+	c.opSeq++
+	var fired *entry
+	for _, e := range entries {
+		if e.fire(base) {
+			if fired != nil {
+				e.hits--
+				continue
+			}
+			fired = e
+		}
+	}
+	kind := ""
+	if fired != nil {
+		kind = fired.kind
+	}
+	return fired, c.noteLocked(kind, path)
+}
+
+// noteLocked records an injection (or nothing) and returns the deferred
+// notify step to run after the lock is released. Callers must hold c.mu;
+// the returned func unlocks it.
+func (c *Chaos) noteLocked(kind, path string) func() {
+	var fn func(kind, path string)
+	if kind != "" {
+		c.counts[kind]++
+		c.log = append(c.log, Injection{Op: c.opSeq, Kind: kind, Path: filepath.Base(path)})
+		fn = c.notify
+	}
+	c.mu.Unlock()
+	if fn == nil {
+		return func() {}
+	}
+	return func() { fn(kind, path) }
+}
+
+// Injected returns a copy of the per-kind injection counts so far
+// (kinds with zero injections are omitted).
+func (c *Chaos) Injected() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// InjectedTotal sums injections across kinds.
+func (c *Chaos) InjectedTotal() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total int64
+	for _, v := range c.counts {
+		total += v
+	}
+	return total
+}
+
+// Injections returns the ordered injection log.
+func (c *Chaos) Injections() []Injection {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Injection, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// WriteLogJSONL renders the injection log one JSON object per line —
+// the artifact same-seed runs are byte-compared on.
+func (c *Chaos) WriteLogJSONL(w io.Writer) error {
+	for _, inj := range c.Injections() {
+		data, err := json.Marshal(inj)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders the per-kind counts, sorted by kind, for CLI output.
+func (c *Chaos) Summary() string {
+	injected := c.Injected()
+	if len(injected) == 0 {
+		return "no storage faults injected"
+	}
+	names := make([]string, 0, len(injected))
+	for k := range injected {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, k := range names {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%d", k, injected[k])
+	}
+	return s
+}
+
+// --- FS implementation ---
+
+func (c *Chaos) wrap(f File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{c: c, f: f, path: f.Name()}, nil
+}
+
+func (c *Chaos) Create(path string) (File, error) { return c.wrap(c.inner.Create(path)) }
+func (c *Chaos) Open(path string) (File, error)   { return c.wrap(c.inner.Open(path)) }
+func (c *Chaos) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	return c.wrap(c.inner.OpenFile(path, flag, perm))
+}
+
+func (c *Chaos) ReadFile(path string) ([]byte, error) {
+	fired, done := c.decideOp(c.reads, path)
+	done()
+	if fired != nil {
+		return nil, &os.PathError{Op: "read", Path: path, Err: ErrInjectedRead}
+	}
+	return c.inner.ReadFile(path)
+}
+
+func (c *Chaos) WriteFile(path string, data []byte, perm os.FileMode) error {
+	eff, done := c.decideWrite(path, len(data))
+	done()
+	switch eff.kind {
+	case KindENOSPC:
+		return &os.PathError{Op: "write", Path: path, Err: syscall.ENOSPC}
+	case KindShortWrite, KindTornWrite:
+		// Whole-file writes have no honest short-write channel; both
+		// kinds leave a truncated file. Short write reports the error,
+		// torn write lies.
+		err := c.inner.WriteFile(path, data[:eff.n], perm)
+		if err == nil && eff.kind == KindShortWrite {
+			err = &os.PathError{Op: "write", Path: path, Err: io.ErrShortWrite}
+		}
+		return err
+	case KindBitFlip:
+		flipped := append([]byte(nil), data...)
+		flipped[eff.bit/8] ^= 1 << (eff.bit % 8)
+		return c.inner.WriteFile(path, flipped, perm)
+	}
+	return c.inner.WriteFile(path, data, perm)
+}
+
+func (c *Chaos) Rename(oldpath, newpath string) error {
+	fired, done := c.decideOp(c.renames, newpath)
+	done()
+	if fired != nil {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: ErrInjectedRename}
+	}
+	return c.inner.Rename(oldpath, newpath)
+}
+
+func (c *Chaos) Remove(path string) error                     { return c.inner.Remove(path) }
+func (c *Chaos) MkdirAll(path string, perm os.FileMode) error { return c.inner.MkdirAll(path, perm) }
+func (c *Chaos) Truncate(path string, size int64) error       { return c.inner.Truncate(path, size) }
+func (c *Chaos) Stat(path string) (fs.FileInfo, error)        { return c.inner.Stat(path) }
+func (c *Chaos) ReadDir(path string) ([]fs.DirEntry, error)   { return c.inner.ReadDir(path) }
+
+// chaosFile applies write/read/sync faults to one open file.
+type chaosFile struct {
+	c    *Chaos
+	f    File
+	path string
+}
+
+func (f *chaosFile) Write(p []byte) (int, error) {
+	eff, done := f.c.decideWrite(f.path, len(p))
+	done()
+	switch eff.kind {
+	case KindENOSPC:
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: syscall.ENOSPC}
+	case KindShortWrite:
+		n, err := f.f.Write(p[:eff.n])
+		if err != nil {
+			return n, err
+		}
+		return n, nil // honest short count; callers must notice n < len(p)
+	case KindTornWrite:
+		if _, err := f.f.Write(p[:eff.n]); err != nil {
+			return 0, err
+		}
+		return len(p), nil // the lie: full success, prefix persisted
+	case KindBitFlip:
+		flipped := append([]byte(nil), p...)
+		flipped[eff.bit/8] ^= 1 << (eff.bit % 8)
+		return f.f.Write(flipped)
+	}
+	return f.f.Write(p)
+}
+
+func (f *chaosFile) WriteString(s string) (int, error) { return f.Write([]byte(s)) }
+
+func (f *chaosFile) Read(p []byte) (int, error) {
+	fired, done := f.c.decideOp(f.c.reads, f.path)
+	done()
+	if fired != nil {
+		return 0, &os.PathError{Op: "read", Path: f.path, Err: ErrInjectedRead}
+	}
+	return f.f.Read(p)
+}
+
+func (f *chaosFile) ReadAt(p []byte, off int64) (int, error) {
+	fired, done := f.c.decideOp(f.c.reads, f.path)
+	done()
+	if fired != nil {
+		return 0, &os.PathError{Op: "read", Path: f.path, Err: ErrInjectedRead}
+	}
+	return f.f.ReadAt(p, off)
+}
+
+func (f *chaosFile) Sync() error {
+	fired, done := f.c.decideOp(f.c.syncs, f.path)
+	done()
+	if fired != nil {
+		if fired.latent {
+			return nil // lying fsync: success reported, nothing durable
+		}
+		return &os.PathError{Op: "sync", Path: f.path, Err: ErrInjectedFsync}
+	}
+	return f.f.Sync()
+}
+
+func (f *chaosFile) Seek(offset int64, whence int) (int64, error) { return f.f.Seek(offset, whence) }
+func (f *chaosFile) Truncate(size int64) error                    { return f.f.Truncate(size) }
+func (f *chaosFile) Close() error                                 { return f.f.Close() }
+func (f *chaosFile) Name() string                                 { return f.f.Name() }

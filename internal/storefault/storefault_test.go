@@ -1,0 +1,346 @@
+package storefault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"syscall"
+	"testing"
+)
+
+func TestDiskPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := Disk.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("hello"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Disk.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("read back %q", data)
+	}
+	if err := Disk.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if Or(nil) != Disk {
+		t.Fatal("Or(nil) != Disk")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []string{
+		`{"torn_writes": [{"rate": 0}]}`,
+		`{"bit_flips": [{"rate": 1.5}]}`,
+		`{"enospc": [{"rate": 0.5, "after_ops": -1}]}`,
+		`{"read_errors": [{"rate": 0.5, "path_glob": "[unclosed"}]}`,
+		`{"bogus_field": []}`,
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("Parse(%s) accepted", c)
+		}
+	}
+	p, err := Parse([]byte(`{"name": "ok", "torn_writes": [{"rate": 1, "path_glob": "*.jsonl", "max": 2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Empty() || p.Name != "ok" {
+		t.Fatalf("unexpected plan %+v", p)
+	}
+}
+
+// chaosWrite writes data to path through the chaos FS's file layer and
+// returns what Write reported plus the bytes that actually landed.
+func chaosWrite(t *testing.T, c *Chaos, path string, data []byte) (int, error, []byte) {
+	t.Helper()
+	f, err := c.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write(data)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, werr, got
+}
+
+func TestTornWriteLies(t *testing.T) {
+	plan, _ := Parse([]byte(`{"torn_writes": [{"rate": 1, "max": 1}]}`))
+	c, err := NewChaos(Disk, 1, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 100)
+	n, werr, got := chaosWrite(t, c, filepath.Join(t.TempDir(), "f"), payload)
+	if werr != nil || n != len(payload) {
+		t.Fatalf("torn write must report full success, got n=%d err=%v", n, werr)
+	}
+	if len(got) >= len(payload) {
+		t.Fatalf("torn write persisted %d bytes, want a strict prefix of %d", len(got), len(payload))
+	}
+	if c.Injected()[KindTornWrite] != 1 {
+		t.Fatalf("injected = %v", c.Injected())
+	}
+}
+
+func TestShortWriteHonest(t *testing.T) {
+	plan, _ := Parse([]byte(`{"short_writes": [{"rate": 1, "max": 1}]}`))
+	c, _ := NewChaos(Disk, 2, plan)
+	payload := bytes.Repeat([]byte("y"), 64)
+	n, werr, got := chaosWrite(t, c, filepath.Join(t.TempDir(), "f"), payload)
+	if werr != nil {
+		t.Fatalf("short write returns nil error (the count is the signal), got %v", werr)
+	}
+	if n >= len(payload) {
+		t.Fatalf("short write reported n=%d, want < %d", n, len(payload))
+	}
+	if len(got) != n {
+		t.Fatalf("persisted %d bytes, reported %d", len(got), n)
+	}
+}
+
+func TestBitFlipSilent(t *testing.T) {
+	plan, _ := Parse([]byte(`{"bit_flips": [{"rate": 1, "max": 1}]}`))
+	c, _ := NewChaos(Disk, 3, plan)
+	payload := bytes.Repeat([]byte{0}, 32)
+	n, werr, got := chaosWrite(t, c, filepath.Join(t.TempDir(), "f"), payload)
+	if werr != nil || n != len(payload) {
+		t.Fatalf("bit flip must report success, got n=%d err=%v", n, werr)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("length changed: %d", len(got))
+	}
+	ones := 0
+	for _, b := range got {
+		for ; b != 0; b &= b - 1 {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("want exactly one flipped bit, got %d", ones)
+	}
+}
+
+func TestENOSPC(t *testing.T) {
+	plan, _ := Parse([]byte(`{"enospc": [{"rate": 1, "max": 1}]}`))
+	c, _ := NewChaos(Disk, 4, plan)
+	_, werr, got := chaosWrite(t, c, filepath.Join(t.TempDir(), "f"), []byte("data"))
+	if !errors.Is(werr, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", werr)
+	}
+	if len(got) != 0 {
+		t.Fatalf("ENOSPC persisted %d bytes", len(got))
+	}
+	// WriteFile takes the same path.
+	err := c.WriteFile(filepath.Join(t.TempDir(), "g"), []byte("data"), 0o644)
+	if err != nil {
+		t.Fatalf("max=1 exhausted, second write should pass: %v", err)
+	}
+}
+
+func TestFsyncFaults(t *testing.T) {
+	plan, _ := Parse([]byte(`{"fsync_faults": [{"rate": 1, "max": 1}]}`))
+	c, _ := NewChaos(Disk, 5, plan)
+	f, err := c.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Sync(); !errors.Is(err, ErrInjectedFsync) {
+		t.Fatalf("want injected fsync failure, got %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync should pass: %v", err)
+	}
+
+	latent, _ := Parse([]byte(`{"fsync_faults": [{"rate": 1, "latent": true}]}`))
+	c2, _ := NewChaos(Disk, 5, latent)
+	f2, err := c2.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := f2.Sync(); err != nil {
+		t.Fatalf("latent fsync must report success, got %v", err)
+	}
+	if c2.Injected()[KindFsyncFault] != 1 {
+		t.Fatalf("latent fsync not counted: %v", c2.Injected())
+	}
+}
+
+func TestRenameFault(t *testing.T) {
+	plan, _ := Parse([]byte(`{"rename_faults": [{"rate": 1, "max": 1, "path_glob": "checkpoint.json"}]}`))
+	c, _ := NewChaos(Disk, 6, plan)
+	dir := t.TempDir()
+	src := filepath.Join(dir, "checkpoint.json.tmp")
+	if err := os.WriteFile(src, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Rename(src, filepath.Join(dir, "checkpoint.json"))
+	if !errors.Is(err, ErrInjectedRename) {
+		t.Fatalf("want injected rename failure, got %v", err)
+	}
+	// Other destinations don't match the glob.
+	if err := c.Rename(src, filepath.Join(dir, "other.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadError(t *testing.T) {
+	plan, _ := Parse([]byte(`{"read_errors": [{"rate": 1, "max": 2}]}`))
+	c, _ := NewChaos(Disk, 7, plan)
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile(path); !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("want injected read error, got %v", err)
+	}
+	f, err := c.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Read(make([]byte, 4)); !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("want injected read error, got %v", err)
+	}
+	if _, err := io.ReadAll(f); err != nil {
+		t.Fatalf("max exhausted, read should pass: %v", err)
+	}
+}
+
+func TestGlobAndAfterOps(t *testing.T) {
+	plan, _ := Parse([]byte(`{"torn_writes": [{"rate": 1, "path_glob": "wal.jsonl", "after_ops": 2}]}`))
+	c, _ := NewChaos(Disk, 8, plan)
+	dir := t.TempDir()
+
+	// Non-matching files are never touched.
+	n, werr, got := chaosWrite(t, c, filepath.Join(dir, "other.log"), []byte("aaaa"))
+	if werr != nil || n != 4 || string(got) != "aaaa" {
+		t.Fatalf("non-matching file perturbed: n=%d err=%v got=%q", n, werr, got)
+	}
+
+	f, err := c.Create(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // ops 1..2 are protected by after_ops
+		if _, err := f.Write([]byte("line\n")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Write([]byte("line\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= 15 {
+		t.Fatalf("third write should be torn, file has %d bytes", len(data))
+	}
+	if len(data) < 10 {
+		t.Fatalf("first two writes must land intact, file has %d bytes", len(data))
+	}
+}
+
+// driveOps runs a fixed operation sequence against a chaos FS and
+// returns the injection log.
+func driveOps(t *testing.T, seed uint64, plan Plan) []Injection {
+	t.Helper()
+	c, err := NewChaos(Disk, seed, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	f, err := c.Create(filepath.Join(dir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		_, _ = f.Write([]byte("record-payload-bytes\n"))
+	}
+	_ = f.Sync()
+	_ = f.Close()
+	for i := 0; i < 10; i++ {
+		_ = c.WriteFile(filepath.Join(dir, "checkpoint.json.tmp"), []byte(`{"seq": 1}`), 0o644)
+		_ = c.Rename(filepath.Join(dir, "checkpoint.json.tmp"), filepath.Join(dir, "checkpoint.json"))
+	}
+	_, _ = c.ReadFile(filepath.Join(dir, "wal.jsonl"))
+	return c.Injections()
+}
+
+func TestSameSeedReplaysInjectionForInjection(t *testing.T) {
+	plan, err := Parse([]byte(`{
+		"torn_writes":  [{"rate": 0.2, "path_glob": "wal.jsonl"}],
+		"bit_flips":    [{"rate": 0.1}],
+		"enospc":       [{"rate": 0.05}],
+		"fsync_faults": [{"rate": 0.5}],
+		"rename_faults":[{"rate": 0.3, "path_glob": "checkpoint.json"}],
+		"read_errors":  [{"rate": 1, "max": 1}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := driveOps(t, 42, plan)
+	b := driveOps(t, 42, plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("hostile plan injected nothing; test is vacuous")
+	}
+	other := driveOps(t, 43, plan)
+	if reflect.DeepEqual(a, other) {
+		t.Fatal("different seeds produced identical injection logs")
+	}
+}
+
+func TestNotifyAndLogJSONL(t *testing.T) {
+	plan, _ := Parse([]byte(`{"enospc": [{"rate": 1, "max": 3}]}`))
+	c, _ := NewChaos(Disk, 9, plan)
+	var kinds []string
+	c.SetNotify(func(kind, path string) { kinds = append(kinds, kind) })
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		_ = c.WriteFile(filepath.Join(dir, "f"), []byte("x"), 0o644)
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("notify fired %d times, want 3", len(kinds))
+	}
+	if c.InjectedTotal() != 3 {
+		t.Fatalf("InjectedTotal = %d", c.InjectedTotal())
+	}
+	var buf bytes.Buffer
+	if err := c.WriteLogJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 3 {
+		t.Fatalf("log has %d lines, want 3: %q", lines, buf.String())
+	}
+	if c.Summary() != "enospc=3" {
+		t.Fatalf("summary %q", c.Summary())
+	}
+}

@@ -15,6 +15,11 @@
 #                           materialized digest (B/op, flows/sec) and
 #                           the GOMEMLIMIT-bounded peak heap of a
 #                           Fig13-scale streamed digest
+#   BENCH_storefault.json   storage seam overhead: journal-line and
+#                           flowstore-block writes raw vs through the
+#                           passthrough FS seam, plus the measured
+#                           seam/raw ratios (gated within noise in
+#                           -smoke)
 #
 # Each file keeps the best of -count runs per benchmark. Commit the
 # refreshed files alongside any change that moves them.
@@ -42,6 +47,7 @@ if [ "$smoke" -eq 1 ]; then
     experiments_out="$tmp/BENCH_experiments.json"
     lanes_out="$tmp/BENCH_lanes.json"
     analysis_out="$tmp/BENCH_analysis.json"
+    storefault_out="$tmp/BENCH_storefault.json"
 else
     benchtime=
     count=3
@@ -49,6 +55,7 @@ else
     experiments_out=BENCH_experiments.json
     lanes_out=BENCH_lanes.json
     analysis_out=BENCH_analysis.json
+    storefault_out=BENCH_storefault.json
 fi
 
 go build -o "$tmp/benchjson" ./cmd/benchjson
@@ -154,6 +161,28 @@ peak_heap=$(awk '/peak_heap_mb/ { print $NF }' "$tmp/heap.txt")
     < "$tmp/analysis.txt" > "$analysis_out"
 echo "streamed digest peak heap under GOMEMLIMIT=64MiB: ${peak_heap:-?} MB"
 
+echo "== storage seam overhead: raw vs passthrough FS =="
+# The fault-injection seam routes every journal and flowstore write
+# through an interface; the gate proves the passthrough costs ~0. The
+# gate test runs in every mode (smoke included) and FAILS if the seam
+# exceeds 2x + 2µs of the raw write on either hot-path shape; the
+# benchmarks record the trajectory.
+go test -run '^$' -bench '^BenchmarkSeam' -benchmem ${benchtime:+-benchtime $benchtime} \
+    -count "$count" ./internal/storefault | tee "$tmp/storefault.txt"
+PW_SEAM_GATE=1 go test -run '^TestSeamOverheadGate$' -count=1 -v \
+    ./internal/storefault | tee "$tmp/seamgate.txt"
+seam_ratio() {
+    awk -v k="$1" '$1 == "seam_overhead" && $2 == k { sub(/ratio=/, "", $NF); print $NF; exit }' \
+        "$tmp/seamgate.txt"
+}
+journal_ratio=$(seam_ratio journal-line)
+block_ratio=$(seam_ratio flowstore-block)
+"$tmp/benchjson" \
+    -add "SeamOverheadJournalLine:x:${journal_ratio:-0}" \
+    -add "SeamOverheadFlowstoreBlock:x:${block_ratio:-0}" \
+    < "$tmp/storefault.txt" > "$storefault_out"
+echo "storage seam overhead: journal-line ${journal_ratio:-?}x, flowstore-block ${block_ratio:-?}x raw"
+
 if [ "$smoke" -eq 1 ]; then
     "$tmp/benchjson" < "$tmp/experiments.txt" > "$experiments_out"
     echo "smoke ok: $(ls "$tmp"/BENCH_*.json | wc -l) reports generated (discarded)"
@@ -162,6 +191,8 @@ fi
 echo "wrote $analysis_out"
 
 echo "wrote $lanes_out"
+
+echo "wrote $storefault_out"
 
 echo "== RunAll wall time: serial vs parallel =="
 go build -o "$tmp/pwexperiments" ./cmd/pwexperiments

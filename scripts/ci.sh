@@ -46,6 +46,7 @@ go test -run='^$' -fuzz='^FuzzParsePolicy$' -fuzztime=5s ./internal/remedy
 go test -run='^$' -fuzz='^FuzzLanePartition$' -fuzztime=5s ./internal/lanes
 go test -run='^$' -fuzz='^FuzzSegmentCodec$' -fuzztime=5s ./internal/flowstore
 go test -run='^$' -fuzz='^FuzzSketchMerge$' -fuzztime=5s ./internal/sketch
+go test -run='^$' -fuzz='^FuzzRingSegment$' -fuzztime=5s ./internal/livemon
 
 # Streaming-analytics equivalence gate: streamed digest vs materialized
 # baseline on clean and hostile corpora (internal/analysis), and the
@@ -148,3 +149,59 @@ go build -o "$tmp/pwprof" ./cmd/pwprof
     "$tmp/pserial-out/prof/provenance.trace" | grep -q "critical path:"
 test -s "$tmp/critical.json"
 echo "provenance gate: serial and laned traces byte-identical, pwprof report ok"
+
+# Crash-point-matrix smoke: kill the campaign at a strided set of WAL
+# record and checkpoint-swap boundaries (every boundary runs in the
+# full, non-short suite) and require the resumed artifacts byte-match
+# the uninterrupted baseline.
+go test -short -run '^TestCrashPointMatrix' .
+echo "crash-point-matrix smoke: resume byte-identical at probed boundaries"
+
+# Storage-chaos gate: a campaign journaling through a hostile
+# fault-injecting filesystem (torn write, bit flip, ENOSPC on the WAL)
+# must still complete with exit 0, count the loud fault in
+# patchwork_storage_errors_total, and a same-seed rerun must replay the
+# chaos injection-for-injection (byte-identical storefault.jsonl).
+cat >"$tmp/store-plan.json" <<'EOF'
+{
+  "name": "ci-hostile-store",
+  "torn_writes": [{"path_glob": "wal.jsonl", "rate": 1, "after_ops": 6,  "max": 1}],
+  "bit_flips":   [{"path_glob": "wal.jsonl", "rate": 1, "after_ops": 10, "max": 1}],
+  "enospc":      [{"path_glob": "wal.jsonl", "rate": 1, "after_ops": 8,  "max": 1}]
+}
+EOF
+"$tmp/patchwork" $common -journal "$tmp/chaos1/journal" -out "$tmp/chaos1" \
+    -metrics "$tmp/chaos1.prom" -no-kill -store-chaos "$tmp/store-plan.json" >/dev/null
+"$tmp/patchwork" $common -journal "$tmp/chaos2/journal" -out "$tmp/chaos2" \
+    -metrics "$tmp/chaos2.prom" -no-kill -store-chaos "$tmp/store-plan.json" >/dev/null
+test -s "$tmp/chaos1/storefault.jsonl"
+cmp "$tmp/chaos1/storefault.jsonl" "$tmp/chaos2/storefault.jsonl"
+grep -q 'patchwork_storage_errors_total{artifact="append"} 1' "$tmp/chaos1.prom"
+echo "storage-chaos gate: hostile plan survived, injections replay byte-identically"
+
+# pwfsck gate: the chaos campaign's silent faults (the torn write and
+# bit flip land mid-WAL, because later appends continue past them) are
+# exactly what the scrubber exists to find. Doctor the directory
+# further with shell-planted damage — a pcap truncated mid-record, an
+# event log with an unterminated tail — then require pwfsck to report
+# mid-file corruption (exit 3), -repair to truncate every damaged
+# artifact to its last valid frame, and a re-scrub to come back clean.
+go build -o "$tmp/pwfsck" ./cmd/pwfsck
+cp -r "$tmp/chaos1" "$tmp/doctored"
+pc=$(find "$tmp/doctored" -name '*.pcap' | head -1)
+head -c "$(($(wc -c <"$pc") - 11))" "$pc" >"$pc.t" && mv "$pc.t" "$pc"
+printf '{"torn' >>"$tmp/doctored/health/alerts.jsonl"
+rc=0
+"$tmp/pwfsck" "$tmp/doctored" >/dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "pwfsck on doctored chaos dir exited $rc, want 3 (mid-file corruption)" >&2
+    exit 1
+fi
+rc=0
+"$tmp/pwfsck" -repair "$tmp/doctored" >/dev/null || rc=$?
+if [ "$rc" -ne 3 ] && [ "$rc" -ne 2 ] && [ "$rc" -ne 0 ]; then
+    echo "pwfsck -repair exited $rc" >&2
+    exit 1
+fi
+"$tmp/pwfsck" "$tmp/doctored"
+echo "pwfsck gate: chaos + doctored damage detected, repaired, re-scrub clean"
